@@ -1,0 +1,586 @@
+(* Bench harness: regenerates every table and figure of the paper's
+   evaluation (see DESIGN.md's per-experiment index), then runs Bechamel
+   wall-clock micro-benchmarks — one per table/figure — in a single
+   executable.  Output is recorded in EXPERIMENTS.md. *)
+
+module T = Ovo_boolfun.Truthtable
+module F = Ovo_boolfun.Families
+module Fs = Ovo_core.Fs
+module C = Ovo_core.Compact
+module Cost = Ovo_core.Cost
+module E = Ovo_core.Eval_order
+module O = Ovo_quantum.Opt_obdd
+module P = Ovo_quantum.Params
+module Nt = Ovo_numerics.Tables
+module Ne = Ovo_numerics.Exponents
+module Np = Ovo_numerics.Predict
+module Nm = Ovo_numerics.Maths
+
+let section name = Printf.printf "\n================ [%s] ================\n" name
+
+let measured_cells f =
+  let before = Cost.snapshot () in
+  let result = f () in
+  let after = Cost.snapshot () in
+  (result, float_of_int (Cost.diff after before).Cost.table_cells)
+
+(* ------------------------------------------------------------------ *)
+
+let fig1 () =
+  section "fig1";
+  Printf.printf
+    "Fig. 1 - OBDD size of f = x0x1 + x2x3 + ... under the natural vs the\n\
+     interleaved ordering (paper: 2n+2 vs 2^(n+1)); exact optimum via FS.\n\n";
+  Printf.printf "%6s %4s %9s %6s %12s %9s %7s\n" "pairs" "n" "natural" "2n+2"
+    "interleaved" "2^(n+1)" "exact";
+  for pairs = 1 to 8 do
+    let tt = F.achilles pairs in
+    let n = 2 * pairs in
+    let good = E.size tt (F.achilles_good_order pairs) in
+    let bad = E.size tt (F.achilles_bad_order pairs) in
+    let exact = if n <= 14 then string_of_int (Fs.run tt).Fs.size else "-" in
+    Printf.printf "%6d %4d %9d %6d %12d %9d %7s\n" pairs n good (n + 2) bad
+      (1 lsl (pairs + 1))
+      exact
+  done;
+  Printf.printf
+    "\nShape check: natural ordering grows linearly, interleaved doubles per\n\
+     pair, and the exact optimiser always recovers the linear size.\n"
+
+(* ------------------------------------------------------------------ *)
+
+let table1 () =
+  section "table1";
+  Printf.printf
+    "Table 1 - gamma_k and alpha of OptOBDD(k, alpha), re-solved from the\n\
+     equation system (8)-(9) and compared to the published values.\n\n";
+  Printf.printf "%2s %10s %10s %10s   alpha (solved)\n" "k" "gamma_k"
+    "published" "delta";
+  List.iteri
+    (fun i row ->
+      let _, published, _ = P.table1.(i) in
+      Printf.printf "%2d %10.5f %10.5f %10.1e   [%s]\n" row.Nt.k
+        row.Nt.gamma_out published
+        (Float.abs (row.Nt.gamma_out -. published))
+        (String.concat "; "
+           (List.map (Printf.sprintf "%.6f") (Array.to_list row.Nt.alpha))))
+    (Nt.table1 ());
+  let a0, g0 = Ne.gamma0 () in
+  let a1, g1 = Ne.gamma1 () in
+  Printf.printf
+    "\nSec. 3.1 anchors: gamma_0 = %.5f at alpha = %.6f (paper 2.98581 / 0.269577)\n"
+    g0 a0;
+  Printf.printf
+    "                  gamma_1 = %.5f at alpha = %.6f (paper 2.97625 / 0.274863)\n"
+    g1 a1
+
+let table2 () =
+  section "table2";
+  Printf.printf
+    "Table 2 - Theorem 13 composition: each round feeds its gamma into the\n\
+     equations (14)-(15); beta_6 descends to 2.77286.\n\n";
+  Printf.printf "%10s %10s %10s %10s\n" "gamma_in" "beta_6" "published" "delta";
+  List.iteri
+    (fun i row ->
+      let _, published, _ = P.table2.(i) in
+      Printf.printf "%10.5f %10.5f %10.5f %10.1e\n" row.Nt.gamma_in
+        row.Nt.gamma_out published
+        (Float.abs (row.Nt.gamma_out -. published)))
+    (Nt.table2 ());
+  Printf.printf "\nHeadline constant (Theorems 1/13): gamma <= %.5f\n"
+    P.final_gamma
+
+(* ------------------------------------------------------------------ *)
+
+let thm5_scaling () =
+  section "thm5-scaling";
+  Printf.printf
+    "Theorem 5 - FS processes Sum_k C(n,k)*k*2^(n-k) = n*3^(n-1) table\n\
+     cells: measured counter vs closed form, and the fitted base.\n\n";
+  Printf.printf "%3s %15s %15s %8s\n" "n" "measured" "n*3^(n-1)" "ratio";
+  let points = ref [] in
+  for n = 4 to 13 do
+    let tt = T.random (Random.State.make [| n |]) n in
+    let _, cells = measured_cells (fun () -> Fs.run tt) in
+    points := (n, cells) :: !points;
+    Printf.printf "%3d %15.0f %15.0f %8.4f\n" n cells (Np.fs_cells n)
+      (cells /. Np.fs_cells n)
+  done;
+  let slope = Np.log2_cost_per_var !points in
+  Printf.printf
+    "\nfitted growth: cost ~ (%.4f)^n   [paper: 3^n up to a polynomial factor]\n"
+    (Nm.pow2 slope)
+
+(* ------------------------------------------------------------------ *)
+
+let quantum_vs_classical () =
+  section "quantum-vs-classical";
+  Printf.printf
+    "Modeled cost (table cells) of the algorithm families.  Small n:\n\
+     simulated runs (the analytic predictor is asserted equal to the\n\
+     simulation by the test suite).  Large n: the predictor extends the\n\
+     curves to where the paper's asymptotics bite.\n\n";
+  Printf.printf "-- simulated, small n --\n";
+  Printf.printf "%3s %14s %14s %14s %14s\n" "n" "brute n!2^n" "FS (measured)"
+    "OptOBDD(6)" "tower-2";
+  for n = 4 to 11 do
+    let tt = T.random (Random.State.make [| 7 * n |]) n in
+    let _, fs_cells = measured_cells (fun () -> Fs.run tt) in
+    let ctx = O.make_ctx () in
+    let _, qcost = O.minimize ~ctx (O.theorem10 ()) tt in
+    let tower_cost =
+      if n <= 9 then begin
+        let ctx2 = O.make_ctx () in
+        let _, c = O.minimize ~ctx:ctx2 (O.tower ~depth:2) tt in
+        Some c
+      end
+      else None
+    in
+    Printf.printf "%3d %14.3e %14.3e %14.3e %14s\n" n (Np.brute_force_cells n)
+      fs_cells qcost
+      (match tower_cost with Some c -> Printf.sprintf "%.3e" c | None -> "-")
+  done;
+  let eps n = Float.pow 2. (-.float_of_int n) in
+  let a6 = P.table1_alpha 6 in
+  let alphas = Array.init 10 P.table2_alpha in
+  let fs n = Np.fs_cells n in
+  let q6 n = Np.theorem10_cost ~epsilon:(eps n) ~alpha:a6 n in
+  let t10 n = Np.tower_cost ~epsilon:(eps n) ~alphas ~depth:10 n in
+  Printf.printf "\n-- predicted (exact modeled accounting), large n --\n";
+  Printf.printf "%4s %14s %14s %14s %9s\n" "n" "FS" "OptOBDD(6)" "tower-10"
+    "q6/FS";
+  List.iter
+    (fun n ->
+      Printf.printf "%4d %14.3e %14.3e %14.3e %9.3f\n" n (fs n) (q6 n) (t10 n)
+        (q6 n /. fs n))
+    [ 12; 16; 20; 25; 30; 40; 60; 80; 100; 120 ];
+  let window lo hi f = List.init (hi - lo + 1) (fun i -> (lo + i, f (lo + i))) in
+  let base f = Nm.pow2 (Np.log2_cost_per_var (window 60 120 f)) in
+  (* divide out the linear poly factor of FS to expose the clean base *)
+  let fs_poly_free n = fs n /. float_of_int n in
+  Printf.printf
+    "\nfitted bases over n = 60..120:  FS %.4f (poly-corrected %.4f)\n\
+    \                                OptOBDD(6) %.4f   tower-10 %.4f\n"
+    (base fs) (base fs_poly_free) (base q6) (base t10);
+  Printf.printf
+    "(paper asymptotics: 3 vs 2.83728 vs 2.77286.  At feasible n the\n\
+     alpha*n roundings merge most division points, so the measured bases\n\
+     sit between the classical 3 and the ideal constants; the ordering\n\
+     classical > OptOBDD is already visible, the deep tower's stacked\n\
+     query constants need far larger n.)\n";
+  let rec find pred n limit = if n > limit then None else if pred n then Some n else find pred (n + 1) limit in
+  let stable pred n = pred n && pred (n + 1) && pred (n + 2) in
+  (match find (stable (fun n -> q6 n < fs n)) 4 400 with
+  | Some n -> Printf.printf "modeled crossover: OptOBDD(6) beats FS stably from n = %d\n" n
+  | None -> Printf.printf "no stable OptOBDD-vs-FS crossover below n = 400\n");
+  (match find (stable (fun n -> t10 n < fs n)) 4 400 with
+  | Some n -> Printf.printf "modeled crossover: tower-10 beats FS from n = %d\n" n
+  | None -> Printf.printf "no stable tower-vs-FS crossover below n = 400\n");
+  (match find (stable (fun n -> t10 n < q6 n)) 4 400 with
+  | Some n -> Printf.printf "modeled crossover: tower-10 beats OptOBDD(6) from n = %d\n" n
+  | None ->
+      Printf.printf
+        "tower-10 never beats OptOBDD(6) below n = 400 (its per-level\n\
+         search constants dominate until the alpha differences resolve)\n");
+  let rec find_cross n =
+    if n > 40 then n
+    else if Np.fs_cells n < Np.brute_force_cells n then n
+    else find_cross (n + 1)
+  in
+  Printf.printf
+    "brute force loses to FS from n = %d on (closed-form cell counts)\n"
+    (find_cross 2)
+
+(* ------------------------------------------------------------------ *)
+
+let optimality_check () =
+  section "optimality-check";
+  Printf.printf
+    "Theorem 1 correctness claims on random functions: the quantum\n\
+     algorithm's output equals the exact optimum; with forced qsearch\n\
+     errors the output diagram is still a valid OBDD for f.\n\n";
+  let st = Random.State.make [| 2026 |] in
+  let trials = 60 in
+  let agree = ref 0 in
+  for _ = 1 to trials do
+    let n = 3 + Random.State.int st 4 in
+    let tt = T.random st n in
+    let exact = (Fs.run tt).Fs.mincost in
+    let ctx = O.make_ctx () in
+    let r, _ = O.minimize ~ctx (O.theorem10 ()) tt in
+    if r.Fs.mincost = exact && Ovo_core.Diagram.check_tt r.Fs.diagram tt then
+      incr agree
+  done;
+  Printf.printf "exact agreement: %d/%d\n" !agree trials;
+  let rng = Random.State.make [| 31337 |] in
+  let valid = ref 0 and minimum = ref 0 in
+  for _ = 1 to trials do
+    let n = 4 + Random.State.int st 2 in
+    let tt = T.random st n in
+    let exact = (Fs.run tt).Fs.mincost in
+    let ctx = O.make_ctx ~rng ~epsilon:0.5 () in
+    let r, _ = O.minimize ~ctx (O.theorem10 ()) tt in
+    if Ovo_core.Diagram.check_tt r.Fs.diagram tt then incr valid;
+    if r.Fs.mincost = exact then incr minimum
+  done;
+  Printf.printf
+    "with epsilon = 0.5 error injection: valid diagrams %d/%d, still minimum %d/%d\n"
+    !valid trials !minimum trials;
+  Printf.printf
+    "(validity must be %d/%d - minimality is allowed to fail, Theorem 1)\n"
+    trials trials
+
+(* ------------------------------------------------------------------ *)
+
+let zdd_mtbdd () =
+  section "zdd-mtbdd";
+  Printf.printf
+    "Remark 2 - the two-line rule change minimises ZDDs, and the\n\
+     multi-valued table minimises MTBDDs.  Exact vs brute force, plus\n\
+     sparse families where the ZDD wins.\n\n";
+  Printf.printf "%18s %4s %10s %10s %12s\n" "function" "n" "min-BDD" "min-ZDD"
+    "brute-ZDD";
+  List.iter
+    (fun (name, tt) ->
+      let n = T.arity tt in
+      let bdd = (Fs.run tt).Fs.mincost in
+      let zdd = (Fs.run ~kind:C.Zdd tt).Fs.mincost in
+      let brute =
+        if n <= 7 then
+          string_of_int
+            (Ovo_ordering.Brute.best ~kind:C.Zdd tt).Ovo_ordering.Brute.mincost
+        else "-"
+      in
+      Printf.printf "%18s %4d %10d %10d %12s\n" name n bdd zdd brute)
+    [
+      ("achilles-3", F.achilles 3);
+      ("achilles-4", F.achilles 4);
+      ("parity-6", F.parity 6);
+      ("threshold-8-6", F.threshold 8 ~k:6);
+      ("mux-2", F.multiplexer ~select:2);
+      ("sparse-interval", F.weight_interval 8 ~lo:0 ~hi:1);
+    ];
+  let product =
+    Ovo_boolfun.Mtable.of_fun 4 ~values:10 (fun code ->
+        (code land 3) * (code lsr 2))
+  in
+  let r = Fs.run_mtable product in
+  let brute = Ovo_ordering.Brute.best_mtable product in
+  Printf.printf
+    "\nMTBDD of 2-bit multiplication: exact %d nodes (brute force %d), valid=%b\n"
+    r.Fs.mincost brute.Ovo_ordering.Brute.mincost
+    (Ovo_core.Diagram.check r.Fs.diagram product)
+
+(* ------------------------------------------------------------------ *)
+
+let heuristic_quality () =
+  section "heuristic-quality";
+  Printf.printf
+    "Sec. 1.1 - judging heuristics with the exact optimum (ratio 1.00 is\n\
+     optimal), plus the FS*-based exact-block hybrid.\n\n";
+  let rng = Random.State.make [| 0xB00 |] in
+  List.iter
+    (fun (name, tt) ->
+      let report = Ovo_ordering.Quality.evaluate ~rng ~name tt in
+      let hybrid = Ovo_ordering.Exact_block.run ~block:4 tt in
+      Format.printf "%a  exact-block=%d@." Ovo_ordering.Quality.pp_report report
+        hybrid.Ovo_ordering.Exact_block.mincost)
+    (F.catalogue ~max_arity:10)
+
+(* ------------------------------------------------------------------ *)
+
+(* A compaction chain whose NODE set is keyed by the children pair only,
+   as the paper's COMPACT pseudo-code literally reads.  Used by the
+   ablation below to show that the prose definition (key includes the
+   variable) is the correct one. *)
+let buggy_chain_mincost tt order =
+  let n = T.arity tt in
+  let table = ref (Array.init (1 lsl n) (fun code -> if T.eval tt code then 1 else 0)) in
+  let node = Hashtbl.create 16 in
+  let next = ref 2 and count = ref 0 in
+  let assigned = ref Ovo_core.Varset.empty in
+  Array.iter
+    (fun i ->
+      let freeset = Ovo_core.Varset.diff (Ovo_core.Varset.full n) !assigned in
+      let p = Ovo_core.Varset.rank_in i freeset in
+      let new_len = Array.length !table / 2 in
+      let out = Array.make (max new_len 1) 0 in
+      let low_mask = (1 lsl p) - 1 in
+      for b = 0 to new_len - 1 do
+        let idx0 = ((b lsr p) lsl (p + 1)) lor (b land low_mask) in
+        let lo = !table.(idx0) and hi = !table.(idx0 lor (1 lsl p)) in
+        if lo = hi then out.(b) <- lo
+        else
+          match Hashtbl.find_opt node (lo, hi) with
+          | Some u -> out.(b) <- u
+          | None ->
+              let u = !next in
+              incr next;
+              incr count;
+              Hashtbl.add node (lo, hi) u;
+              out.(b) <- u
+      done;
+      table := out;
+      assigned := Ovo_core.Varset.add i !assigned)
+    order;
+  !count
+
+let ablations () =
+  section "ablations";
+  Printf.printf
+    "Design-choice ablations called out in DESIGN.md.\n";
+
+  Printf.printf
+    "\n(a) NODE key must include the variable (paper prose) - the\n\
+     pseudo-code's children-only key merges distinct subfunctions.\n\
+     Scanning random functions for a divergence:\n";
+  let st = Random.State.make [| 77 |] in
+  let found = ref None in
+  (try
+     while !found = None do
+       let n = 3 + Random.State.int st 3 in
+       let tt = T.random st n in
+       let order = Array.init n (fun i -> i) in
+       let good = E.mincost tt order in
+       let bad = buggy_chain_mincost tt order in
+       if bad <> good then found := Some (tt, good, bad)
+     done
+   with _ -> ());
+  (match !found with
+  | Some (tt, good, bad) ->
+      Printf.printf
+        "  counterexample: f = %s\n  correct node count %d, children-only key gives %d\n"
+        (T.to_string tt) good bad
+  | None -> Printf.printf "  (no divergence found - unexpected)\n");
+
+  Printf.printf
+    "\n(b) number of division points k (modeled cost at n = 30, eps = 2^-30):\n";
+  Printf.printf "  %2s %12s %10s   (Table 1 gamma_k: asymptotic target)\n" "k"
+    "cells" "gamma_k";
+  for k = 1 to 6 do
+    let cost =
+      Np.theorem10_cost ~epsilon:(Float.pow 2. (-30.))
+        ~alpha:(P.table1_alpha k) 30
+    in
+    Printf.printf "  %2d %12.3e %10.5f\n" k cost (P.table1_gamma k)
+  done;
+  Printf.printf
+    "  (k = 2 already captures most of the gain, matching Table 1's\n\
+    \   rapidly flattening gamma_k column)\n";
+
+  Printf.printf
+    "\n(c) preprocessing ablation (Sec. 3.1): exponent bases without and\n\
+     with the classical preprocess:\n";
+  let a0, g0 = Ne.gamma0 () in
+  let a1, g1 = Ne.gamma1 () in
+  Printf.printf "  no preprocess : gamma_0 = %.5f (alpha = %.6f)\n" g0 a0;
+  Printf.printf "  with preprocess: gamma_1 = %.5f (alpha = %.6f)\n" g1 a1;
+
+  Printf.printf
+    "\n(d) A* pruning of the subset lattice (exact results, fewer states):\n";
+  Printf.printf "  %-16s %4s %9s %7s %8s\n" "function" "n" "expanded" "2^n"
+    "ratio";
+  List.iter
+    (fun (name, tt) ->
+      let r = Ovo_ordering.Astar.run tt in
+      Printf.printf "  %-16s %4d %9d %7d %8.2f%%\n" name
+        (T.arity tt) r.Ovo_ordering.Astar.expanded
+        r.Ovo_ordering.Astar.subsets_total
+        (100.
+        *. float_of_int r.Ovo_ordering.Astar.expanded
+        /. float_of_int r.Ovo_ordering.Astar.subsets_total))
+    [
+      ("achilles-4", F.achilles 4);
+      ("parity-8", F.parity 8);
+      ("mux-2", F.multiplexer ~select:2);
+      ("hwb-8", F.hidden_weighted_bit 8);
+      ("adder-4-carry", F.adder_bit ~bits:4 ~out:4);
+      ("small-support", T.( ||| ) (T.var 10 2) (T.( &&& ) (T.var 10 5) (T.var 10 8)));
+    ];
+
+  Printf.printf
+    "\n(e) exact windows (FS* blocks) vs brute-force windows on hwb-10:\n";
+  let tt = F.hidden_weighted_bit 10 in
+  let win = Ovo_ordering.Window.run ~window:4 tt in
+  let blk = Ovo_ordering.Exact_block.run ~block:4 tt in
+  let exact = (Fs.run tt).Fs.mincost in
+  Printf.printf
+    "  window-4: cost %d in %d probes; exact-block-4: cost %d in %d sweeps; true optimum %d\n"
+    win.Ovo_ordering.Window.mincost win.Ovo_ordering.Window.probes
+    blk.Ovo_ordering.Exact_block.mincost blk.Ovo_ordering.Exact_block.sweeps
+    exact
+
+(* ------------------------------------------------------------------ *)
+
+let shared_bench () =
+  section "shared";
+  Printf.printf
+    "Multi-rooted (shared) exact optimisation - the THY96 setting.\n\n";
+  Printf.printf "%-18s %4s %8s %14s %8s %10s\n" "circuit" "n" "shared"
+    "sum-of-singles" "blocked" "quantum";
+  List.iter
+    (fun (name, outputs) ->
+      let r = Ovo_core.Shared.minimize outputs in
+      let singles =
+        Array.fold_left
+          (fun acc tt -> acc + (Fs.run tt).Fs.mincost)
+          0 outputs
+      in
+      let n = T.arity outputs.(0) in
+      let blocked =
+        (Ovo_core.Shared.compact_chain
+           (Ovo_core.Shared.of_truthtables C.Bdd outputs)
+           (Array.init n (fun i -> i)))
+          .Ovo_core.Shared.mincost
+      in
+      let qshared =
+        if n <= 6 then begin
+          let ctx = Ovo_quantum.Qctx.make () in
+          let qr, _ =
+            Ovo_quantum.Opt_shared.minimize ~ctx
+              (Ovo_quantum.Opt_shared.theorem10 ())
+              outputs
+          in
+          string_of_int qr.Ovo_core.Shared.mincost
+        end
+        else "-"
+      in
+      Printf.printf "%-18s %4d %8d %14d %8d %10s\n" name n
+        r.Ovo_core.Shared.mincost singles blocked qshared)
+    F.multi_catalogue
+
+(* ------------------------------------------------------------------ *)
+
+let spectrum () =
+  section "spectrum";
+  Printf.printf
+    "The full size distribution over all n! orderings - how rare good\n\
+     orderings are (the quantitative version of the paper's motivation).\n\n";
+  List.iter
+    (fun (name, tt) ->
+      let s = Ovo_ordering.Spectrum.compute tt in
+      let dp_count = Fs.count_optimal_orders tt in
+      Format.printf "%-14s %a (DP count %.0f)@." name Ovo_ordering.Spectrum.pp
+        s dp_count)
+    [
+      ("achilles-3", F.achilles 3);
+      ("achilles-4", F.achilles 4);
+      ("mux-2", F.multiplexer ~select:2);
+      ("hwb-6", F.hidden_weighted_bit 6);
+      ("adder-3-carry", F.adder_bit ~bits:3 ~out:3);
+      ("majority-7", F.majority 7);
+      ("random-6", T.random (Random.State.make [| 606 |]) 6);
+    ];
+  Printf.printf
+    "\n(symmetric functions have point-mass spectra; the Fig. 1 family's\n\
+     optimum fraction shrinks as n grows, and random functions sit in\n\
+     between - blind search degrades accordingly.)\n";
+  (* influence static heuristic against the same functions *)
+  Printf.printf "\ninfluence-based static ordering (one table pass, no probing):\n";
+  List.iter
+    (fun (name, tt) ->
+      let r = Ovo_ordering.Influence.run tt in
+      let exact = (Fs.run tt).Fs.mincost in
+      Printf.printf "  %-14s static=%d exact=%d (%.2fx)\n" name
+        r.Ovo_ordering.Influence.mincost exact
+        (float_of_int r.Ovo_ordering.Influence.mincost /. float_of_int (max exact 1)))
+    [
+      ("achilles-4", F.achilles 4);
+      ("mux-2", F.multiplexer ~select:2);
+      ("hwb-8", F.hidden_weighted_bit 8);
+      ("adder-4-carry", F.adder_bit ~bits:4 ~out:4);
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel wall-clock micro-benchmarks: one per table/figure.         *)
+
+let wallclock () =
+  section "wallclock (Bechamel)";
+  let open Bechamel in
+  let open Toolkit in
+  let tt8 = T.random (Random.State.make [| 88 |]) 8 in
+  let tt10 = T.random (Random.State.make [| 110 |]) 10 in
+  let tt12 = T.random (Random.State.make [| 112 |]) 12 in
+  let tt6 = T.random (Random.State.make [| 66 |]) 6 in
+  let tests =
+    Test.make_grouped ~name:"ovo"
+      [
+        Test.make ~name:"fig1/eval-order-achilles6"
+          (Staged.stage (fun () ->
+               ignore (E.size (F.achilles 6) (F.achilles_bad_order 6))));
+        Test.make ~name:"thm5/fs-n8"
+          (Staged.stage (fun () -> ignore (Fs.run tt8)));
+        Test.make ~name:"thm5/fs-n10"
+          (Staged.stage (fun () -> ignore (Fs.run tt10)));
+        Test.make ~name:"quantum/optobdd-n6"
+          (Staged.stage (fun () ->
+               let ctx = O.make_ctx () in
+               ignore (O.minimize ~ctx (O.theorem10 ()) tt6)));
+        Test.make ~name:"table1/solve-k3"
+          (Staged.stage (fun () -> ignore (Nt.solve ~gamma:3. ~k:3)));
+        Test.make ~name:"quality/sifting-n10"
+          (Staged.stage (fun () -> ignore (Ovo_ordering.Sifting.run tt10)));
+        Test.make ~name:"zdd/fs-zdd-n8"
+          (Staged.stage (fun () -> ignore (Fs.run ~kind:C.Zdd tt8)));
+        Test.make ~name:"substrate/chain-n12"
+          (Staged.stage (fun () ->
+               ignore (E.mincost tt12 (Array.init 12 (fun i -> i)))));
+        Test.make ~name:"substrate/bitvec-xor-1M"
+          (let a = T.random (Random.State.make [| 1 |]) 20 in
+           let b = T.random (Random.State.make [| 2 |]) 20 in
+           Staged.stage (fun () -> ignore (T.xor a b)));
+        Test.make ~name:"dynbdd/sift-n10"
+          (Staged.stage (fun () ->
+               let man = Ovo_bdd.Dynbdd.create 10 in
+               let h = Ovo_bdd.Dynbdd.of_truthtable man tt10 in
+               Ovo_bdd.Dynbdd.protect man h;
+               Ovo_bdd.Dynbdd.sift man));
+        Test.make ~name:"cbdd/build-n10"
+          (Staged.stage (fun () ->
+               let man = Ovo_bdd.Cbdd.create 10 in
+               ignore (Ovo_bdd.Cbdd.of_truthtable man tt10)));
+        Test.make ~name:"shared/minimize-mul2"
+          (let outputs =
+             Array.init 4 (fun j ->
+                 T.of_fun 4 (fun code ->
+                     ((code land 3) * (code lsr 2)) land (1 lsl j) <> 0))
+           in
+           Staged.stage (fun () -> ignore (Ovo_core.Shared.minimize outputs)));
+      ]
+  in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) () in
+  let raw = Benchmark.all cfg [ Instance.monotonic_clock ] tests in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold
+      (fun name ols acc ->
+        let est =
+          match Analyze.OLS.estimates ols with
+          | Some (t :: _) -> t
+          | Some [] | None -> nan
+        in
+        (name, est) :: acc)
+      results []
+  in
+  Printf.printf "%-34s %16s\n" "benchmark" "ns/run";
+  List.iter
+    (fun (name, est) -> Printf.printf "%-34s %16.0f\n" name est)
+    (List.sort compare rows)
+
+let () =
+  fig1 ();
+  table1 ();
+  table2 ();
+  thm5_scaling ();
+  quantum_vs_classical ();
+  optimality_check ();
+  zdd_mtbdd ();
+  heuristic_quality ();
+  ablations ();
+  shared_bench ();
+  spectrum ();
+  wallclock ();
+  Printf.printf "\nAll sections completed.\n"

@@ -1,0 +1,600 @@
+(* ovo — exact and heuristic variable-ordering optimisation for decision
+   diagrams, on the command line.  See `ovo --help` and README.md. *)
+
+open Cmdliner
+
+(* ------------------------------------------------------------------ *)
+(* Input specification: how the Boolean function reaches the tool.     *)
+
+let load_function ~table ~expr ~pla ~pla_output ~blif ~signal ~family =
+  let sources =
+    List.filter_map
+      (fun x -> x)
+      [
+        Option.map (fun s -> `Table s) table;
+        Option.map (fun s -> `Expr s) expr;
+        Option.map (fun s -> `Pla s) pla;
+        Option.map (fun s -> `Blif s) blif;
+        Option.map (fun s -> `Family s) family;
+      ]
+  in
+  match sources with
+  | [] -> Error "no input: pass one of --table, --expr, --pla, --blif, --family"
+  | _ :: _ :: _ ->
+      Error "pass exactly one of --table, --expr, --pla, --blif, --family"
+  | [ `Table s ] -> (
+      try Ok (Ovo_boolfun.Truthtable.of_string s)
+      with Invalid_argument m -> Error m)
+  | [ `Expr s ] -> (
+      try Ok (Ovo_boolfun.Expr.to_truthtable (Ovo_boolfun.Expr.of_string s))
+      with Failure m | Invalid_argument m -> Error m)
+  | [ `Pla path ] -> (
+      try
+        let p = Ovo_boolfun.Pla.of_file path in
+        Ok (Ovo_boolfun.Pla.output_table p pla_output)
+      with
+      | Failure m | Invalid_argument m -> Error m
+      | Sys_error m -> Error m)
+  | [ `Blif path ] -> (
+      try
+        let m = Ovo_boolfun.Blif.of_string
+            (let ic = open_in path in
+             let len = in_channel_length ic in
+             let text = really_input_string ic len in
+             close_in ic;
+             text)
+        in
+        let name =
+          match signal with
+          | Some name -> name
+          | None -> (
+              match Ovo_boolfun.Blif.output_names m with
+              | first :: _ -> first
+              | [] -> raise Not_found)
+        in
+        Ok (Ovo_boolfun.Blif.output_table m name)
+      with
+      | Failure m | Invalid_argument m -> Error m
+      | Sys_error m -> Error m
+      | Not_found -> Error "unknown --signal for this BLIF model")
+  | [ `Family name ] -> (
+      match List.assoc_opt name (Ovo_boolfun.Families.catalogue ~max_arity:24) with
+      | Some tt -> Ok tt
+      | None ->
+          Error
+            (Printf.sprintf "unknown family %S; try `ovo families` for the list"
+               name))
+
+let table_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "table" ] ~docv:"BITS"
+        ~doc:"Truth table as a 0/1 string of length $(b,2^n) (entry $(i,i) is f at assignment code $(i,i)).")
+
+let expr_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "expr" ] ~docv:"EXPR"
+        ~doc:"Boolean expression, e.g. $(b,'x0 & x1 | x2 ^ !x3').")
+
+let pla_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "pla" ] ~docv:"FILE" ~doc:"PLA (espresso) file.")
+
+let pla_output_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "output" ] ~docv:"IDX" ~doc:"PLA output column to use (default 0).")
+
+let blif_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "blif" ] ~docv:"FILE" ~doc:"BLIF (combinational) file.")
+
+let signal_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "signal" ] ~docv:"NAME"
+        ~doc:"Output to use from a $(b,--blif) model (default: the first).")
+
+let family_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "family" ] ~docv:"NAME"
+        ~doc:"Named benchmark function; list them with $(b,ovo families).")
+
+let kind_arg =
+  let kind_conv =
+    Arg.enum [ ("bdd", Ovo_core.Compact.Bdd); ("zdd", Ovo_core.Compact.Zdd) ]
+  in
+  Arg.(
+    value & opt kind_conv Ovo_core.Compact.Bdd
+    & info [ "kind" ] ~docv:"KIND" ~doc:"Diagram kind: $(b,bdd) or $(b,zdd).")
+
+let save_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "save" ] ~docv:"FILE"
+        ~doc:"Write the resulting diagram in the ovo exchange format.")
+
+let dot_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "dot" ] ~docv:"FILE" ~doc:"Write the resulting diagram in Graphviz format.")
+
+let pp_order ppf order =
+  Format.fprintf ppf "[%s]"
+    (String.concat " " (List.map string_of_int (Array.to_list order)))
+
+let print_result ?save ~algo ~modeled (r : Ovo_core.Fs.result) dot =
+  Format.printf "algorithm        : %s@." algo;
+  Format.printf "minimum size     : %d nodes (%d non-terminal)@." r.Ovo_core.Fs.size
+    r.Ovo_core.Fs.mincost;
+  Format.printf "order (root first): %a@." pp_order (Ovo_core.Fs.read_first_order r);
+  Format.printf "order (paper pi)  : %a@." pp_order r.Ovo_core.Fs.order;
+  Format.printf "level widths      : %a@." pp_order r.Ovo_core.Fs.widths;
+  (match modeled with
+  | Some cost -> Format.printf "modeled cost      : %.3e table cells@." cost
+  | None -> ());
+  (match save with
+  | None | Some None -> ()
+  | Some (Some path) ->
+      let oc = open_out path in
+      output_string oc (Ovo_core.Diagram.serialize r.Ovo_core.Fs.diagram);
+      close_out oc;
+      Format.printf "diagram saved     : %s@." path);
+  match dot with
+  | None -> ()
+  | Some path ->
+      let oc = open_out path in
+      output_string oc (Ovo_core.Diagram.to_dot r.Ovo_core.Fs.diagram);
+      close_out oc;
+      Format.printf "diagram written   : %s@." path
+
+(* ------------------------------------------------------------------ *)
+(* optimize                                                            *)
+
+let weights_arg =
+  Arg.(
+    value
+    & opt (some (list ~sep:',' int)) None
+    & info [ "weights" ] ~docv:"W0,W1,.."
+        ~doc:
+          "Per-variable level weights: minimise the weighted node count \
+           exactly (overrides $(b,--algo)).")
+
+let algo_arg =
+  Arg.(
+    value & opt string "fs"
+    & info [ "algo" ] ~docv:"ALGO"
+        ~doc:
+          "One of $(b,fs) (exact DP, Theorem 5), $(b,qdc) (quantum \
+           divide-and-conquer, Theorem 10, simulated), $(b,tower:N) \
+           (Theorem 13 composition of depth N, simulated), $(b,brute), \
+           $(b,simple) (Sec 3.1 single split, simulated), $(b,astar) (exact, \
+           pruned), $(b,sifting), $(b,window), $(b,exact-block), \
+           $(b,annealing), $(b,genetic), $(b,influence), $(b,portfolio), \
+           $(b,random).")
+
+let seed_arg =
+  Arg.(value & opt int 0x0BDD & info [ "seed" ] ~docv:"SEED" ~doc:"RNG seed.")
+
+let optimize_cmd =
+  let run table expr pla pla_output blif signal family kind algo dot save
+      weights seed =
+    match load_function ~table ~expr ~pla ~pla_output ~blif ~signal ~family with
+    | Error m -> `Error (false, m)
+    | Ok tt when weights <> None -> (
+        match weights with
+        | Some ws -> (
+            try
+              let r =
+                Ovo_core.Fs_weighted.run ~kind ~weights:(Array.of_list ws) tt
+              in
+              Format.printf "algorithm        : FS (exact, weighted)@.";
+              Format.printf "weighted cost    : %d@."
+                r.Ovo_core.Fs_weighted.weighted_cost;
+              Format.printf "node count       : %d@."
+                r.Ovo_core.Fs_weighted.mincost;
+              Format.printf "order (root first): %a@." pp_order
+                (Ovo_core.Eval_order.read_first r.Ovo_core.Fs_weighted.order);
+              `Ok ()
+            with Invalid_argument m -> `Error (false, m))
+        | None -> assert false)
+    | Ok tt -> (
+        let with_eval name order =
+          let st = Ovo_core.Eval_order.state ~kind tt order in
+          print_result ~save ~algo:name ~modeled:None (Ovo_core.Fs.of_state st)
+            dot;
+          `Ok ()
+        in
+        try
+          match String.split_on_char ':' algo with
+          | [ "fs" ] ->
+              let before = Ovo_core.Cost.snapshot () in
+              let r = Ovo_core.Fs.run ~kind tt in
+              let after = Ovo_core.Cost.snapshot () in
+              print_result ~save ~algo:"FS (exact)"
+                ~modeled:
+                  (Some
+                     (float_of_int
+                        (Ovo_core.Cost.diff after before).Ovo_core.Cost.table_cells))
+                r dot;
+              `Ok ()
+          | [ "qdc" ] ->
+              let ctx = Ovo_quantum.Opt_obdd.make_ctx () in
+              let r, cost =
+                Ovo_quantum.Opt_obdd.minimize ~kind ~ctx
+                  (Ovo_quantum.Opt_obdd.theorem10 ()) tt
+              in
+              print_result ~save ~algo:"OptOBDD(6,alpha) [simulated]" ~modeled:(Some cost)
+                r dot;
+              `Ok ()
+          | [ "tower"; d ] ->
+              let depth = int_of_string d in
+              let ctx = Ovo_quantum.Opt_obdd.make_ctx () in
+              let r, cost =
+                Ovo_quantum.Opt_obdd.minimize ~kind ~ctx
+                  (Ovo_quantum.Opt_obdd.tower ~depth) tt
+              in
+              print_result ~save
+                ~algo:(Printf.sprintf "Gamma_%d tower [simulated]" depth)
+                ~modeled:(Some cost) r dot;
+              `Ok ()
+          | [ "brute" ] ->
+              let r = Ovo_ordering.Brute.best ~kind tt in
+              with_eval "brute force" r.Ovo_ordering.Brute.order
+          | [ "sifting" ] ->
+              let r = Ovo_ordering.Sifting.run ~kind tt in
+              with_eval "sifting (heuristic)" r.Ovo_ordering.Sifting.order
+          | [ "window" ] ->
+              let r = Ovo_ordering.Window.run ~kind tt in
+              with_eval "window permutation (heuristic)" r.Ovo_ordering.Window.order
+          | [ "exact-block" ] ->
+              let r = Ovo_ordering.Exact_block.run ~kind tt in
+              with_eval "exact-block hybrid" r.Ovo_ordering.Exact_block.order
+          | [ "astar" ] ->
+              let r = Ovo_ordering.Astar.run ~kind tt in
+              Format.printf "A* expanded %d of %d subsets@."
+                r.Ovo_ordering.Astar.expanded r.Ovo_ordering.Astar.subsets_total;
+              with_eval "A* (exact, pruned)" r.Ovo_ordering.Astar.order
+          | [ "genetic" ] ->
+              let rng = Random.State.make [| seed |] in
+              let r = Ovo_ordering.Genetic.run ~kind ~rng tt in
+              with_eval "genetic algorithm (heuristic)" r.Ovo_ordering.Genetic.order
+          | [ "influence" ] ->
+              let r = Ovo_ordering.Influence.run ~kind tt in
+              with_eval "influence static heuristic" r.Ovo_ordering.Influence.order
+          | [ "simple" ] ->
+              let ctx = Ovo_quantum.Opt_obdd.make_ctx () in
+              let r, cost =
+                Ovo_quantum.Opt_obdd.minimize ~kind ~ctx
+                  (Ovo_quantum.Opt_obdd.simple_split ()) tt
+              in
+              print_result ~save ~algo:"OptOBDD simple split [simulated]"
+                ~modeled:(Some cost) r dot;
+              `Ok ()
+          | [ "annealing" ] ->
+              let rng = Random.State.make [| seed |] in
+              let r = Ovo_ordering.Annealing.run ~kind ~rng tt in
+              with_eval "simulated annealing (heuristic)"
+                r.Ovo_ordering.Annealing.order
+          | [ "portfolio" ] ->
+              let rng = Random.State.make [| seed |] in
+              let r = Ovo_ordering.Portfolio.run ~kind ~rng tt in
+              List.iter
+                (fun e ->
+                  Format.printf "  %-12s %d@."
+                    e.Ovo_ordering.Portfolio.method_name
+                    e.Ovo_ordering.Portfolio.mincost)
+                r.Ovo_ordering.Portfolio.entries;
+              with_eval
+                (Printf.sprintf "portfolio (won by %s)"
+                   r.Ovo_ordering.Portfolio.best.Ovo_ordering.Portfolio.method_name)
+                r.Ovo_ordering.Portfolio.best.Ovo_ordering.Portfolio.order
+          | [ "random" ] ->
+              let rng = Random.State.make [| seed |] in
+              let r = Ovo_ordering.Random_search.run ~kind ~rng tt in
+              with_eval "random search" r.Ovo_ordering.Random_search.order
+          | _ -> `Error (false, "unknown --algo " ^ algo)
+        with Invalid_argument m | Failure m -> `Error (false, m))
+  in
+  let term =
+    Term.(
+      ret
+        (const run $ table_arg $ expr_arg $ pla_arg $ pla_output_arg
+       $ blif_arg $ signal_arg $ family_arg $ kind_arg $ algo_arg $ dot_arg
+       $ save_arg $ weights_arg $ seed_arg))
+  in
+  Cmd.v
+    (Cmd.info "optimize"
+       ~doc:"Find an optimal (or heuristic) variable ordering for a function")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* widths                                                              *)
+
+let order_arg =
+  Arg.(
+    required
+    & opt (some (list ~sep:',' int)) None
+    & info [ "order" ] ~docv:"V0,V1,.."
+        ~doc:"Ordering to evaluate, root (read-first) variable first.")
+
+let widths_cmd =
+  let run table expr pla pla_output blif signal family kind order =
+    match load_function ~table ~expr ~pla ~pla_output ~blif ~signal ~family with
+    | Error m -> `Error (false, m)
+    | Ok tt -> (
+        try
+          let rf = Array.of_list order in
+          let pi = Ovo_core.Eval_order.read_first rf in
+          let d = Ovo_core.Eval_order.diagram ~kind tt pi in
+          let widths = Ovo_core.Diagram.level_widths d in
+          Format.printf "size  : %d@." (Ovo_core.Diagram.size d);
+          Format.printf "widths: %a@." pp_order widths;
+          Format.printf "caps  : ok=%b (universal per-level bounds, max size %.0f)@."
+            (Ovo_core.Bounds.check_widths
+               ~n:(Ovo_boolfun.Truthtable.arity tt)
+               widths)
+            (Ovo_core.Bounds.max_size (Ovo_boolfun.Truthtable.arity tt));
+          (* profile histogram, root level first *)
+          let peak = Array.fold_left max 1 widths in
+          for level = Array.length widths - 1 downto 0 do
+            let w = widths.(level) in
+            Format.printf "  x%-3d %4d %s@." pi.(level) w
+              (String.make (max 1 (w * 40 / peak)) '#')
+          done;
+          `Ok ()
+        with Invalid_argument m -> `Error (false, m))
+  in
+  let term =
+    Term.(
+      ret
+        (const run $ table_arg $ expr_arg $ pla_arg $ pla_output_arg
+       $ blif_arg $ signal_arg $ family_arg $ kind_arg $ order_arg))
+  in
+  Cmd.v
+    (Cmd.info "widths" ~doc:"Evaluate a given variable ordering on a function")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* table1 / table2                                                     *)
+
+let table1_cmd =
+  let run () =
+    Format.printf "Reproducing paper Table 1 (gamma_k and alpha for OptOBDD(k, alpha)):@.";
+    List.iter
+      (fun r -> Format.printf "  %a@." Ovo_numerics.Tables.pp_row r)
+      (Ovo_numerics.Tables.table1 ());
+    let a0, g0 = Ovo_numerics.Exponents.gamma0 () in
+    Format.printf "  (Sec 3.1 gamma_0 without preprocessing: alpha=%.6f gamma=%.5f)@." a0 g0
+  in
+  Cmd.v (Cmd.info "table1" ~doc:"Re-solve the paper's Table 1") Term.(const run $ const ())
+
+let table2_cmd =
+  let run rounds =
+    Format.printf "Reproducing paper Table 2 (Theorem 13 composition):@.";
+    List.iter
+      (fun r -> Format.printf "  %a@." Ovo_numerics.Tables.pp_row r)
+      (Ovo_numerics.Tables.table2 ~rounds ())
+  in
+  let rounds =
+    Arg.(value & opt int 10 & info [ "rounds" ] ~doc:"Composition rounds.")
+  in
+  Cmd.v (Cmd.info "table2" ~doc:"Re-solve the paper's Table 2") Term.(const run $ rounds)
+
+(* ------------------------------------------------------------------ *)
+(* fig1                                                                *)
+
+let fig1_cmd =
+  let run pairs =
+    let tt = Ovo_boolfun.Families.achilles pairs in
+    let good = Ovo_boolfun.Families.achilles_good_order pairs in
+    let bad = Ovo_boolfun.Families.achilles_bad_order pairs in
+    Format.printf
+      "f = x0*x1 + x2*x3 + ... over %d variables (paper Fig. 1 family)@."
+      (2 * pairs);
+    Format.printf "natural ordering    : size %d (paper: 2n+2 = %d)@."
+      (Ovo_core.Eval_order.size tt good)
+      ((2 * pairs) + 2);
+    Format.printf "interleaved ordering: size %d (paper: 2^(n+1) = %d)@."
+      (Ovo_core.Eval_order.size tt bad)
+      (1 lsl (pairs + 1));
+    let r = Ovo_core.Fs.run tt in
+    Format.printf "exact optimum       : size %d@." r.Ovo_core.Fs.size
+  in
+  let pairs =
+    Arg.(value & opt int 3 & info [ "pairs" ] ~doc:"Number of product pairs n.")
+  in
+  Cmd.v
+    (Cmd.info "fig1" ~doc:"Reproduce the paper's Fig. 1 ordering blow-up")
+    Term.(const run $ pairs)
+
+(* ------------------------------------------------------------------ *)
+(* compare (heuristic quality)                                         *)
+
+let compare_cmd =
+  let run table expr pla pla_output blif signal family seed =
+    match load_function ~table ~expr ~pla ~pla_output ~blif ~signal ~family with
+    | Error m -> `Error (false, m)
+    | Ok tt ->
+        let rng = Random.State.make [| seed |] in
+        let name = Option.value family ~default:"function" in
+        let report = Ovo_ordering.Quality.evaluate ~rng ~name tt in
+        Format.printf "%a@." Ovo_ordering.Quality.pp_report report;
+        `Ok ()
+  in
+  let term =
+    Term.(
+      ret
+        (const run $ table_arg $ expr_arg $ pla_arg $ pla_output_arg
+       $ blif_arg $ signal_arg $ family_arg $ seed_arg))
+  in
+  Cmd.v
+    (Cmd.info "compare"
+       ~doc:"Judge heuristic quality against the exact optimum (paper Sec. 1.1)")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* shared (multi-output)                                               *)
+
+let shared_cmd =
+  let run pla kind =
+    match pla with
+    | None -> `Error (false, "pass --pla FILE (all outputs are optimised jointly)")
+    | Some path -> (
+        try
+          let p = Ovo_boolfun.Pla.of_file path in
+          let outputs = Ovo_boolfun.Pla.tables p in
+          let r = Ovo_core.Shared.minimize ~kind outputs in
+          Format.printf "outputs            : %d over %d inputs@."
+            (Array.length outputs) (Ovo_boolfun.Pla.inputs p);
+          Format.printf "shared minimum size: %d nodes (%d non-terminal)@."
+            r.Ovo_core.Shared.size r.Ovo_core.Shared.mincost;
+          let n = Array.length r.Ovo_core.Shared.order in
+          Format.printf "order (root first) : %a@." pp_order
+            (Array.init n (fun i -> r.Ovo_core.Shared.order.(n - 1 - i)));
+          Array.iteri
+            (fun j tt ->
+              let alone = (Ovo_core.Fs.run ~kind tt).Ovo_core.Fs.mincost in
+              Format.printf "  output %d alone would need %d nodes@." j alone)
+            outputs;
+          `Ok ()
+        with
+        | Failure m | Invalid_argument m | Sys_error m -> `Error (false, m))
+  in
+  Cmd.v
+    (Cmd.info "shared"
+       ~doc:"Jointly optimise all outputs of a PLA as one shared diagram")
+    Term.(ret (const run $ pla_arg $ kind_arg))
+
+(* ------------------------------------------------------------------ *)
+(* spectrum                                                            *)
+
+let spectrum_cmd =
+  let run table expr pla pla_output blif signal family kind =
+    match load_function ~table ~expr ~pla ~pla_output ~blif ~signal ~family with
+    | Error m -> `Error (false, m)
+    | Ok tt -> (
+        try
+          let s = Ovo_ordering.Spectrum.compute ~kind tt in
+          Format.printf "%a@." Ovo_ordering.Spectrum.pp s;
+          Format.printf "histogram (cost: orderings):@.";
+          List.iter
+            (fun (cost, count) -> Format.printf "  %4d: %d@." cost count)
+            s.Ovo_ordering.Spectrum.histogram;
+          `Ok ()
+        with Invalid_argument m -> `Error (false, m))
+  in
+  let term =
+    Term.(
+      ret
+        (const run $ table_arg $ expr_arg $ pla_arg $ pla_output_arg
+       $ blif_arg $ signal_arg $ family_arg $ kind_arg))
+  in
+  Cmd.v
+    (Cmd.info "spectrum"
+       ~doc:"Size distribution over all orderings (arity <= 8)")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* show (serialized diagrams)                                          *)
+
+let show_cmd =
+  let run path dot =
+    try
+      let ic = open_in path in
+      let len = in_channel_length ic in
+      let text = really_input_string ic len in
+      close_in ic;
+      let d = Ovo_core.Diagram.deserialize text in
+      Format.printf "%a@." Ovo_core.Diagram.pp d;
+      Format.printf "level widths: %a@." pp_order
+        (Ovo_core.Diagram.level_widths d);
+      (match dot with
+      | None -> ()
+      | Some out ->
+          let oc = open_out out in
+          output_string oc (Ovo_core.Diagram.to_dot d);
+          close_out oc;
+          Format.printf "dot written : %s@." out);
+      `Ok ()
+    with
+    | Failure m | Invalid_argument m -> `Error (false, m)
+    | Sys_error m -> `Error (false, m)
+  in
+  let path =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"FILE" ~doc:"A diagram saved with $(b,optimize --save).")
+  in
+  Cmd.v
+    (Cmd.info "show" ~doc:"Inspect a saved diagram file")
+    Term.(ret (const run $ path $ dot_arg))
+
+(* ------------------------------------------------------------------ *)
+(* families                                                            *)
+
+let families_cmd =
+  let run max_arity exact =
+    List.iter
+      (fun (name, tt) ->
+        let n = Ovo_boolfun.Truthtable.arity tt in
+        if exact && n <= 12 then
+          let r = Ovo_core.Fs.run tt in
+          Format.printf "%-16s n=%-2d optimal-size=%d@." name n r.Ovo_core.Fs.size
+        else Format.printf "%-16s n=%-2d@." name n)
+      (Ovo_boolfun.Families.catalogue ~max_arity)
+  in
+  let max_arity =
+    Arg.(value & opt int 12 & info [ "max-arity" ] ~doc:"Largest arity to list.")
+  in
+  let exact =
+    Arg.(value & flag & info [ "exact" ] ~doc:"Also compute optimal sizes.")
+  in
+  Cmd.v
+    (Cmd.info "families" ~doc:"List the built-in benchmark function families")
+    Term.(const run $ max_arity $ exact)
+
+let () =
+  (* debug logging is enabled with OVO_VERBOSE=1 so every subcommand
+     honours it without threading a flag through each term *)
+  Logs.set_reporter (Logs_fmt.reporter ());
+  Logs.set_level
+    (Some
+       (match Sys.getenv_opt "OVO_VERBOSE" with
+       | Some ("1" | "true" | "debug") -> Logs.Debug
+       | Some _ | None -> Logs.Warning))
+
+let () =
+  let default = Term.(ret (const (`Help (`Pager, None)))) in
+  let info =
+    Cmd.info "ovo" ~version:"1.0.0"
+      ~doc:"Optimal variable ordering for binary decision diagrams"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group ~default info
+          [
+            optimize_cmd;
+            widths_cmd;
+            table1_cmd;
+            table2_cmd;
+            fig1_cmd;
+            compare_cmd;
+            shared_cmd;
+            spectrum_cmd;
+            show_cmd;
+            families_cmd;
+          ]))

@@ -1,0 +1,1 @@
+examples/corollary2_pipeline.ml: Array Format List Ovo_bdd Ovo_boolfun Ovo_core Ovo_quantum String

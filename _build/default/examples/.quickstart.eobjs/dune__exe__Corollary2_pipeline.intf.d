@@ -1,0 +1,1 @@
+examples/corollary2_pipeline.mli:

@@ -1,0 +1,1 @@
+examples/equivalence_check.ml: Array List Ovo_bdd Ovo_core Printf

@@ -1,0 +1,1 @@
+examples/heuristic_quality.ml: Format List Ovo_boolfun Ovo_core Ovo_ordering Random

@@ -1,0 +1,1 @@
+examples/multi_output.ml: Array List Ovo_bdd Ovo_boolfun Ovo_core Printf String

@@ -1,0 +1,1 @@
+examples/ordering_blowup.ml: Format Ovo_boolfun Ovo_core Ovo_ordering

@@ -1,0 +1,1 @@
+examples/queens.ml: List Ovo_bdd Printf

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Format List Ovo_bdd Ovo_boolfun Ovo_core Printf String

@@ -1,0 +1,1 @@
+examples/reachability.ml: Array Float List Ovo_bdd Ovo_core Printf

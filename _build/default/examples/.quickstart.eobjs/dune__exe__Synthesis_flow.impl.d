@@ -1,0 +1,1 @@
+examples/synthesis_flow.ml: Array List Ovo_bdd Ovo_boolfun Ovo_core Printf String

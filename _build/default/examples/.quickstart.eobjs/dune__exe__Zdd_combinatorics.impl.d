@@ -1,0 +1,1 @@
+examples/zdd_combinatorics.ml: Array Format List Ovo_bdd Ovo_core String

@@ -1,0 +1,52 @@
+(* Quickstart: parse a formula, find its optimal variable ordering with
+   the exact FS dynamic program, and use the result with the BDD package.
+
+   Run with:  dune exec examples/quickstart.exe *)
+
+module Expr = Ovo_boolfun.Expr
+module Fs = Ovo_core.Fs
+module Bdd = Ovo_bdd.Bdd
+
+let () =
+  (* A comparator-ish function: true when the 2-bit number (x0,x1) is less
+     than (x2,x3), or the guard x4 forces it. *)
+  let formula = "(!x1 & x3) | (!(x1 ^ x3) & !x0 & x2) | x4 & !x3" in
+  let expr = Expr.of_string formula in
+  let tt = Expr.to_truthtable expr in
+  Format.printf "function: %a  (arity %d, %d satisfying assignments)@." Expr.pp
+    expr
+    (Ovo_boolfun.Truthtable.arity tt)
+    (Ovo_boolfun.Truthtable.count_ones tt);
+
+  (* Exact minimisation: Theorem 5's O*(3^n) dynamic program. *)
+  let r = Fs.run tt in
+  let read_first = Fs.read_first_order r in
+  Format.printf "optimal OBDD size: %d nodes@." r.Fs.size;
+  Format.printf "optimal ordering (root first): %s@."
+    (String.concat " "
+       (List.map (fun v -> "x" ^ string_of_int v) (Array.to_list read_first)));
+
+  (* Compare against the naive identity ordering. *)
+  let identity = Array.init (Ovo_boolfun.Truthtable.arity tt) (fun i -> i) in
+  Format.printf "identity-ordering size: %d nodes@."
+    (Ovo_core.Eval_order.size tt identity);
+
+  (* Hand the optimised diagram to the BDD package and keep computing. *)
+  let man = Bdd.create ~order:read_first (Ovo_boolfun.Truthtable.arity tt) in
+  let b = Bdd.import man r.Fs.diagram in
+  Format.printf "satcount via BDD package: %.0f@." (Bdd.satcount man b);
+  (match Bdd.sat_one man b with
+  | Some assignment ->
+      Format.printf "a satisfying assignment: %s@."
+        (String.concat ", "
+           (List.map
+              (fun (v, b) -> Printf.sprintf "x%d=%b" v b)
+              assignment))
+  | None -> Format.printf "unsatisfiable@.");
+
+  (* The package keeps working at the optimal size for derived functions. *)
+  let guard = Bdd.var man 4 in
+  let without_guard = Bdd.and_ man b (Bdd.not_ man guard) in
+  Format.printf "f & !x4: size %d, satcount %.0f@."
+    (Bdd.size man without_guard)
+    (Bdd.satcount man without_guard)

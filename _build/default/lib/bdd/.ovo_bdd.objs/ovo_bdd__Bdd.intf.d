@@ -1,0 +1,1 @@
+lib/bdd/bdd.mli: Ovo_boolfun Ovo_core

@@ -1,0 +1,1 @@
+lib/bdd/cbdd.ml: Array Float Hashtbl List Ovo_boolfun

@@ -1,0 +1,1 @@
+lib/bdd/cbdd.mli: Ovo_boolfun

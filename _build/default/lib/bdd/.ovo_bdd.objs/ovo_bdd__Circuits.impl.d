@@ -1,0 +1,1 @@
+lib/bdd/circuits.ml: Array Bdd Seq

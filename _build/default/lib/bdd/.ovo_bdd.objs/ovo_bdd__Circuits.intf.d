@@ -1,0 +1,1 @@
+lib/bdd/circuits.mli: Bdd

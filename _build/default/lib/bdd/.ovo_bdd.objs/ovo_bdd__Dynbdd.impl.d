@@ -1,0 +1,1 @@
+lib/bdd/dynbdd.ml: Array Hashtbl List Ovo_boolfun

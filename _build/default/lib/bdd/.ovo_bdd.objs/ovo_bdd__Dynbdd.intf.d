@@ -1,0 +1,1 @@
+lib/bdd/dynbdd.mli: Ovo_boolfun

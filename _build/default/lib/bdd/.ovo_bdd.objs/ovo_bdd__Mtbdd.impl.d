@@ -1,0 +1,1 @@
+lib/bdd/mtbdd.ml: Array Buffer Hashtbl Ovo_boolfun Ovo_core Printf

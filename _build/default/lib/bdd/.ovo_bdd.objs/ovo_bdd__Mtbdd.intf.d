@@ -1,0 +1,1 @@
+lib/bdd/mtbdd.mli: Ovo_boolfun Ovo_core

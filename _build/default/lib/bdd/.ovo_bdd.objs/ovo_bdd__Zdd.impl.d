@@ -1,0 +1,1 @@
+lib/bdd/zdd.ml: Array Buffer Hashtbl List Ovo_boolfun Ovo_core Printf

@@ -1,0 +1,1 @@
+lib/bdd/zdd.mli: Ovo_boolfun Ovo_core

@@ -1,0 +1,114 @@
+(** A from-scratch reduced-ordered-BDD package (unique table, hash-consed
+    [mk], memoised [ite]), in the style of Brace–Rudell–Bryant.
+
+    This is the substrate the ordering optimiser serves: once
+    [Ovo_core.Fs] (or a heuristic) has produced a good variable ordering,
+    a manager created with that ordering represents and manipulates the
+    function at the minimum size.
+
+    A manager owns [n] variables.  Levels run from 0 (root side, tested
+    first) to [n-1]; the manager's {e ordering} maps level → variable
+    label.  All public operations speak in variable labels and assignment
+    codes (bit [j] of a code = variable [j]), so client code is
+    independent of the ordering in force. *)
+
+type man
+(** A mutable manager: unique table, node store, operation caches. *)
+
+type t
+(** A BDD handle, valid for the manager that created it. *)
+
+val create : ?order:int array -> int -> man
+(** [create n] makes a manager with variables [0..n-1].  [order], when
+    given, is the {e read-first} ordering: level [l] tests variable
+    [order.(l)] (default identity).  Note this is the reverse of the
+    optimiser's read-last-first arrays; convert with
+    {!Ovo_core.Eval_order.read_first}. *)
+
+val nvars : man -> int
+val order : man -> int array
+(** The read-first ordering in force (copy). *)
+
+val node_count : man -> int
+(** Total nodes allocated in the manager (a growth diagnostic). *)
+
+val bfalse : man -> t
+val btrue : man -> t
+val var : man -> int -> t
+(** The projection function of a variable label. *)
+
+val equal : t -> t -> bool
+(** Constant-time semantic equality (canonicity). *)
+
+val is_false : man -> t -> bool
+val is_true : man -> t -> bool
+
+val not_ : man -> t -> t
+val and_ : man -> t -> t -> t
+val or_ : man -> t -> t -> t
+val xor_ : man -> t -> t -> t
+val imp : man -> t -> t -> t
+val iff : man -> t -> t -> t
+val ite : man -> t -> t -> t -> t
+(** Boolean connectives; memoised, [O(|f|·|g|·|h|)] worst case. *)
+
+val restrict : man -> t -> var:int -> bool -> t
+(** Cofactor by a variable label. *)
+
+val exists : man -> int list -> t -> t
+val forall : man -> int list -> t -> t
+(** Quantification over variable labels. *)
+
+val compose_var : man -> t -> var:int -> t -> t
+(** [compose_var man f ~var g] is [f] with [var] substituted by the
+    function [g] (Shannon: [ite g f|var=1 f|var=0]) — the building block
+    of relational products and variable renaming. *)
+
+val support : man -> t -> int list
+(** Variable labels the function depends on, ascending. *)
+
+val eval : man -> t -> int -> bool
+(** Evaluate on an assignment code. *)
+
+val satcount : man -> t -> float
+(** Number of satisfying assignments over all [n] variables (float to
+    allow [n] beyond 62). *)
+
+val sat_one : man -> t -> (int * bool) list option
+(** A satisfying partial assignment [(variable, value)] (variables not
+    listed are free), or [None] for the constant-false BDD. *)
+
+val size : man -> t -> int
+(** Nodes reachable from the root, terminals included (the
+    paper-convention diagram size). *)
+
+val shared_size : man -> t list -> int
+(** Nodes reachable from any of the roots, counted once — the size of
+    the shared multi-rooted diagram these functions form. *)
+
+val of_truthtable : man -> Ovo_boolfun.Truthtable.t -> t
+(** Build the canonical BDD of a function (arity must match). *)
+
+val to_truthtable : man -> t -> Ovo_boolfun.Truthtable.t
+
+val of_expr : man -> Ovo_boolfun.Expr.t -> t
+(** Compile a formula bottom-up with the connectives above. *)
+
+val import : man -> Ovo_core.Diagram.t -> t
+(** Re-hash-cons a diagram produced by the optimiser into this manager.
+    The diagram must be a 2-terminal BDD and its ordering must agree
+    with the manager's; raises [Invalid_argument] otherwise. *)
+
+val cube_cover : man -> t -> (int * bool) list list
+(** A disjoint cube cover read off the 1-paths of the diagram: each cube
+    is a partial assignment [(variable, value)] whose conjunction implies
+    the function, the cubes are pairwise disjoint, and their union is
+    exactly the on-set.  At most one cube per 1-path, so the cover is
+    small whenever the diagram is. *)
+
+val to_expr : man -> t -> Ovo_boolfun.Expr.t
+(** The {!cube_cover} as a DNF formula ([Expr.Const false] for the empty
+    cover). *)
+
+val to_dot : man -> t -> string
+(** Graphviz rendering of the sub-diagram rooted here. *)

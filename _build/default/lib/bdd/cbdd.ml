@@ -1,0 +1,271 @@
+(* A handle is [2·node_id lor polarity]; node id 0 is the TRUE terminal,
+   so [btrue = 0] and [bfalse = 1].  Inner node ids start at 1; node [u]
+   lives at store index [u - 1].  Stored hi edges are always regular. *)
+
+type man = {
+  n : int;
+  level_var : int array;
+  var_level : int array;
+  mutable levels : int array;
+  mutable los : int array;  (* lo edges (may be complemented) *)
+  mutable his : int array;  (* hi edges (always regular) *)
+  mutable next : int;
+  unique : (int * int * int, int) Hashtbl.t;  (* (level, lo, hi) -> id *)
+  ite_cache : (int * int * int, int) Hashtbl.t;
+}
+
+type t = int
+
+let create ?order n =
+  if n < 0 then invalid_arg "Cbdd.create";
+  let level_var =
+    match order with
+    | None -> Array.init n (fun i -> i)
+    | Some o ->
+        if Array.length o <> n then invalid_arg "Cbdd.create: bad order";
+        Array.copy o
+  in
+  let var_level = Array.make n (-1) in
+  Array.iteri
+    (fun l v ->
+      if v < 0 || v >= n || var_level.(v) >= 0 then
+        invalid_arg "Cbdd.create: order is not a permutation";
+      var_level.(v) <- l)
+    level_var;
+  {
+    n;
+    level_var;
+    var_level;
+    levels = Array.make 64 0;
+    los = Array.make 64 0;
+    his = Array.make 64 0;
+    next = 0;
+    unique = Hashtbl.create 256;
+    ite_cache = Hashtbl.create 256;
+  }
+
+let nvars man = man.n
+
+let btrue _man = 0
+let bfalse _man = 1
+
+let equal (a : t) (b : t) = a = b
+
+let node_of handle = handle lsr 1
+let polarity handle = handle land 1
+let complement handle = handle lxor 1
+
+let not_ _man t = complement t
+
+let level man e =
+  let u = node_of e in
+  if u = 0 then man.n else man.levels.(u - 1)
+
+(* children with the edge's polarity pushed down *)
+let cofactors man e =
+  let u = node_of e and c = polarity e in
+  (man.los.(u - 1) lxor c, man.his.(u - 1) lxor c)
+
+let grow man =
+  let cap = Array.length man.levels in
+  if man.next >= cap then begin
+    let resize a = Array.append a (Array.make cap 0) in
+    man.levels <- resize man.levels;
+    man.los <- resize man.los;
+    man.his <- resize man.his
+  end
+
+let rec mk man lvl l h =
+  if l = h then l
+  else if polarity h = 1 then complement (mk man lvl (complement l) (complement h))
+  else
+    let key = (lvl, l, h) in
+    match Hashtbl.find_opt man.unique key with
+    | Some u -> u lsl 1
+    | None ->
+        grow man;
+        let idx = man.next in
+        man.next <- idx + 1;
+        man.levels.(idx) <- lvl;
+        man.los.(idx) <- l;
+        man.his.(idx) <- h;
+        let u = idx + 1 in
+        Hashtbl.add man.unique key u;
+        u lsl 1
+
+let var man v =
+  if v < 0 || v >= man.n then invalid_arg "Cbdd.var";
+  (* hi = TRUE (regular), lo = FALSE *)
+  mk man man.var_level.(v) 1 0
+
+let rec ite man f g h =
+  if f = 0 then g
+  else if f = 1 then h
+  else if g = h then g
+  else if g = 0 && h = 1 then f
+  else if g = 1 && h = 0 then complement f
+  else begin
+    (* normalise: the test is regular *)
+    let f, g, h = if polarity f = 1 then (complement f, h, g) else (f, g, h) in
+    (* normalise: the then-branch is regular, pulling the complement out *)
+    let negate_out = polarity g = 1 in
+    let g, h = if negate_out then (complement g, complement h) else (g, h) in
+    let key = (f, g, h) in
+    let result =
+      match Hashtbl.find_opt man.ite_cache key with
+      | Some r -> r
+      | None ->
+          let m = min (level man f) (min (level man g) (level man h)) in
+          let cof e = if level man e = m then cofactors man e else (e, e) in
+          let f0, f1 = cof f and g0, g1 = cof g and h0, h1 = cof h in
+          let r = mk man m (ite man f0 g0 h0) (ite man f1 g1 h1) in
+          Hashtbl.add man.ite_cache key r;
+          r
+    in
+    if negate_out then complement result else result
+  end
+
+let and_ man a b = ite man a b 1
+let or_ man a b = ite man a 0 b
+let xor_ man a b = ite man a (complement b) b
+
+let restrict man t ~var:v b =
+  if v < 0 || v >= man.n then invalid_arg "Cbdd.restrict";
+  let lvl = man.var_level.(v) in
+  let memo = Hashtbl.create 64 in
+  (* operate on the regular form, reapplying the polarity at the end of
+     each step so the memo stays small *)
+  let rec go e =
+    if level man e > lvl then e
+    else if level man e = lvl then
+      let lo, hi = cofactors man e in
+      if b then hi else lo
+    else
+      let u = node_of e and c = polarity e in
+      let r =
+        match Hashtbl.find_opt memo u with
+        | Some r -> r
+        | None ->
+            let r =
+              mk man (level man e)
+                (go man.los.(u - 1))
+                (go man.his.(u - 1))
+            in
+            Hashtbl.add memo u r;
+            r
+      in
+      r lxor c
+  in
+  go t
+
+let exists man vars t =
+  List.fold_left
+    (fun acc v ->
+      or_ man (restrict man acc ~var:v false) (restrict man acc ~var:v true))
+    t vars
+
+let forall man vars t =
+  List.fold_left
+    (fun acc v ->
+      and_ man (restrict man acc ~var:v false) (restrict man acc ~var:v true))
+    t vars
+
+let support man t =
+  let seen_levels = Hashtbl.create 16 in
+  let visited = Hashtbl.create 64 in
+  let rec go u =
+    if u <> 0 && not (Hashtbl.mem visited u) then begin
+      Hashtbl.replace visited u ();
+      Hashtbl.replace seen_levels man.levels.(u - 1) ();
+      go (node_of man.los.(u - 1));
+      go (node_of man.his.(u - 1))
+    end
+  in
+  go (node_of t);
+  Hashtbl.fold (fun l () acc -> man.level_var.(l) :: acc) seen_levels []
+  |> List.sort compare
+
+let eval man t code =
+  let rec go e =
+    if node_of e = 0 then polarity e = 0
+    else
+      let v = man.level_var.(level man e) in
+      let lo, hi = cofactors man e in
+      if code land (1 lsl v) <> 0 then go hi else go lo
+  in
+  go t
+
+let of_truthtable man tt =
+  if Ovo_boolfun.Truthtable.arity tt <> man.n then
+    invalid_arg "Cbdd.of_truthtable: arity mismatch";
+  let permuted =
+    if man.n = 0 then tt
+    else Ovo_boolfun.Truthtable.permute_vars tt man.level_var
+  in
+  let memo = Hashtbl.create 256 in
+  let rec build sub lvl =
+    match Ovo_boolfun.Truthtable.is_const sub with
+    | Some b -> if b then 0 else 1
+    | None -> (
+        match Hashtbl.find_opt memo sub with
+        | Some e -> e
+        | None ->
+            let f0, f1 = Ovo_boolfun.Truthtable.cofactors sub 0 in
+            let e = mk man lvl (build f0 (lvl + 1)) (build f1 (lvl + 1)) in
+            Hashtbl.add memo sub e;
+            e)
+  in
+  build permuted 0
+
+let to_truthtable man t = Ovo_boolfun.Truthtable.of_fun man.n (eval man t)
+
+let satcount man t =
+  let memo = Hashtbl.create 64 in
+  (* weight of a REGULAR edge over the variables strictly below its
+     level; complemented edges are handled by the caller's subtraction *)
+  let rec weight e =
+    let u = node_of e in
+    let base =
+      if u = 0 then 1.
+      else
+        match Hashtbl.find_opt memo u with
+        | Some w -> w
+        | None ->
+            let lo = man.los.(u - 1) and hi = man.his.(u - 1) in
+            let below child =
+              Float.pow 2. (float_of_int (level man child - level man e - 1))
+            in
+            let part child =
+              let w = weight (child land lnot 1) *. below child in
+              if polarity child = 1 then
+                Float.pow 2. (float_of_int (man.n - 1 - level man e)) -. w
+              else w
+            in
+            let w = part lo +. part hi in
+            Hashtbl.add memo u w;
+            w
+    in
+    base
+  in
+  let total = Float.pow 2. (float_of_int man.n) in
+  let w =
+    weight (t land lnot 1) *. Float.pow 2. (float_of_int (level man t))
+  in
+  if polarity t = 1 then total -. w else w
+
+let size man t =
+  let visited = Hashtbl.create 64 in
+  let rec go e =
+    let u = node_of e in
+    if not (Hashtbl.mem visited u) then begin
+      Hashtbl.replace visited u ();
+      if u <> 0 then begin
+        go man.los.(u - 1);
+        go man.his.(u - 1)
+      end
+    end
+  in
+  go t;
+  Hashtbl.length visited
+
+let node_count man = man.next + 1

@@ -1,0 +1,62 @@
+(** A BDD manager with {e complement edges} — the representation used by
+    production packages (CUDD, BuDDy): an edge carries a polarity bit, a
+    function and its negation share one sub-graph, and negation costs
+    O(1).
+
+    Canonical form: the {e hi} (then) edge of every stored node is
+    regular; a [mk] whose hi edge is complemented stores the negated
+    node and returns a complemented handle.  There is a single terminal
+    (TRUE); FALSE is its complement.  Consequently [size] counts at most
+    half the nodes of the plain {!Bdd} representation on
+    negation-symmetric functions (parity being the extreme case), which
+    the tests quantify.
+
+    Note the size convention differs from the paper's (which counts the
+    two-terminal, no-complement form); this manager is provided as the
+    practical representation, not as the optimiser's metric. *)
+
+type man
+type t
+
+val create : ?order:int array -> int -> man
+(** As {!Bdd.create}. *)
+
+val nvars : man -> int
+
+val btrue : man -> t
+val bfalse : man -> t
+val var : man -> int -> t
+
+val equal : t -> t -> bool
+(** Constant-time semantic equality. *)
+
+val not_ : man -> t -> t
+(** Constant time: flips the polarity bit. *)
+
+val ite : man -> t -> t -> t -> t
+val and_ : man -> t -> t -> t
+val or_ : man -> t -> t -> t
+val xor_ : man -> t -> t -> t
+
+val restrict : man -> t -> var:int -> bool -> t
+(** Cofactor by a variable label. *)
+
+val exists : man -> int list -> t -> t
+val forall : man -> int list -> t -> t
+(** Quantification over variable labels. *)
+
+val support : man -> t -> int list
+(** Variable labels the function depends on, ascending. *)
+
+val eval : man -> t -> int -> bool
+
+val of_truthtable : man -> Ovo_boolfun.Truthtable.t -> t
+val to_truthtable : man -> t -> Ovo_boolfun.Truthtable.t
+
+val satcount : man -> t -> float
+
+val size : man -> t -> int
+(** Distinct nodes reachable through either polarity, plus the terminal. *)
+
+val node_count : man -> int
+(** Total nodes allocated in the manager. *)

@@ -1,0 +1,90 @@
+type vec = Bdd.t array
+
+let constant man ~width v =
+  if width < 0 then invalid_arg "Circuits.constant";
+  Array.init width (fun j ->
+      if v land (1 lsl j) <> 0 then Bdd.btrue man else Bdd.bfalse man)
+
+let input man vars = Array.map (Bdd.var man) vars
+
+let eval_int man vec code =
+  let acc = ref 0 in
+  Array.iteri (fun j b -> if Bdd.eval man b code then acc := !acc lor (1 lsl j)) vec;
+  !acc
+
+let check_same_width a b =
+  if Array.length a <> Array.length b then
+    invalid_arg "Circuits: width mismatch"
+
+(* full adder cell: sum = a xor b xor c, carry = majority *)
+let full_add man a b c =
+  let sum = Bdd.xor_ man (Bdd.xor_ man a b) c in
+  let carry =
+    Bdd.or_ man (Bdd.and_ man a b) (Bdd.and_ man c (Bdd.or_ man a b))
+  in
+  (sum, carry)
+
+let add man a b =
+  check_same_width a b;
+  let width = Array.length a in
+  let out = Array.make width (Bdd.bfalse man) in
+  let carry = ref (Bdd.bfalse man) in
+  for j = 0 to width - 1 do
+    let s, c = full_add man a.(j) b.(j) !carry in
+    out.(j) <- s;
+    carry := c
+  done;
+  (out, !carry)
+
+(* widen with false bits on the MSB side *)
+let widen man vec width =
+  Array.init width (fun j ->
+      if j < Array.length vec then vec.(j) else Bdd.bfalse man)
+
+let multiply man a b =
+  let wa = Array.length a and wb = Array.length b in
+  let width = wa + wb in
+  let acc = ref (constant man ~width 0) in
+  for j = 0 to wb - 1 do
+    (* partial product: a shifted by j, gated by b_j *)
+    let partial =
+      Array.init width (fun i ->
+          if i >= j && i - j < wa then Bdd.and_ man a.(i - j) b.(j)
+          else Bdd.bfalse man)
+    in
+    let sum, _carry = add man (widen man !acc width) partial in
+    acc := sum
+  done;
+  !acc
+
+let equal_vec man a b =
+  check_same_width a b;
+  Array.to_seq (Array.map2 (Bdd.iff man) a b)
+  |> Seq.fold_left (Bdd.and_ man) (Bdd.btrue man)
+
+let less_than man a b =
+  check_same_width a b;
+  (* from MSB down: lt = (!a & b) | (a iff b) & lt_below *)
+  let lt = ref (Bdd.bfalse man) in
+  for j = 0 to Array.length a - 1 do
+    let bit_lt = Bdd.and_ man (Bdd.not_ man a.(j)) b.(j) in
+    let bit_eq = Bdd.iff man a.(j) b.(j) in
+    lt := Bdd.or_ man bit_lt (Bdd.and_ man bit_eq !lt)
+  done;
+  !lt
+
+let adder_outputs ~bits ~interleaved =
+  if bits < 1 then invalid_arg "Circuits.adder_outputs";
+  let n = 2 * bits in
+  let order =
+    if interleaved then
+      Array.init n (fun l -> if l land 1 = 0 then l / 2 else bits + (l / 2))
+    else Array.init n (fun l -> l)
+  in
+  let man = Bdd.create ~order n in
+  let a = input man (Array.init bits (fun j -> j)) in
+  let b = input man (Array.init bits (fun j -> bits + j)) in
+  let sum, carry = add man a b in
+  (man, sum, carry)
+
+let total_size man vec = Bdd.shared_size man (Array.to_list vec)

@@ -1,0 +1,44 @@
+(** Word-level circuits over BDDs: vectors of functions representing
+    unsigned integers, LSB first.
+
+    This is the layer VLSI verification actually works at — adders,
+    multipliers, comparators built by symbolic simulation — and it
+    produces the classic ordering-sensitive functions (interleaved
+    operand orderings keep adders linear; no ordering saves a
+    multiplier's middle bits).  All operations are pure BDD [apply]
+    compositions inside one manager. *)
+
+type vec = Bdd.t array
+(** Bit [0] is least significant. *)
+
+val constant : Bdd.man -> width:int -> int -> vec
+(** [constant man ~width v] encodes [v land (2^width - 1)]. *)
+
+val input : Bdd.man -> int array -> vec
+(** [input man vars] is the vector of projections of the given variable
+    labels ([vars.(0)] the LSB). *)
+
+val eval_int : Bdd.man -> vec -> int -> int
+(** Value of the vector under an assignment code. *)
+
+val add : Bdd.man -> vec -> vec -> vec * Bdd.t
+(** Ripple-carry sum of two equal-width vectors: [(sum, carry_out)]. *)
+
+val multiply : Bdd.man -> vec -> vec -> vec
+(** Shift-and-add product; the result has width [w_a + w_b]. *)
+
+val equal_vec : Bdd.man -> vec -> vec -> Bdd.t
+(** Bitwise equality of equal-width vectors. *)
+
+val less_than : Bdd.man -> vec -> vec -> Bdd.t
+(** Unsigned [a < b] for equal-width vectors. *)
+
+val adder_outputs : bits:int -> interleaved:bool -> Bdd.man * vec * Bdd.t
+(** A fresh manager holding an [bits]-wide adder over inputs
+    [a = x0..] and [b = x_bits..]: with [interleaved] the manager order
+    alternates operand bits (the good ordering); otherwise it is blocked
+    (the bad one).  Returns [(manager, sum_vector, carry_out)]. *)
+
+val total_size : Bdd.man -> vec -> int
+(** Nodes reachable from any bit of the vector (shared nodes counted
+    once), terminals included. *)

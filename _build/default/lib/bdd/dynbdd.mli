@@ -1,0 +1,94 @@
+(** A BDD manager with {e dynamic reordering}: adjacent level swaps in
+    place, and Rudell sifting over the live graph.
+
+    {!Bdd} fixes its ordering at creation; real packages (CUDD, BuDDy)
+    reorder a populated manager without rebuilding client handles.  This
+    manager provides that: {!swap_levels} exchanges two adjacent levels
+    by local node surgery, and {!sift} runs the classical sifting loop
+    (move each variable through all positions by swaps, keep the best)
+    over the protected roots.
+
+    The crucial invariant making in-place swaps sound: a swap preserves
+    the {e function} of every node id — updated level-[l] nodes keep
+    their ids with rewritten children; nodes of both levels that do not
+    interact move between the levels unchanged.  Distinct live nodes
+    always represent distinct functions (canonicity), so the rebuilt
+    unique tables cannot collide, client handles stay valid, and even
+    memoised operation caches survive (they relate ids, and ids keep
+    their functions).
+
+    Handles are only as alive as the nodes they reach: {!protect} roots
+    you intend to keep across reorderings so {!sift} can measure what
+    matters.  Dead nodes are left as garbage (no reference counting);
+    {!live_size} reports the reachable count. *)
+
+type man
+type t
+
+val create : ?order:int array -> int -> man
+(** As {!Bdd.create}; [order] is the initial read-first ordering. *)
+
+val nvars : man -> int
+
+val order : man -> int array
+(** Current read-first ordering (changes under swaps/sifting). *)
+
+val bfalse : man -> t
+val btrue : man -> t
+val var : man -> int -> t
+(** Projection of a variable label (valid under any current order). *)
+
+val equal : t -> t -> bool
+
+val ite : man -> t -> t -> t -> t
+val and_ : man -> t -> t -> t
+val or_ : man -> t -> t -> t
+val xor_ : man -> t -> t -> t
+val not_ : man -> t -> t
+
+val of_truthtable : man -> Ovo_boolfun.Truthtable.t -> t
+(** Builds under the ordering in force at call time. *)
+
+val to_truthtable : man -> t -> Ovo_boolfun.Truthtable.t
+(** Label-indexed semantics — invariant under reordering. *)
+
+val eval : man -> t -> int -> bool
+
+val protect : man -> t -> unit
+(** Register a root for sifting/size accounting (idempotent). *)
+
+val protected : man -> t list
+
+val live_size : man -> int
+(** Nodes reachable from the protected roots, terminals included. *)
+
+val swap_levels : man -> int -> unit
+(** [swap_levels man l] exchanges levels [l] and [l+1] in place;
+    raises [Invalid_argument] when [l+1] is out of range.  All handles
+    keep their functions. *)
+
+val sift : ?max_passes:int -> man -> unit
+(** Rudell sifting on the protected roots: each variable (fattest level
+    first) is moved through every position by adjacent swaps and left
+    where {!live_size} was smallest; passes repeat until no improvement
+    (default cap 4 passes). *)
+
+val set_order : man -> int array -> unit
+(** Reorder to an explicit read-first ordering (bubble-sort of swaps) —
+    e.g. one produced by {!Ovo_core.Fs}. *)
+
+val compress : man -> unit
+(** Garbage collection: drops every node not reachable from the
+    protected roots from the unique tables (swaps and discarded
+    intermediate results leave garbage behind, and table size is what
+    swaps pay for).  Handles under a protected root remain valid;
+    handles to collected nodes must not be used again — protect what
+    you keep. *)
+
+val allocated : man -> int
+(** Nodes currently in the stores (live + garbage), terminals included —
+    compare with {!live_size} to decide when to {!compress}. *)
+
+val check_invariants : man -> bool
+(** Test hook: unique tables are consistent, children are below parents,
+    no two live nodes share (level, lo, hi). *)

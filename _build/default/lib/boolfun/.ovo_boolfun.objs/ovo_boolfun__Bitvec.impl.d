@@ -1,0 +1,1 @@
+lib/boolfun/bitvec.ml: Array Bytes Char Format Hashtbl Int64 Stdlib String

@@ -1,0 +1,1 @@
+lib/boolfun/bitvec.mli: Format

@@ -1,0 +1,1 @@
+lib/boolfun/blif.ml: Hashtbl List Printf String Truthtable

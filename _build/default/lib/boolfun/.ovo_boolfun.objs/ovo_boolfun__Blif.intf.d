@@ -1,0 +1,1 @@
+lib/boolfun/blif.mli: Truthtable

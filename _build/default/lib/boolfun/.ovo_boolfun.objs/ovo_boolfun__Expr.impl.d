@@ -1,0 +1,1 @@
+lib/boolfun/expr.ml: Char Format Int List Printf Random Set String Truthtable

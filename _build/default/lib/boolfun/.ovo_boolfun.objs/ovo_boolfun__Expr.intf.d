@@ -1,0 +1,1 @@
+lib/boolfun/expr.mli: Format Random Truthtable

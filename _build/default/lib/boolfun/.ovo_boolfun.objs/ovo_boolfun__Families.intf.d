@@ -1,0 +1,1 @@
+lib/boolfun/families.mli: Truthtable

@@ -1,0 +1,1 @@
+lib/boolfun/mtable.ml: Array Format Sys Truthtable

@@ -1,0 +1,1 @@
+lib/boolfun/mtable.mli: Format Truthtable

@@ -1,0 +1,1 @@
+lib/boolfun/pla.ml: Array Buffer List Printf String Truthtable

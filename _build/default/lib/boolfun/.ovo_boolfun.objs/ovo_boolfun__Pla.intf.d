@@ -1,0 +1,1 @@
+lib/boolfun/pla.mli: Truthtable

@@ -1,0 +1,1 @@
+lib/boolfun/truthtable.ml: Array Bitvec Format List Random String Sys

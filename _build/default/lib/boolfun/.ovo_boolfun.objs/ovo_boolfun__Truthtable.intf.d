@@ -1,0 +1,1 @@
+lib/boolfun/truthtable.mli: Bitvec Format Random

@@ -1,0 +1,199 @@
+type row = { pattern : string; value : bool }
+
+type gate = { fanins : string list; out : string; rows : row list }
+
+type t = {
+  model_name : string;
+  inputs : string list;
+  outputs : string list;
+  gates : gate list;  (* in file order *)
+}
+
+let model_name t = t.model_name
+let input_names t = t.inputs
+let output_names t = t.outputs
+
+let split_ws s =
+  String.split_on_char ' ' s
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.filter (fun w -> w <> "")
+
+(* join continuation lines ending in backslash, strip comments *)
+let logical_lines text =
+  let raw = String.split_on_char '\n' text in
+  let rec join acc pending lineno = function
+    | [] -> List.rev (match pending with None -> acc | Some (l, s) -> (l, s) :: acc)
+    | line :: rest ->
+        let line =
+          match String.index_opt line '#' with
+          | None -> line
+          | Some i -> String.sub line 0 i
+        in
+        let line = String.trim line in
+        let continued = String.length line > 0 && line.[String.length line - 1] = '\\' in
+        let body =
+          if continued then String.sub line 0 (String.length line - 1) else line
+        in
+        let acc, pending =
+          match pending with
+          | None ->
+              if continued then (acc, Some (lineno, body))
+              else if body = "" then (acc, None)
+              else ((lineno, body) :: acc, None)
+          | Some (l0, sofar) ->
+              let merged = sofar ^ " " ^ body in
+              if continued then (acc, Some (l0, merged))
+              else ((l0, merged) :: acc, None)
+        in
+        join acc pending (lineno + 1) rest
+  in
+  join [] None 1 raw
+
+let of_string text =
+  let fail line msg = failwith (Printf.sprintf "Blif: line %d: %s" line msg) in
+  let model = ref "" in
+  let inputs = ref [] and outputs = ref [] in
+  let gates = ref [] in
+  let current = ref None in
+  let finish_gate () =
+    match !current with
+    | None -> ()
+    | Some (fanins, out, rows) ->
+        gates := { fanins; out; rows = List.rev rows } :: !gates;
+        current := None
+  in
+  let handle (lineno, line) =
+    match split_ws line with
+    | [] -> ()
+    | ".model" :: rest ->
+        finish_gate ();
+        model := String.concat " " rest
+    | ".inputs" :: names ->
+        finish_gate ();
+        inputs := !inputs @ names
+    | ".outputs" :: names ->
+        finish_gate ();
+        outputs := !outputs @ names
+    | ".names" :: signals -> (
+        finish_gate ();
+        match List.rev signals with
+        | [] -> fail lineno ".names needs an output"
+        | out :: fanins_rev -> current := Some (List.rev fanins_rev, out, []))
+    | [ ".end" ] -> finish_gate ()
+    | (".latch" | ".subckt" | ".exdc") :: _ ->
+        fail lineno "sequential/hierarchical BLIF is not supported"
+    | word :: _ when String.length word > 0 && word.[0] = '.' ->
+        fail lineno ("unsupported directive " ^ word)
+    | words -> (
+        match !current with
+        | None -> fail lineno "cover row outside a .names block"
+        | Some (fanins, out, rows) -> (
+            let width = List.length fanins in
+            match words with
+            | [ outpart ] when width = 0 ->
+                let value =
+                  match outpart with
+                  | "1" -> true
+                  | "0" -> false
+                  | _ -> fail lineno "bad constant row"
+                in
+                current := Some (fanins, out, { pattern = ""; value } :: rows)
+            | [ pattern; outpart ] when String.length pattern = width ->
+                String.iter
+                  (fun c ->
+                    match c with
+                    | '0' | '1' | '-' -> ()
+                    | _ -> fail lineno "bad cover character")
+                  pattern;
+                let value =
+                  match outpart with
+                  | "1" -> true
+                  | "0" -> false
+                  | _ -> fail lineno "bad output character"
+                in
+                current := Some (fanins, out, { pattern; value } :: rows)
+            | _ -> fail lineno "malformed cover row"))
+  in
+  List.iter handle (logical_lines text);
+  finish_gate ();
+  if !inputs = [] then failwith "Blif: no .inputs";
+  if !outputs = [] then failwith "Blif: no .outputs";
+  {
+    model_name = !model;
+    inputs = !inputs;
+    outputs = !outputs;
+    gates = List.rev !gates;
+  }
+
+let of_file path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let text = really_input_string ic len in
+  close_in ic;
+  of_string text
+
+(* Structural elaboration: a table per signal over the primary inputs.
+   A SIS cover with output-0 rows defines the off-set; output-1 rows the
+   on-set (a single .names block uses one polarity). *)
+let elaborate t =
+  let n = List.length t.inputs in
+  let env : (string, Truthtable.t) Hashtbl.t = Hashtbl.create 32 in
+  List.iteri (fun j name -> Hashtbl.replace env name (Truthtable.var n j)) t.inputs;
+  let signal name =
+    match Hashtbl.find_opt env name with
+    | Some tt -> tt
+    | None -> failwith (Printf.sprintf "Blif: undefined signal %s" name)
+  in
+  let gate_table g =
+    let fanins = List.map signal g.fanins in
+    let row_table r =
+      List.fold_left2
+        (fun acc c fanin ->
+          match c with
+          | '1' -> Truthtable.( &&& ) acc fanin
+          | '0' -> Truthtable.( &&& ) acc (Truthtable.not_ fanin)
+          | _ -> acc)
+        (Truthtable.const n true)
+        (List.init (String.length r.pattern) (String.get r.pattern))
+        fanins
+    in
+    let on_rows = List.filter (fun r -> r.value) g.rows in
+    let off_rows = List.filter (fun r -> not r.value) g.rows in
+    match (on_rows, off_rows) with
+    | [], [] -> Truthtable.const n false
+    | _ :: _, [] ->
+        List.fold_left
+          (fun acc r -> Truthtable.( ||| ) acc (row_table r))
+          (Truthtable.const n false)
+          on_rows
+    | [], _ :: _ ->
+        Truthtable.not_
+          (List.fold_left
+             (fun acc r -> Truthtable.( ||| ) acc (row_table r))
+             (Truthtable.const n false)
+             off_rows)
+    | _ :: _, _ :: _ -> failwith "Blif: mixed-polarity cover"
+  in
+  List.iter
+    (fun g ->
+      if Hashtbl.mem env g.out && not (List.mem g.out t.inputs) then
+        failwith (Printf.sprintf "Blif: signal %s defined twice" g.out);
+      Hashtbl.replace env g.out (gate_table g))
+    t.gates;
+  env
+
+let output_table t name =
+  if not (List.mem name t.outputs) then raise Not_found;
+  let env = elaborate t in
+  match Hashtbl.find_opt env name with
+  | Some tt -> tt
+  | None -> failwith (Printf.sprintf "Blif: output %s has no driver" name)
+
+let tables t =
+  let env = elaborate t in
+  List.map
+    (fun name ->
+      match Hashtbl.find_opt env name with
+      | Some tt -> (name, tt)
+      | None -> failwith (Printf.sprintf "Blif: output %s has no driver" name))
+    t.outputs

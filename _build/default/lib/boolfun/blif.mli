@@ -1,0 +1,45 @@
+(** A reader for the Berkeley BLIF netlist format (combinational subset).
+
+    Where {!Pla} covers two-level covers, BLIF is the standard exchange
+    format for multi-level logic: a `.model` with `.inputs`/`.outputs`
+    and one `.names` table per internal signal.  This reader supports
+    the combinational core:
+
+    - [.model NAME] (optional name);
+    - [.inputs] / [.outputs] (may repeat, accumulate);
+    - [.names in1 … ink out] followed by single-output cover rows
+      ([01-] input part, [0]/[1] output part; rows with output [0]
+      define the off-set, as in SIS);
+    - constants: a [.names out] with row [1] (constant true) or no rows
+      (constant false);
+    - [.end], [#] comments, [\\] line continuations.
+
+    Latches, subcircuits and don't-cares are rejected with a clear
+    error.  Output functions are elaborated into truth tables over the
+    primary inputs by structural evaluation, which is the [O*(2^n)]
+    Corollary 2 path again. *)
+
+type t
+
+val of_string : string -> t
+(** Raises [Failure] with a line-numbered message on unsupported or
+    malformed input. *)
+
+val of_file : string -> t
+
+val model_name : t -> string
+(** The [.model] name ([""] when absent). *)
+
+val input_names : t -> string list
+(** Primary inputs, in declaration order.  Input [i] of the model is
+    variable [i] of the produced truth tables. *)
+
+val output_names : t -> string list
+(** Primary outputs, in declaration order. *)
+
+val output_table : t -> string -> Truthtable.t
+(** Truth table of a primary output (by name) over the primary inputs;
+    raises [Not_found] for unknown names. *)
+
+val tables : t -> (string * Truthtable.t) list
+(** All outputs, in declaration order. *)

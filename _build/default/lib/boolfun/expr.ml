@@ -1,0 +1,241 @@
+type t =
+  | Const of bool
+  | Var of int
+  | Not of t
+  | And of t * t
+  | Or of t * t
+  | Xor of t * t
+
+let rec eval e env =
+  match e with
+  | Const b -> b
+  | Var j -> env j
+  | Not a -> not (eval a env)
+  | And (a, b) -> eval a env && eval b env
+  | Or (a, b) -> eval a env || eval b env
+  | Xor (a, b) -> eval a env <> eval b env
+
+let rec max_var = function
+  | Const _ -> -1
+  | Var j -> j
+  | Not a -> max_var a
+  | And (a, b) | Or (a, b) | Xor (a, b) -> max (max_var a) (max_var b)
+
+let vars e =
+  let module Iset = Set.Make (Int) in
+  let rec collect acc = function
+    | Const _ -> acc
+    | Var j -> Iset.add j acc
+    | Not a -> collect acc a
+    | And (a, b) | Or (a, b) | Xor (a, b) -> collect (collect acc a) b
+  in
+  Iset.elements (collect Iset.empty e)
+
+let to_truthtable ?arity e =
+  let needed = max_var e + 1 in
+  let n = match arity with None -> needed | Some n -> n in
+  if n < needed then invalid_arg "Expr.to_truthtable: arity too small";
+  Truthtable.of_fun n (fun code -> eval e (fun j -> code land (1 lsl j) <> 0))
+
+(* --- parser ------------------------------------------------------------ *)
+
+type token = Tconst of bool | Tvar of int | Tnot | Tand | Tor | Txor | Tlpar | Trpar
+
+let tokenize s =
+  let len = String.length s in
+  let fail i msg = failwith (Printf.sprintf "Expr.of_string: %s at %d" msg i) in
+  let rec lex i acc =
+    if i >= len then List.rev acc
+    else
+      match s.[i] with
+      | ' ' | '\t' | '\n' | '\r' -> lex (i + 1) acc
+      | '(' -> lex (i + 1) (Tlpar :: acc)
+      | ')' -> lex (i + 1) (Trpar :: acc)
+      | '!' | '~' -> lex (i + 1) (Tnot :: acc)
+      | '&' -> lex (i + 1) (Tand :: acc)
+      | '|' -> lex (i + 1) (Tor :: acc)
+      | '^' -> lex (i + 1) (Txor :: acc)
+      | '0' -> lex (i + 1) (Tconst false :: acc)
+      | '1' -> lex (i + 1) (Tconst true :: acc)
+      | 'x' ->
+          let j = ref (i + 1) in
+          while !j < len && s.[!j] >= '0' && s.[!j] <= '9' do
+            incr j
+          done;
+          if !j = i + 1 then fail i "variable index expected after 'x'";
+          let idx = int_of_string (String.sub s (i + 1) (!j - i - 1)) in
+          lex !j (Tvar idx :: acc)
+      | 't' when i + 4 <= len && String.sub s i 4 = "true" ->
+          lex (i + 4) (Tconst true :: acc)
+      | 'f' when i + 5 <= len && String.sub s i 5 = "false" ->
+          lex (i + 5) (Tconst false :: acc)
+      | c when c >= 'a' && c <= 'z' ->
+          lex (i + 1) (Tvar (Char.code c - Char.code 'a') :: acc)
+      | _ -> fail i "unexpected character"
+  in
+  lex 0 []
+
+(* grammar:  or   := xor ('|' xor)*
+             xor  := and ('^' and)*
+             and  := atom ('&' atom)*
+             atom := '!' atom | '(' or ')' | var | const          *)
+let of_string s =
+  let toks = ref (tokenize s) in
+  let peek () = match !toks with [] -> None | t :: _ -> Some t in
+  let advance () = match !toks with [] -> () | _ :: rest -> toks := rest in
+  let rec parse_or () =
+    let rec loop acc =
+      match peek () with
+      | Some Tor ->
+          advance ();
+          loop (Or (acc, parse_xor ()))
+      | _ -> acc
+    in
+    loop (parse_xor ())
+  and parse_xor () =
+    let rec loop acc =
+      match peek () with
+      | Some Txor ->
+          advance ();
+          loop (Xor (acc, parse_and ()))
+      | _ -> acc
+    in
+    loop (parse_and ())
+  and parse_and () =
+    let rec loop acc =
+      match peek () with
+      | Some Tand ->
+          advance ();
+          loop (And (acc, parse_atom ()))
+      | _ -> acc
+    in
+    loop (parse_atom ())
+  and parse_atom () =
+    match peek () with
+    | Some Tnot ->
+        advance ();
+        Not (parse_atom ())
+    | Some Tlpar ->
+        advance ();
+        let e = parse_or () in
+        (match peek () with
+        | Some Trpar -> advance ()
+        | _ -> failwith "Expr.of_string: missing ')'");
+        e
+    | Some (Tvar j) ->
+        advance ();
+        Var j
+    | Some (Tconst b) ->
+        advance ();
+        Const b
+    | Some (Tand | Tor | Txor | Trpar) | None ->
+        failwith "Expr.of_string: operand expected"
+  in
+  let e = parse_or () in
+  if !toks <> [] then failwith "Expr.of_string: trailing tokens";
+  e
+
+let rec to_string = function
+  | Const true -> "1"
+  | Const false -> "0"
+  | Var j -> "x" ^ string_of_int j
+  | Not a -> "!" ^ atom_string a
+  | And (a, b) -> atom_string a ^ " & " ^ atom_string b
+  | Or (a, b) -> atom_string a ^ " | " ^ atom_string b
+  | Xor (a, b) -> atom_string a ^ " ^ " ^ atom_string b
+
+and atom_string e =
+  match e with
+  | Const _ | Var _ | Not _ -> to_string e
+  | And _ | Or _ | Xor _ -> "(" ^ to_string e ^ ")"
+
+let pp ppf e = Format.pp_print_string ppf (to_string e)
+
+let literal j b = if b then Var j else Not (Var j)
+
+let dnf_of_truthtable tt =
+  let n = Truthtable.arity tt in
+  let minterm code =
+    let rec build j acc =
+      if j >= n then acc
+      else
+        let lit = literal j (code land (1 lsl j) <> 0) in
+        build (j + 1) (match acc with None -> Some lit | Some e -> Some (And (e, lit)))
+    in
+    match build 0 None with Some e -> e | None -> Const true
+  in
+  let terms = ref None in
+  for code = 0 to Truthtable.size tt - 1 do
+    if Truthtable.eval tt code then
+      let m = minterm code in
+      terms := (match !terms with None -> Some m | Some e -> Some (Or (e, m)))
+  done;
+  match !terms with None -> Const false | Some e -> e
+
+let cnf_of_truthtable tt =
+  let n = Truthtable.arity tt in
+  let maxterm code =
+    let rec build j acc =
+      if j >= n then acc
+      else
+        let lit = literal j (code land (1 lsl j) = 0) in
+        build (j + 1) (match acc with None -> Some lit | Some e -> Some (Or (e, lit)))
+    in
+    match build 0 None with Some e -> e | None -> Const false
+  in
+  let clauses = ref None in
+  for code = 0 to Truthtable.size tt - 1 do
+    if not (Truthtable.eval tt code) then
+      let c = maxterm code in
+      clauses :=
+        (match !clauses with None -> Some c | Some e -> Some (And (e, c)))
+  done;
+  match !clauses with None -> Const true | Some e -> e
+
+let rec size = function
+  | Const _ | Var _ -> 1
+  | Not a -> 1 + size a
+  | And (a, b) | Or (a, b) | Xor (a, b) -> 1 + size a + size b
+
+let random st ~vars ~depth =
+  if vars < 1 then invalid_arg "Expr.random";
+  let rec gen depth =
+    if depth <= 0 then
+      if Random.State.int st 8 = 0 then Const (Random.State.bool st)
+      else Var (Random.State.int st vars)
+    else
+      match Random.State.int st 4 with
+      | 0 -> Not (gen (depth - 1))
+      | 1 -> And (gen (depth - 1), gen (depth - 1))
+      | 2 -> Or (gen (depth - 1), gen (depth - 1))
+      | _ -> Xor (gen (depth - 1), gen (depth - 1))
+  in
+  gen depth
+
+let rec simplify e =
+  match e with
+  | Const _ | Var _ -> e
+  | Not a -> (
+      match simplify a with
+      | Const b -> Const (not b)
+      | Not inner -> inner
+      | a' -> Not a')
+  | And (a, b) -> (
+      match (simplify a, simplify b) with
+      | Const false, _ | _, Const false -> Const false
+      | Const true, x | x, Const true -> x
+      | x, y when x = y -> x
+      | x, y -> And (x, y))
+  | Or (a, b) -> (
+      match (simplify a, simplify b) with
+      | Const true, _ | _, Const true -> Const true
+      | Const false, x | x, Const false -> x
+      | x, y when x = y -> x
+      | x, y -> Or (x, y))
+  | Xor (a, b) -> (
+      match (simplify a, simplify b) with
+      | Const false, x | x, Const false -> x
+      | Const true, x | x, Const true -> (
+          match x with Const bb -> Const (not bb) | Not inner -> inner | _ -> Not x)
+      | x, y when x = y -> Const false
+      | x, y -> Xor (x, y))

@@ -1,0 +1,70 @@
+(** Boolean expressions (formulas / flat circuits).
+
+    This is the front-end promised by the paper's Corollary 2: any
+    representation on which [f(x)] can be evaluated in polynomial time —
+    DNFs, CNFs, circuits — can feed the optimiser, because its truth table
+    is extracted in [O*(2^n)] by {!to_truthtable}.
+
+    Concrete syntax accepted by {!of_string} (tightest first):
+
+    - variables [x0], [x1], … (also bare [a]..[z] mapped to [x0]..[x25]);
+    - constants [0], [1], [true], [false];
+    - negation [!e] or [~e];
+    - conjunction [e & e];
+    - exclusive or [e ^ e];
+    - disjunction [e | e];
+    - parentheses.
+
+    [&], [^] and [|] associate to the left; [&] binds tighter than [^],
+    which binds tighter than [|]. *)
+
+type t =
+  | Const of bool
+  | Var of int
+  | Not of t
+  | And of t * t
+  | Or of t * t
+  | Xor of t * t
+
+val eval : t -> (int -> bool) -> bool
+(** [eval e env] evaluates with [env j] the value of variable [j]. *)
+
+val max_var : t -> int
+(** Largest variable index occurring, [-1] for closed expressions. *)
+
+val vars : t -> int list
+(** Sorted list of distinct variable indices occurring in the formula. *)
+
+val to_truthtable : ?arity:int -> t -> Truthtable.t
+(** Tabulates the expression over [arity] variables (default
+    [max_var e + 1]).  Raises [Invalid_argument] if [arity] is smaller
+    than needed.  This is the [O*(2^n)] extraction of Corollary 2. *)
+
+val of_string : string -> t
+(** Parser for the syntax above; raises [Failure] with a position message
+    on malformed input. *)
+
+val to_string : t -> string
+(** Fully parenthesised rendering re-parsable by {!of_string}. *)
+
+val pp : Format.formatter -> t -> unit
+
+val dnf_of_truthtable : Truthtable.t -> t
+(** Canonical sum-of-minterms DNF (a constant when the function is
+    constant).  [to_truthtable (dnf_of_truthtable tt) = tt]. *)
+
+val cnf_of_truthtable : Truthtable.t -> t
+(** Canonical product-of-maxterms CNF. *)
+
+val size : t -> int
+(** Number of AST nodes. *)
+
+val simplify : t -> t
+(** Bottom-up local simplification: constant folding, double-negation
+    elimination, and the unit/absorbing/idempotence laws of each
+    connective on {e syntactically} equal operands.  Semantics are
+    preserved exactly; the result never has more nodes. *)
+
+val random : Random.State.t -> vars:int -> depth:int -> t
+(** Random formula for tests: binary/unary connectives chosen uniformly,
+    leaves are variables below [vars] or constants. *)

@@ -1,0 +1,101 @@
+let popcount code =
+  let rec loop c acc = if c = 0 then acc else loop (c lsr 1) (acc + (c land 1)) in
+  loop code 0
+
+let achilles pairs =
+  if pairs < 1 then invalid_arg "Families.achilles";
+  Truthtable.of_fun (2 * pairs) (fun code ->
+      let rec loop i =
+        i < pairs
+        && (code land (1 lsl (2 * i)) <> 0 && code land (1 lsl ((2 * i) + 1)) <> 0
+           || loop (i + 1))
+      in
+      loop 0)
+
+let achilles_good_order pairs = Array.init (2 * pairs) (fun i -> i)
+
+let achilles_bad_order pairs =
+  Array.init (2 * pairs) (fun i ->
+      if i < pairs then 2 * i else (2 * (i - pairs)) + 1)
+
+let parity n = Truthtable.of_fun n (fun code -> popcount code land 1 = 1)
+
+let threshold n ~k = Truthtable.of_fun n (fun code -> popcount code >= k)
+
+let majority n = threshold n ~k:((n / 2) + 1)
+
+let weight_interval n ~lo ~hi =
+  Truthtable.of_fun n (fun code ->
+      let w = popcount code in
+      lo <= w && w <= hi)
+
+let symmetric values =
+  let n = Array.length values - 1 in
+  if n < 0 then invalid_arg "Families.symmetric";
+  Truthtable.of_fun n (fun code -> values.(popcount code))
+
+let hidden_weighted_bit n =
+  Truthtable.of_fun n (fun code ->
+      let w = popcount code in
+      w > 0 && code land (1 lsl (w - 1)) <> 0)
+
+let multiplexer ~select =
+  if select < 1 then invalid_arg "Families.multiplexer";
+  let n = select + (1 lsl select) in
+  Truthtable.of_fun n (fun code ->
+      let addr = code land ((1 lsl select) - 1) in
+      code land (1 lsl (select + addr)) <> 0)
+
+let adder_bit ~bits ~out =
+  if bits < 1 || out < 0 || out > bits then invalid_arg "Families.adder_bit";
+  Truthtable.of_fun (2 * bits) (fun code ->
+      let a = code land ((1 lsl bits) - 1) in
+      let b = code lsr bits in
+      (a + b) land (1 lsl out) <> 0)
+
+let catalogue ~max_arity =
+  let entries =
+    [
+      (4, "achilles-2", fun () -> achilles 2);
+      (6, "achilles-3", fun () -> achilles 3);
+      (8, "achilles-4", fun () -> achilles 4);
+      (6, "parity-6", fun () -> parity 6);
+      (8, "parity-8", fun () -> parity 8);
+      (7, "majority-7", fun () -> majority 7);
+      (9, "majority-9", fun () -> majority 9);
+      (8, "threshold-8-3", fun () -> threshold 8 ~k:3);
+      (8, "interval-8-3-5", fun () -> weight_interval 8 ~lo:3 ~hi:5);
+      (6, "hwb-6", fun () -> hidden_weighted_bit 6);
+      (8, "hwb-8", fun () -> hidden_weighted_bit 8);
+      (10, "hwb-10", fun () -> hidden_weighted_bit 10);
+      (6, "mux-2", fun () -> multiplexer ~select:2);
+      (11, "mux-3", fun () -> multiplexer ~select:3);
+      (8, "adder-4-sum2", fun () -> adder_bit ~bits:4 ~out:2);
+      (8, "adder-4-carry", fun () -> adder_bit ~bits:4 ~out:4);
+      (10, "adder-5-carry", fun () -> adder_bit ~bits:5 ~out:5);
+    ]
+  in
+  List.filter_map
+    (fun (arity, name, build) ->
+      if arity <= max_arity then Some (name, build ()) else None)
+    entries
+
+let bit_outputs n ~out_bits f =
+  Array.init out_bits (fun j ->
+      Truthtable.of_fun n (fun code -> f code land (1 lsl j) <> 0))
+
+let multi_catalogue =
+  [
+    ("rd53", bit_outputs 5 ~out_bits:3 popcount);
+    ("rd73", bit_outputs 7 ~out_bits:3 popcount);
+    ("sqr3", bit_outputs 3 ~out_bits:6 (fun a -> a * a));
+    ( "add3",
+      bit_outputs 6 ~out_bits:4 (fun code -> (code land 7) + (code lsr 3)) );
+    ( "mul2",
+      bit_outputs 4 ~out_bits:4 (fun code -> (code land 3) * (code lsr 2)) );
+    ( "cmp3",
+      [|
+        Truthtable.of_fun 6 (fun code -> code land 7 < code lsr 3);
+        Truthtable.of_fun 6 (fun code -> code land 7 = code lsr 3);
+      |] );
+  ]

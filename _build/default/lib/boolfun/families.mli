@@ -1,0 +1,65 @@
+(** Catalogue of standard Boolean function families.
+
+    These are the workloads used throughout the evaluation: the paper's
+    own running example (the "Achilles heel" function of Fig. 1) plus the
+    families classically used in the OBDD literature to exercise variable
+    ordering (hidden weighted bit, multiplexers, thresholds, adders …).
+
+    Orderings returned by this module follow the repository convention:
+    [order.(0)] is the variable read {e last} (the paper's [π[1]]). *)
+
+val achilles : int -> Truthtable.t
+(** [achilles pairs] is [x0·x1 + x2·x3 + … ] over [2·pairs] variables —
+    the function of the paper's Fig. 1 (with 1-based [x1x2 + x3x4 + …]).
+    Its OBDD has [2·pairs + 2] nodes under the natural ordering and
+    [2^(pairs+1)] nodes under the interleaved one. *)
+
+val achilles_good_order : int -> int array
+(** The natural ordering [(x0, x1, …, x_{2p-1})] (paper's [(x1,…,x2n)]). *)
+
+val achilles_bad_order : int -> int array
+(** The interleaved ordering [(x0, x2, …, x1, x3, …)] (paper's
+    [(x1, x3, …, x_{2n-1}, x2, x4, …, x_{2n})]). *)
+
+val parity : int -> Truthtable.t
+(** XOR of all variables: every ordering is optimal (size [n + 2]). *)
+
+val majority : int -> Truthtable.t
+(** True iff more than half of the inputs are set. *)
+
+val threshold : int -> k:int -> Truthtable.t
+(** [threshold n ~k] is true iff at least [k] inputs are set. *)
+
+val weight_interval : int -> lo:int -> hi:int -> Truthtable.t
+(** True iff the input weight lies in [lo..hi] (a symmetric function). *)
+
+val symmetric : bool array -> Truthtable.t
+(** [symmetric values] with [Array.length values = n + 1] is the symmetric
+    function whose value on inputs of weight [w] is [values.(w)]. *)
+
+val hidden_weighted_bit : int -> Truthtable.t
+(** [HWB_n(x) = x_{wt(x)-1}] (0-based), [false] when [wt(x) = 0]; a
+    classical example whose OBDD is exponential under every ordering yet
+    ordering-sensitive in the constant. *)
+
+val multiplexer : select:int -> Truthtable.t
+(** [multiplexer ~select:s] has arity [s + 2^s]: variables [0..s-1] form
+    an address whose bit [j] is variable [j]; the output is the addressed
+    data variable [s + addr].  Extremely ordering-sensitive. *)
+
+val adder_bit : bits:int -> out:int -> Truthtable.t
+(** [adder_bit ~bits ~out] is output bit [out] (0 = LSB, up to [bits],
+    where bit [bits] is the carry-out) of the sum of two [bits]-wide
+    integers; variables [0..bits-1] are the first operand (LSB first),
+    [bits..2·bits-1] the second.  Interleaved orderings are good, blocked
+    orderings are bad. *)
+
+val catalogue : max_arity:int -> (string * Truthtable.t) list
+(** A named selection of the above, instantiated at sizes not exceeding
+    [max_arity]; used by benches and example programs. *)
+
+val multi_catalogue : (string * Truthtable.t array) list
+(** Multi-output benchmark circuits for shared-diagram optimisation, in
+    the spirit of the classic MCNC names: [rd53]/[rd73] (bit-count of 5
+    and 7 inputs), [sqr3] (square of a 3-bit number), [add3] (3-bit
+    adder), [mul2] (2-bit multiplier), [cmp3] (3-bit comparator pair). *)

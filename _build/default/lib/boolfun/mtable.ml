@@ -1,0 +1,50 @@
+type t = { n : int; values : int; cells : int array }
+
+let arity m = m.n
+let num_values m = m.values
+
+let check_cells values cells =
+  Array.iter
+    (fun v ->
+      if v < 0 || v >= values then invalid_arg "Mtable: value out of range")
+    cells
+
+let of_array ~values cells =
+  if values < 1 then invalid_arg "Mtable: need at least one value";
+  let len = Array.length cells in
+  let rec log2 n = if 1 lsl n >= len then n else log2 (n + 1) in
+  let n = log2 0 in
+  if 1 lsl n <> len then invalid_arg "Mtable: length not a power of two";
+  check_cells values cells;
+  { n; values; cells = Array.copy cells }
+
+let of_fun n ~values f =
+  if n < 0 || n > Sys.int_size - 2 then invalid_arg "Mtable: bad arity";
+  let cells = Array.init (1 lsl n) f in
+  check_cells values cells;
+  { n; values; cells }
+
+let of_truthtable tt =
+  of_fun (Truthtable.arity tt) ~values:2 (fun code ->
+      if Truthtable.eval tt code then 1 else 0)
+
+let eval m code = m.cells.(code)
+
+let insert_bit code j b =
+  let low = code land ((1 lsl j) - 1) in
+  let high = (code lsr j) lsl (j + 1) in
+  high lor low lor (if b then 1 lsl j else 0)
+
+let restrict m j b =
+  if j < 0 || j >= m.n then invalid_arg "Mtable.restrict";
+  {
+    n = m.n - 1;
+    values = m.values;
+    cells = Array.init (1 lsl (m.n - 1)) (fun code -> eval m (insert_bit code j b));
+  }
+
+let equal a b = a.n = b.n && a.values = b.values && a.cells = b.cells
+
+let pp ppf m =
+  Format.fprintf ppf "%d(%dv):" m.n m.values;
+  Array.iter (fun v -> Format.fprintf ppf "%d" v) m.cells

@@ -1,0 +1,35 @@
+(** Multi-valued truth tables, the input of MTBDD minimisation.
+
+    A value of type [t] represents [f : {0,1}^n -> {0,..,k-1}] for some
+    number of terminal values [k >= 1] (the paper's Remark 2: the FS
+    machinery works unchanged when the truth table maps assignments into a
+    finite set [Z], producing minimum multi-terminal BDDs).  Assignment
+    encoding is as in {!Truthtable}. *)
+
+type t
+
+val arity : t -> int
+(** Number of variables. *)
+
+val num_values : t -> int
+(** The terminal alphabet size [k]; values are [0 .. k-1]. *)
+
+val of_fun : int -> values:int -> (int -> int) -> t
+(** [of_fun n ~values f] tabulates [f]; raises [Invalid_argument] if some
+    [f code] falls outside [0 .. values-1]. *)
+
+val of_array : values:int -> int array -> t
+(** Wraps an array of length [2^n]. *)
+
+val of_truthtable : Truthtable.t -> t
+(** Boolean table as a 2-valued multi-table ([false -> 0], [true -> 1]). *)
+
+val eval : t -> int -> int
+(** Value at an assignment code. *)
+
+val restrict : t -> int -> bool -> t
+(** As {!Truthtable.restrict}, with variable renumbering. *)
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit

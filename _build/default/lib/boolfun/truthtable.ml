@@ -1,0 +1,109 @@
+type t = { n : int; bits : Bitvec.t }
+
+let arity tt = tt.n
+let size tt = Bitvec.length tt.bits
+
+let check_arity n =
+  if n < 0 || n > Sys.int_size - 2 then invalid_arg "Truthtable: bad arity"
+
+let of_fun n f =
+  check_arity n;
+  { n; bits = Bitvec.init (1 lsl n) f }
+
+let of_bitvec n v =
+  check_arity n;
+  if Bitvec.length v <> 1 lsl n then invalid_arg "Truthtable.of_bitvec";
+  { n; bits = v }
+
+let to_bitvec tt = tt.bits
+
+let log2_exact len =
+  let rec loop n = if 1 lsl n >= len then n else loop (n + 1) in
+  let n = loop 0 in
+  if 1 lsl n <> len then invalid_arg "Truthtable: length not a power of two";
+  n
+
+let of_string s =
+  let v = Bitvec.of_string s in
+  of_bitvec (log2_exact (String.length s)) v
+
+let to_string tt = Bitvec.to_string tt.bits
+
+let const n b = of_fun n (fun _ -> b)
+let var n j =
+  if j < 0 || j >= n then invalid_arg "Truthtable.var";
+  of_fun n (fun code -> code land (1 lsl j) <> 0)
+
+let eval tt code = Bitvec.get tt.bits code
+
+let eval_bits tt a =
+  if Array.length a <> tt.n then invalid_arg "Truthtable.eval_bits";
+  let code = ref 0 in
+  for j = 0 to tt.n - 1 do
+    if a.(j) then code := !code lor (1 lsl j)
+  done;
+  eval tt !code
+
+let equal a b = a.n = b.n && Bitvec.equal a.bits b.bits
+let compare a b = Bitvec.compare a.bits b.bits
+let hash tt = Bitvec.hash tt.bits
+
+let count_ones tt = Bitvec.popcount tt.bits
+
+let is_const tt =
+  if Bitvec.is_zero tt.bits then Some false
+  else if Bitvec.is_ones tt.bits then Some true
+  else None
+
+(* [insert_bit code j b] widens [code] by inserting bit [b] at position
+   [j]: bits below [j] stay, bits at or above [j] shift up. *)
+let insert_bit code j b =
+  let low = code land ((1 lsl j) - 1) in
+  let high = (code lsr j) lsl (j + 1) in
+  high lor low lor (if b then 1 lsl j else 0)
+
+let restrict tt j b =
+  if j < 0 || j >= tt.n then invalid_arg "Truthtable.restrict";
+  of_fun (tt.n - 1) (fun code -> eval tt (insert_bit code j b))
+
+let cofactors tt j = (restrict tt j false, restrict tt j true)
+
+let depends_on tt j =
+  let f0, f1 = cofactors tt j in
+  not (equal f0 f1)
+
+let support tt =
+  List.filter (depends_on tt) (List.init tt.n (fun j -> j))
+
+let not_ tt = { tt with bits = Bitvec.lnot_ tt.bits }
+
+let binop kernel a b =
+  if a.n <> b.n then invalid_arg "Truthtable: arity mismatch";
+  { n = a.n; bits = kernel a.bits b.bits }
+
+let ( &&& ) = binop Bitvec.and_
+let ( ||| ) = binop Bitvec.or_
+let xor = binop Bitvec.xor_
+
+let permute_vars tt perm =
+  if Array.length perm <> tt.n then invalid_arg "Truthtable.permute_vars";
+  let seen = Array.make tt.n false in
+  Array.iter
+    (fun j ->
+      if j < 0 || j >= tt.n || seen.(j) then
+        invalid_arg "Truthtable.permute_vars: not a permutation";
+      seen.(j) <- true)
+    perm;
+  of_fun tt.n (fun code ->
+      let old_code = ref 0 in
+      for j = 0 to tt.n - 1 do
+        if code land (1 lsl j) <> 0 then
+          old_code := !old_code lor (1 lsl perm.(j))
+      done;
+      eval tt !old_code)
+
+let random st n =
+  check_arity n;
+  of_fun n (fun _ -> Random.State.bool st)
+
+let pp ppf tt = Format.fprintf ppf "%d:%s" tt.n (to_string tt)

@@ -1,0 +1,90 @@
+(** Truth tables of Boolean functions.
+
+    A value of type [t] represents a total function
+    [f : {0,1}^n -> {0,1}].  Assignments are encoded as integers: bit [j]
+    of the index (0 = least significant) is the value given to variable
+    [j], with variables numbered [0 .. n-1].  The table of an [n]-variable
+    function has [2^n] entries; [n] is limited to the host word size
+    (practically [n <= 25] or so for memory reasons).
+
+    This module is the ground-truth representation against which every
+    diagram and every optimiser in the repository is checked. *)
+
+type t
+
+val arity : t -> int
+(** Number of variables [n]. *)
+
+val size : t -> int
+(** Number of entries, [2^n]. *)
+
+val of_fun : int -> (int -> bool) -> t
+(** [of_fun n f] tabulates [f] over all [2^n] assignment codes.  This is
+    the [O*(2^n)] truth-table extraction step of the paper's Corollary 2:
+    [f] may evaluate any representation (expression, circuit, diagram). *)
+
+val of_bitvec : int -> Bitvec.t -> t
+(** [of_bitvec n v] wraps a bit vector of length [2^n]. *)
+
+val to_bitvec : t -> Bitvec.t
+(** Underlying bits (copy-free; treat as read-only). *)
+
+val of_string : string -> t
+(** [of_string "0110"] is the 2-variable XOR (length must be a power of
+    two); entry [i] of the string is [f] at assignment code [i]. *)
+
+val to_string : t -> string
+
+val const : int -> bool -> t
+(** [const n b] is the constant function of arity [n]. *)
+
+val var : int -> int -> t
+(** [var n j] is the projection [x_j] as an [n]-variable function. *)
+
+val eval : t -> int -> bool
+(** [eval tt code] is [f] at assignment [code]. *)
+
+val eval_bits : t -> bool array -> bool
+(** [eval_bits tt a] evaluates with [a.(j)] the value of variable [j];
+    [Array.length a] must equal the arity. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+
+val count_ones : t -> int
+(** Number of satisfying assignments. *)
+
+val is_const : t -> bool option
+(** [Some b] when the function is constantly [b], else [None]. *)
+
+val restrict : t -> int -> bool -> t
+(** [restrict tt j b] is [f] with variable [j] fixed to [b], as a function
+    of the remaining [n-1] variables.  Variables above [j] are renumbered
+    down by one (variable [k > j] becomes [k-1]). *)
+
+val cofactors : t -> int -> t * t
+(** [cofactors tt j] is [(restrict tt j false, restrict tt j true)]. *)
+
+val depends_on : t -> int -> bool
+(** [depends_on tt j] iff the two cofactors w.r.t. [j] differ. *)
+
+val support : t -> int list
+(** Variables the function essentially depends on, ascending. *)
+
+val not_ : t -> t
+val ( &&& ) : t -> t -> t
+val ( ||| ) : t -> t -> t
+val xor : t -> t -> t
+(** Pointwise connectives; binary ones require equal arities. *)
+
+val permute_vars : t -> int array -> t
+(** [permute_vars tt perm] relabels variables: the result [g] satisfies
+    [g(y) = f(x)] where [x.(perm.(j)) = y.(j)].  [perm] must be a
+    permutation of [0 .. n-1].  In other words, variable [perm.(j)] of [f]
+    becomes variable [j] of [g]. *)
+
+val random : Random.State.t -> int -> t
+(** Uniformly random function of the given arity. *)
+
+val pp : Format.formatter -> t -> unit

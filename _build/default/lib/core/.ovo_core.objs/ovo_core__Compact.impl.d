@@ -1,0 +1,1 @@
+lib/core/compact.ml: Array Cost Hashtbl List Ovo_boolfun Varset

@@ -1,0 +1,1 @@
+lib/core/diagram.ml: Array Buffer Compact Format Hashtbl List Ovo_boolfun Printf String

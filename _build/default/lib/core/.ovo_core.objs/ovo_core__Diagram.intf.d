@@ -1,0 +1,1 @@
+lib/core/diagram.mli: Compact Format Ovo_boolfun

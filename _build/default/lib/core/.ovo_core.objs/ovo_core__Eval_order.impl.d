@@ -1,0 +1,1 @@
+lib/core/eval_order.ml: Array Compact Diagram Ovo_boolfun

@@ -1,0 +1,1 @@
+lib/core/eval_order.mli: Compact Diagram Ovo_boolfun

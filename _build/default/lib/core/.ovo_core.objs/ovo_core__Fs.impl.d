@@ -1,0 +1,1 @@
+lib/core/fs.ml: Array Compact Diagram Fs_star Hashtbl Ovo_boolfun Varset

@@ -1,0 +1,1 @@
+lib/core/fs.mli: Compact Diagram Hashtbl Ovo_boolfun Varset

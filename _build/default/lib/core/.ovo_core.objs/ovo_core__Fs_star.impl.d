@@ -1,0 +1,1 @@
+lib/core/fs_star.ml: Compact Hashtbl Logs String Subset_dp Varset

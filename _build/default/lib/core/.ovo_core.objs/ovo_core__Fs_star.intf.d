@@ -1,0 +1,1 @@
+lib/core/fs_star.mli: Compact Hashtbl Varset

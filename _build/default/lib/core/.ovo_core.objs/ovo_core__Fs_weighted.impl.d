@@ -1,0 +1,1 @@
+lib/core/fs_weighted.ml: Array Compact Diagram Ovo_boolfun Subset_dp

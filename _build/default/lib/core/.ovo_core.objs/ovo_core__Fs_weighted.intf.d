@@ -1,0 +1,1 @@
+lib/core/fs_weighted.mli: Compact Diagram Ovo_boolfun

@@ -1,0 +1,1 @@
+lib/core/shared.mli: Compact Diagram Hashtbl Ovo_boolfun Varset

@@ -1,0 +1,1 @@
+lib/core/subset_dp.ml: Hashtbl Varset

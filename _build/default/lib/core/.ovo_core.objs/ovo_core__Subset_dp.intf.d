@@ -1,0 +1,1 @@
+lib/core/subset_dp.mli: Hashtbl Varset

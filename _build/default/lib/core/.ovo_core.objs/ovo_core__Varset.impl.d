@@ -1,0 +1,1 @@
+lib/core/varset.ml: Array Format List String

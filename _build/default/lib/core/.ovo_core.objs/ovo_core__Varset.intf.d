@@ -1,0 +1,1 @@
+lib/core/varset.mli: Format

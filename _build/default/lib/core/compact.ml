@@ -1,0 +1,93 @@
+type kind = Bdd | Zdd
+
+type state = {
+  n : int;
+  kind : kind;
+  num_terminals : int;
+  assigned : Varset.t;
+  order_rev : int list;
+  table : int array;
+  node : (int * int * int, int) Hashtbl.t;
+  mincost : int;
+  next_id : int;
+}
+
+let initial kind mt =
+  let n = Ovo_boolfun.Mtable.arity mt in
+  let num_terminals = Ovo_boolfun.Mtable.num_values mt in
+  {
+    n;
+    kind;
+    num_terminals;
+    assigned = Varset.empty;
+    order_rev = [];
+    table = Array.init (1 lsl n) (Ovo_boolfun.Mtable.eval mt);
+    node = Hashtbl.create 16;
+    mincost = 0;
+    next_id = num_terminals;
+  }
+
+let of_truthtable kind tt =
+  initial kind (Ovo_boolfun.Mtable.of_truthtable tt)
+
+(* One table compaction w.r.t. variable [i].  For each assignment [b] to
+   the remaining free variables, fetch the two cofactor nodes and apply
+   the reduction rule of [st.kind]; create a fresh node only when the pair
+   is new at this variable. *)
+let compact st i =
+  if i < 0 || i >= st.n then invalid_arg "Compact.compact: variable out of range";
+  if Varset.mem i st.assigned then
+    invalid_arg "Compact.compact: variable already assigned";
+  let freeset = Varset.diff (Varset.full st.n) st.assigned in
+  let p = Varset.rank_in i freeset in
+  let new_len = Array.length st.table / 2 in
+  let table = Array.make (max new_len 1) 0 in
+  let node = Hashtbl.copy st.node in
+  let mincost = ref st.mincost in
+  let next_id = ref st.next_id in
+  let low_mask = (1 lsl p) - 1 in
+  for b = 0 to new_len - 1 do
+    let idx0 = ((b lsr p) lsl (p + 1)) lor (b land low_mask) in
+    let lo = st.table.(idx0) in
+    let hi = st.table.(idx0 lor (1 lsl p)) in
+    let elided =
+      match st.kind with Bdd -> lo = hi | Zdd -> hi = 0
+    in
+    if elided then table.(b) <- lo
+    else
+      let key = (i, lo, hi) in
+      match Hashtbl.find_opt node key with
+      | Some u -> table.(b) <- u
+      | None ->
+          let u = !next_id in
+          incr next_id;
+          incr mincost;
+          Cost.add_node ();
+          Hashtbl.add node key u;
+          table.(b) <- u
+  done;
+  Cost.add_cells new_len;
+  Cost.add_compaction ();
+  {
+    st with
+    assigned = Varset.add i st.assigned;
+    order_rev = i :: st.order_rev;
+    table;
+    node;
+    mincost = !mincost;
+    next_id = !next_id;
+  }
+
+let compact_chain st vars = Array.fold_left compact st vars
+
+let width_of_last ~before ~after = after.mincost - before.mincost
+
+let free st = Varset.diff (Varset.full st.n) st.assigned
+
+let order st = List.rev st.order_rev
+
+let is_complete st = st.assigned = Varset.full st.n
+
+let root st =
+  if not (is_complete st) then invalid_arg "Compact.root: state not complete";
+  st.table.(0)

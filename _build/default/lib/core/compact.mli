@@ -1,0 +1,78 @@
+(** Table compaction — the primitive of the Friedman–Supowit dynamic
+    program (paper Sec. 2.3.1 and the [COMPACT] function of algorithm
+    [FS*] in Appendix D).
+
+    A {!state} materialises the quadruple the paper calls
+    [FS(⟨I₁,…,I_m⟩)] for the assigned set [I = I₁ ∪ … ∪ I_m]:
+
+    - [TABLE_I]: one cell per assignment [b] to the unassigned variables,
+      holding the id of the diagram node for the subfunction
+      [f|_{x_{[n]∖I} = b}];
+    - [NODE_I]: the set of created nodes, keyed by [(var, lo, hi)] — the
+      [var] component implements the paper's prose definition of node
+      equivalence ([var(u) = var(v)] is required; the pseudo-code's
+      children-only key would wrongly merge distinct subfunctions);
+    - [MINCOST_I]: the number of non-terminal nodes created so far, i.e.
+      the minimum achievable size of the bottom [|I|] levels given the
+      segment constraints accumulated so far;
+    - the suborder [π] achieved (the paper keeps it implicitly).
+
+    [compact st i] performs one table compaction with respect to variable
+    [i]: it produces the state for assigned set [I ∪ {i}] in which [i] is
+    read immediately above the variables of [I] — the paper's
+    [FS(⟨I, {i}⟩)] from [FS(⟨I⟩)].  The cost is linear in the size of the
+    new table (half the old one), as the complexity analysis requires.
+
+    Table indexing: the unassigned variables, sorted ascending, map to the
+    bit positions of the cell index (smallest variable ↔ bit 0). *)
+
+type kind =
+  | Bdd  (** delete nodes with [lo = hi] (also the MTBDD rule) *)
+  | Zdd  (** delete nodes with [hi] = terminal 0 (zero-suppression) *)
+
+type state = private {
+  n : int;  (** total number of variables *)
+  kind : kind;
+  num_terminals : int;  (** terminal ids are [0 .. num_terminals-1] *)
+  assigned : Varset.t;  (** the set [I] *)
+  order_rev : int list;  (** achieved suborder, most recent first; so
+                             [List.rev order_rev] is [π[1], …, π[|I|]] *)
+  table : int array;  (** [2^(n-|I|)] node ids *)
+  node : (int * int * int, int) Hashtbl.t;  (** [(var, lo, hi) → id] *)
+  mincost : int;
+  next_id : int;
+}
+
+val initial : kind -> Ovo_boolfun.Mtable.t -> state
+(** The paper's [FS(∅)]: [TABLE_∅] is the truth table itself (cells are
+    terminal ids), [NODE_∅] is empty, [MINCOST_∅ = 0]. *)
+
+val of_truthtable : kind -> Ovo_boolfun.Truthtable.t -> state
+(** Boolean convenience wrapper around {!initial} (two terminals). *)
+
+val compact : state -> int -> state
+(** [compact st i] — see above.  Raises [Invalid_argument] if [i] is out
+    of range or already assigned.  The input state is not mutated. *)
+
+val compact_chain : state -> int array -> state
+(** Fold {!compact} over the variables of an array, left to right: the
+    result is the state of the fully specified suborder.  [O(2^{n-|I|+1})]
+    cells in total when the chain exhausts all free variables. *)
+
+val width_of_last : before:state -> after:state -> int
+(** Number of nodes created by the last compaction — the paper's
+    [Cost_i(f, π)] for the newly placed variable (Lemma 3 guarantees this
+    only depends on the set split, not on the suborders). *)
+
+val free : state -> Varset.t
+(** The unassigned variables [\[n\] ∖ I]. *)
+
+val order : state -> int list
+(** The achieved suborder [π[1], …, π[|I|]] (read-last first). *)
+
+val is_complete : state -> bool
+(** All variables assigned (the table has a single cell: the root). *)
+
+val root : state -> int
+(** Root node id of a complete state; raises [Invalid_argument] if the
+    state is not complete. *)

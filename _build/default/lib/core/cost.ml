@@ -1,0 +1,28 @@
+type snapshot = { table_cells : int; compactions : int; node_creations : int }
+
+let cells = ref 0
+let compactions = ref 0
+let nodes = ref 0
+
+let reset () =
+  cells := 0;
+  compactions := 0;
+  nodes := 0
+
+let snapshot () =
+  { table_cells = !cells; compactions = !compactions; node_creations = !nodes }
+
+let diff a b =
+  {
+    table_cells = a.table_cells - b.table_cells;
+    compactions = a.compactions - b.compactions;
+    node_creations = a.node_creations - b.node_creations;
+  }
+
+let add_cells n = cells := !cells + n
+let add_compaction () = incr compactions
+let add_node () = incr nodes
+
+let pp ppf s =
+  Format.fprintf ppf "cells=%d compactions=%d nodes=%d" s.table_cells
+    s.compactions s.node_creations

@@ -1,0 +1,33 @@
+(** Operation accounting for complexity experiments.
+
+    The paper's complexity claims (Theorem 5's [O*(3^n)], Theorem 10's
+    [O*(2.83728^n)], Theorem 13's [O*(2.77286^n)]) are all dominated by
+    the same unit of work: processing one cell of a [TABLE] during a table
+    compaction.  This module counts those units so the bench harness can
+    plot measured work against the predicted exponentials, independent of
+    wall-clock noise.
+
+    Counters are global and not thread-safe; the whole repository is
+    single-threaded. *)
+
+type snapshot = {
+  table_cells : int;  (** table cells processed by {!Compact.compact} *)
+  compactions : int;  (** number of compaction steps *)
+  node_creations : int;  (** fresh diagram nodes allocated *)
+}
+
+val reset : unit -> unit
+(** Zero all counters. *)
+
+val snapshot : unit -> snapshot
+(** Current counter values. *)
+
+val diff : snapshot -> snapshot -> snapshot
+(** [diff later earlier] is the per-field difference. *)
+
+val add_cells : int -> unit
+val add_compaction : unit -> unit
+val add_node : unit -> unit
+(** Incrementors used by the core algorithms. *)
+
+val pp : Format.formatter -> snapshot -> unit

@@ -1,0 +1,71 @@
+type result = {
+  mincost : int;
+  size : int;
+  order : int array;
+  widths : int array;
+  diagram : Diagram.t;
+}
+
+let of_state (st : Compact.state) =
+  let diagram = Diagram.of_state st in
+  {
+    mincost = st.Compact.mincost;
+    size = Diagram.size diagram;
+    order = Array.of_list (Compact.order st);
+    widths = Diagram.level_widths diagram;
+    diagram;
+  }
+
+let run_mtable ?(kind = Compact.Bdd) mt =
+  let base = Compact.initial kind mt in
+  let st = Fs_star.complete ~base ~j_set:(Compact.free base) in
+  of_state st
+
+let run ?kind tt = run_mtable ?kind (Ovo_boolfun.Mtable.of_truthtable tt)
+
+let all_mincosts ?(kind = Compact.Bdd) tt =
+  let base = Compact.of_truthtable kind tt in
+  let t = Fs_star.run ~base (Compact.free base) in
+  t.Fs_star.mincosts
+
+let read_first_order r =
+  let n = Array.length r.order in
+  Array.init n (fun i -> r.order.(n - 1 - i))
+
+(* Path counting over the subset lattice: cnt(I) = sum over h of
+   cnt(I∖h) where placing h last is tight.  States for the previous
+   cardinality are kept to recompute candidate widths. *)
+let count_optimal_orders ?(kind = Compact.Bdd) tt =
+  let n = Ovo_boolfun.Truthtable.arity tt in
+  let base = Compact.of_truthtable kind tt in
+  let layer = ref (Hashtbl.create 1) in
+  Hashtbl.replace !layer Varset.empty base;
+  let counts = ref (Hashtbl.create 1) in
+  Hashtbl.replace !counts Varset.empty 1.;
+  for k = 1 to n do
+    let next_layer = Hashtbl.create 64 in
+    let next_counts = Hashtbl.create 64 in
+    let prev = !layer and prev_counts = !counts in
+    Varset.iter_subsets_of_size ~n ~k (fun iset ->
+        let best = ref None and ways = ref 0. in
+        Varset.iter
+          (fun h ->
+            let before = Hashtbl.find prev (Varset.remove h iset) in
+            let cand = Compact.compact before h in
+            let cnt = Hashtbl.find prev_counts (Varset.remove h iset) in
+            match !best with
+            | Some (c, _) when cand.Compact.mincost > c -> ()
+            | Some (c, _) when cand.Compact.mincost = c -> ways := !ways +. cnt
+            | Some _ | None ->
+                best := Some (cand.Compact.mincost, cand);
+                ways := cnt)
+          iset;
+        match !best with
+        | None -> assert false
+        | Some (_, st) ->
+            Hashtbl.replace next_layer iset st;
+            Hashtbl.replace next_counts iset !ways);
+    layer := next_layer;
+    counts := next_counts
+  done;
+  Hashtbl.find !counts (Varset.full n)

@@ -1,0 +1,49 @@
+let log_src = Logs.Src.create "ovo.core.fs" ~doc:"Friedman-Supowit DP"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+module Dp = Subset_dp.Make (struct
+  type state = Compact.state
+
+  let compact = Compact.compact
+  let mincost (st : Compact.state) = st.Compact.mincost
+  let free = Compact.free
+end)
+
+type t = {
+  base_assigned : Varset.t;
+  j_set : Varset.t;
+  upto : int;
+  mincosts : (Varset.t, int) Hashtbl.t;
+  layer : (Varset.t, Compact.state) Hashtbl.t;
+}
+
+let run ?upto ~(base : Compact.state) j_set =
+  let d =
+    try Dp.run ?upto ~base j_set
+    with Invalid_argument m ->
+      (* keep the module's historical error messages *)
+      let suffix = String.sub m (String.length "Subset_dp") (String.length m - String.length "Subset_dp") in
+      invalid_arg ("Fs_star" ^ suffix)
+  in
+  Log.debug (fun m ->
+      m "FS* over %a from |I|=%d: %d subsets summarised, layer of %d states"
+        Varset.pp j_set
+        (Varset.cardinal base.Compact.assigned)
+        (Hashtbl.length d.Dp.mincosts)
+        (Hashtbl.length d.Dp.layer));
+  {
+    base_assigned = base.Compact.assigned;
+    j_set = d.Dp.j_set;
+    upto = d.Dp.upto;
+    mincosts = d.Dp.mincosts;
+    layer = d.Dp.layer;
+  }
+
+let state_of t ksub = Hashtbl.find t.layer ksub
+
+let mincost_of t ksub = Hashtbl.find t.mincosts ksub
+
+let complete ~base ~j_set =
+  let t = run ~base j_set in
+  state_of t j_set

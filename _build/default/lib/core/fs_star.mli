@@ -1,0 +1,44 @@
+(** Algorithm [FS*] — the composable Friedman–Supowit dynamic program
+    (paper Lemma 8 and the pseudo-code of Appendix D).
+
+    Given [FS(⟨I₁,…,I_m⟩)] — here a {!Compact.state} whose assigned set
+    is [I = I₁ ∪ … ∪ I_m] — and a set [J] of still-free variables, [FS*]
+    computes [FS(⟨I₁,…,I_m,K⟩)] for every [K ⊆ J] by cardinality, using
+    the recurrence of Lemma 7:
+
+    [MINCOST⟨I,K⟩ = min_{h ∈ K} MINCOST⟨I, K∖h, h⟩].
+
+    Stopping at cardinality [k] yields the set
+    [{FS(⟨I,K⟩) : K ⊆ J, |K| = k}] in
+    [O*(2^(n-|I|-|J|) · Σ_(j≤k) 2^(|J|-j) C(|J|,j))] time — the exact
+    bound of Lemma 8 — which is the preprocessing step of the quantum
+    algorithms.  Running to [k = |J|] with [I = ∅], [J = \[n\]] is the
+    original algorithm FS (Theorem 5). *)
+
+type t = private {
+  base_assigned : Varset.t;  (** the set [I] of the base state *)
+  j_set : Varset.t;
+  upto : int;  (** cardinality at which the run stopped *)
+  mincosts : (Varset.t, int) Hashtbl.t;
+      (** [MINCOST⟨I,K⟩] for every [K ⊆ J] with [|K| ≤ upto] (including
+          [K = ∅], the base's own cost) *)
+  layer : (Varset.t, Compact.state) Hashtbl.t;
+      (** the optimal states at cardinality [upto], keyed by [K] *)
+}
+
+val run : ?upto:int -> base:Compact.state -> Varset.t -> t
+(** [run ~base j_set] requires [j_set] to be a subset of the base
+    state's free variables; [upto] defaults to [|j_set|] (full run).
+    Raises [Invalid_argument] on violations. *)
+
+val state_of : t -> Varset.t -> Compact.state
+(** The optimal state for a [K] in the final layer; raises [Not_found]
+    for other sets. *)
+
+val mincost_of : t -> Varset.t -> int
+(** [MINCOST⟨I,K⟩]; raises [Not_found] when [K] was not computed. *)
+
+val complete : base:Compact.state -> j_set:Varset.t -> Compact.state
+(** Full run returning the single optimal state for [K = J] — the
+    composition step [FS(⟨I⟩) ↦ FS(⟨I,J⟩)] used verbatim by the quantum
+    algorithms (their classical subroutine [Γ = FS*]). *)

@@ -1,0 +1,51 @@
+type result = {
+  weighted_cost : int;
+  mincost : int;
+  order : int array;
+  diagram : Diagram.t;
+}
+
+(* A compaction state paired with its weighted objective; the Subset_dp
+   functor then minimises the weighted cost directly. *)
+module Weighted_state = struct
+  type state = {
+    inner : Compact.state;
+    weights : int array;
+    wcost : int;
+  }
+
+  let compact st i =
+    let next = Compact.compact st.inner i in
+    let width = Compact.width_of_last ~before:st.inner ~after:next in
+    { st with inner = next; wcost = st.wcost + (st.weights.(i) * width) }
+
+  let mincost st = st.wcost
+  let free st = Compact.free st.inner
+end
+
+module Dp = Subset_dp.Make (Weighted_state)
+
+let run_mtable ?(kind = Compact.Bdd) ~weights mt =
+  let n = Ovo_boolfun.Mtable.arity mt in
+  if Array.length weights <> n then invalid_arg "Fs_weighted.run: bad weights";
+  Array.iter
+    (fun w -> if w < 0 then invalid_arg "Fs_weighted.run: negative weight")
+    weights;
+  let base =
+    {
+      Weighted_state.inner = Compact.initial kind mt;
+      weights = Array.copy weights;
+      wcost = 0;
+    }
+  in
+  let st = Dp.complete ~base ~j_set:(Compact.free base.Weighted_state.inner) in
+  let inner = st.Weighted_state.inner in
+  {
+    weighted_cost = st.Weighted_state.wcost;
+    mincost = inner.Compact.mincost;
+    order = Array.of_list (Compact.order inner);
+    diagram = Diagram.of_state inner;
+  }
+
+let run ?kind ~weights tt =
+  run_mtable ?kind ~weights (Ovo_boolfun.Mtable.of_truthtable tt)

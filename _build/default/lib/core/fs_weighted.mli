@@ -1,0 +1,30 @@
+(** Weighted exact ordering: minimise [Σ_j w_(π[j]) · Cost_(π[j])]
+    instead of the plain node count.
+
+    Lemma 3 makes the width of a level a function of the set split
+    alone, so the Friedman–Supowit recurrence survives any per-variable
+    level weighting: [WCOST_I = min_h (WCOST_(I∖h) + w_h · Cost_h)].
+    Non-uniform weights model levels with different implementation costs
+    (e.g. pass-transistor stages, or variables whose tests dominate a
+    traversal workload).  Uniform weights reduce to {!Fs}. *)
+
+type result = {
+  weighted_cost : int;  (** the minimised objective *)
+  mincost : int;  (** plain node count of the chosen ordering *)
+  order : int array;  (** read-last first, as everywhere *)
+  diagram : Diagram.t;
+}
+
+val run :
+  ?kind:Compact.kind ->
+  weights:int array ->
+  Ovo_boolfun.Truthtable.t ->
+  result
+(** Weights must be non-negative, one per variable.  [O*(3^n)] like the
+    unweighted DP. *)
+
+val run_mtable :
+  ?kind:Compact.kind ->
+  weights:int array ->
+  Ovo_boolfun.Mtable.t ->
+  result

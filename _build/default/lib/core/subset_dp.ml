@@ -1,0 +1,56 @@
+module type COMPACTABLE = sig
+  type state
+
+  val compact : state -> int -> state
+  val mincost : state -> int
+  val free : state -> Varset.t
+end
+
+module Make (S : COMPACTABLE) = struct
+  type t = {
+    j_set : Varset.t;
+    upto : int;
+    mincosts : (Varset.t, int) Hashtbl.t;
+    layer : (Varset.t, S.state) Hashtbl.t;
+  }
+
+  let run ?upto ~base j_set =
+    if not (Varset.subset j_set (S.free base)) then
+      invalid_arg "Subset_dp.run: J not free in the base state";
+    let j_size = Varset.cardinal j_set in
+    let upto = match upto with None -> j_size | Some k -> k in
+    if upto < 0 || upto > j_size then invalid_arg "Subset_dp.run: bad upto";
+    let mincosts = Hashtbl.create 64 in
+    Hashtbl.replace mincosts Varset.empty (S.mincost base);
+    let layer = ref (Hashtbl.create 1) in
+    Hashtbl.replace !layer Varset.empty base;
+    for k = 1 to upto do
+      let next = Hashtbl.create (Hashtbl.length !layer * 2) in
+      let prev = !layer in
+      Varset.iter_subsets_of j_set ~size:k (fun ksub ->
+          (* Lemma 7: optimal K-state = cheapest over last-placed h ∈ K *)
+          let best = ref None in
+          Varset.iter
+            (fun h ->
+              let before = Hashtbl.find prev (Varset.remove h ksub) in
+              let cand = S.compact before h in
+              match !best with
+              | Some b when S.mincost b <= S.mincost cand -> ()
+              | Some _ | None -> best := Some cand)
+            ksub;
+          match !best with
+          | None -> assert false
+          | Some st ->
+              Hashtbl.replace next ksub st;
+              Hashtbl.replace mincosts ksub (S.mincost st));
+      layer := next
+    done;
+    { j_set; upto; mincosts; layer = !layer }
+
+  let state_of t ksub = Hashtbl.find t.layer ksub
+  let mincost_of t ksub = Hashtbl.find t.mincosts ksub
+
+  let complete ~base ~j_set =
+    let t = run ~base j_set in
+    state_of t j_set
+end

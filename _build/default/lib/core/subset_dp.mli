@@ -1,0 +1,43 @@
+(** The subset dynamic program of Lemmas 4/7, abstracted over the state
+    being compacted.
+
+    Both the single-rooted [FS*] ({!Fs_star}) and the multi-rooted
+    variant ({!Shared}) run the same loop: for growing cardinality [k],
+    compute the optimal state for every [K ⊆ J] with [|K| = k] by trying
+    each [h ∈ K] on top of the optimal state for [K ∖ {h}].  This functor
+    captures that loop once; the per-state operations (one table
+    compaction, the cost, the free set) come from the parameter. *)
+
+module type COMPACTABLE = sig
+  type state
+
+  val compact : state -> int -> state
+  (** Place one variable on top of the assigned block. *)
+
+  val mincost : state -> int
+  (** Non-terminal nodes created so far (the DP objective). *)
+
+  val free : state -> Varset.t
+  (** Variables not yet assigned. *)
+end
+
+module Make (S : COMPACTABLE) : sig
+  type t = {
+    j_set : Varset.t;
+    upto : int;
+    mincosts : (Varset.t, int) Hashtbl.t;
+        (** [MINCOST⟨base, K⟩] for every computed [K] (including [∅]) *)
+    layer : (Varset.t, S.state) Hashtbl.t;
+        (** optimal states at cardinality [upto] *)
+  }
+
+  val run : ?upto:int -> base:S.state -> Varset.t -> t
+  (** As {!Fs_star.run}: requires [j_set ⊆ free base]; [upto] defaults
+      to [|j_set|]. *)
+
+  val state_of : t -> Varset.t -> S.state
+  val mincost_of : t -> Varset.t -> int
+
+  val complete : base:S.state -> j_set:Varset.t -> S.state
+  (** Full run; the optimal state for [K = J]. *)
+end

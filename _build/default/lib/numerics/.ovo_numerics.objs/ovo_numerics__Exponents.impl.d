@@ -1,0 +1,1 @@
+lib/numerics/exponents.ml: Maths Solver

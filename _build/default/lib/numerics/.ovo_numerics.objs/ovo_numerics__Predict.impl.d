@@ -1,0 +1,1 @@
+lib/numerics/predict.ml: Array Float List Maths

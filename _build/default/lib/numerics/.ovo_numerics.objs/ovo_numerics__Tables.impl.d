@@ -1,0 +1,1 @@
+lib/numerics/tables.ml: Array Exponents Float Format List Maths Printf Solver String

@@ -1,0 +1,23 @@
+let g ~gamma x y = 1. -. y +. ((y -. x) *. Maths.log2 gamma)
+
+let f ~gamma x y =
+  if x <= 0. || x > y || y > 1. then invalid_arg "Exponents.f";
+  (y /. 2. *. Maths.entropy (x /. y)) +. g ~gamma x y
+
+let preprocess_exponent a1 = 1. -. a1 +. Maths.entropy a1
+
+let gamma_of_alpha1 a1 = Maths.pow2 (preprocess_exponent a1)
+
+let gamma0 () =
+  let c = Maths.log2 3. in
+  (* balance (1-α) + α·log₂3 = (1-α)·log₂3 *)
+  let alpha = (c -. 1.) /. ((2. *. c) -. 1.) in
+  let exponent = (Maths.entropy alpha /. 2.) +. ((1. -. alpha) *. c) in
+  (alpha, Maths.pow2 exponent)
+
+let gamma1 () =
+  (* balance (1-α) + H(α) = H(α)/2 + (1-α)·log₂3, i.e. eq. (8) with
+     f(α, 1) for k = 1 *)
+  let residual a = preprocess_exponent a -. f ~gamma:3. a 1. in
+  let alpha = Solver.solve ~f:residual ~lo:1e-4 ~hi:0.34 ~steps:200 () in
+  (alpha, gamma_of_alpha1 alpha)

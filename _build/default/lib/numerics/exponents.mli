@@ -1,0 +1,38 @@
+(** The exponent algebra of the paper's complexity analysis (Secs. 3.1,
+    3.2 and 4.1).
+
+    All quantities are exponents of 2 per variable: an algorithm of
+    modeled time [O*(2^(e·n))] is represented by [e].  The two building
+    blocks are
+
+    [g_γ(x, y) = (1 - y) + (y - x)·log₂γ]
+    — the classical [FS*] work to extend a block from [x·n] to [y·n]
+    placed variables when the inner subroutine has base [γ] (the paper's
+    [g] is [g_3]); and
+
+    [f_γ(x, y) = y/2 · H(x/y) + g_γ(x, y)]
+    — the same work behind a quantum search over [C(y·n, x·n)] splits. *)
+
+val g : gamma:float -> float -> float -> float
+(** [g ~gamma x y] = [(1-y) + (y-x)·log₂gamma]. *)
+
+val f : gamma:float -> float -> float -> float
+(** [f ~gamma x y] = [y/2·H(x/y) + g ~gamma x y]; requires
+    [0 < x <= y <= 1]. *)
+
+val preprocess_exponent : float -> float
+(** [(1 - α₁) + H(α₁)] — the classical preprocessing exponent (the
+    dominant term [2^((1-α)n) · C(n, αn)] for [α < 1/3]). *)
+
+val gamma_of_alpha1 : float -> float
+(** The resulting base [2^(preprocess_exponent α₁)] once the system is
+    balanced — the paper's [γ_k] and [β] values. *)
+
+val gamma0 : unit -> float * float
+(** Section 3.1's first, preprocessing-free bound: the balancing
+    [(1-α) + α·log₂3 = (1-α)·log₂3] and the resulting base
+    [γ₀ ≈ 2.98581]; returns [(α*, γ₀)]. *)
+
+val gamma1 : unit -> float * float
+(** Section 3.1's single-division-point bound with preprocessing
+    ([k = 1]): returns [(α*, γ₁ ≈ 2.97625)]. *)

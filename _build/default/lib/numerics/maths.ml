@@ -1,0 +1,19 @@
+let log2 x = log x /. log 2.
+
+let entropy d =
+  if d < 0. || d > 1. then invalid_arg "Maths.entropy";
+  if d = 0. || d = 1. then 0.
+  else (-.d *. log2 d) -. ((1. -. d) *. log2 (1. -. d))
+
+let log2_binomial n k =
+  if k < 0 || k > n then invalid_arg "Maths.log2_binomial";
+  let k = min k (n - k) in
+  let acc = ref 0. in
+  for i = 1 to k do
+    acc := !acc +. log2 (float_of_int (n - k + i)) -. log2 (float_of_int i)
+  done;
+  !acc
+
+let pow2 x = Float.pow 2. x
+
+let binomial n k = pow2 (log2_binomial n k)

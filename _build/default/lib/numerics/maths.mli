@@ -1,0 +1,19 @@
+(** Elementary real functions used by the complexity analysis. *)
+
+val log2 : float -> float
+
+val entropy : float -> float
+(** The binary entropy [H(δ) = -δ·log₂δ - (1-δ)·log₂(1-δ)], extended by
+    continuity with [H 0 = H 1 = 0]; raises [Invalid_argument] outside
+    [0..1]. *)
+
+val log2_binomial : int -> int -> float
+(** [log₂ C(n,k)] computed by log-summation (exact enough for [n] in the
+    thousands); 0 when [k < 0] or [k > n] never occurs — raises
+    [Invalid_argument] instead. *)
+
+val binomial : int -> int -> float
+(** [C(n,k)] as a float (may overflow to infinity for huge [n]). *)
+
+val pow2 : float -> float
+(** [2^x]. *)

@@ -1,0 +1,69 @@
+let bisect ?(tol = 1e-13) ~f ~lo ~hi () =
+  let flo = f lo and fhi = f hi in
+  if flo = 0. then lo
+  else if fhi = 0. then hi
+  else if (flo > 0.) = (fhi > 0.) then invalid_arg "Solver.bisect: no sign change"
+  else begin
+    let lo = ref lo and hi = ref hi and flo = ref flo in
+    while !hi -. !lo > tol do
+      let mid = 0.5 *. (!lo +. !hi) in
+      let fmid = f mid in
+      if fmid = 0. then begin
+        lo := mid;
+        hi := mid
+      end
+      else if (fmid > 0.) = (!flo > 0.) then begin
+        lo := mid;
+        flo := fmid
+      end
+      else hi := mid
+    done;
+    0.5 *. (!lo +. !hi)
+  end
+
+let find_bracket ~f ~lo ~hi ~steps =
+  if steps < 1 then invalid_arg "Solver.find_bracket";
+  let width = (hi -. lo) /. float_of_int steps in
+  let value x =
+    let v = f x in
+    if Float.is_nan v then None else Some v
+  in
+  let rec scan i prev =
+    if i > steps then None
+    else
+      let x = lo +. (float_of_int i *. width) in
+      match (prev, value x) with
+      | Some (px, pv), Some v when Float.is_finite pv && Float.is_finite v
+        && (pv > 0.) <> (v > 0.) ->
+          Some (px, x)
+      | _, (Some _ as cur) -> scan (i + 1) (Option.map (fun v -> (x, v)) cur)
+      | _, None -> scan (i + 1) None
+  in
+  scan 1 (Option.map (fun v -> (lo, v)) (value lo))
+
+let solve ?tol ~f ~lo ~hi ~steps () =
+  match find_bracket ~f ~lo ~hi ~steps with
+  | Some (a, b) -> bisect ?tol ~f ~lo:a ~hi:b ()
+  | None -> failwith "Solver.solve: no sign change found in range"
+
+let solve_offset ?tol ~f ~origin ~max_offset ~steps () =
+  if max_offset <= 0. then invalid_arg "Solver.solve_offset";
+  let lo_offset = 1e-14 *. max_offset in
+  let ratio = Float.pow (max_offset /. lo_offset) (1. /. float_of_int steps) in
+  let residual_at d =
+    let v = f (origin +. d) in
+    if Float.is_nan v then None else Some v
+  in
+  let rec scan i prev =
+    if i > steps then failwith "Solver.solve_offset: no sign change found"
+    else
+      let d = lo_offset *. Float.pow ratio (float_of_int i) in
+      match (prev, residual_at d) with
+      | Some (pd, pv), Some v
+        when Float.is_finite pv && Float.is_finite v && (pv > 0.) <> (v > 0.) ->
+          (pd, d)
+      | _, (Some _ as cur) -> scan (i + 1) (Option.map (fun v -> (d, v)) cur)
+      | _, None -> scan (i + 1) None
+  in
+  let pd, d = scan 1 (Option.map (fun v -> (lo_offset, v)) (residual_at lo_offset)) in
+  origin +. bisect ?tol ~f:(fun d -> f (origin +. d)) ~lo:pd ~hi:d ()

@@ -1,0 +1,77 @@
+type row = { gamma_in : float; k : int; alpha : float array; gamma_out : float }
+
+(* Forward recurrence: solving f(α_(j-1), α_j) = g(α_j, α_(j+1)) for
+   α_(j+1), which is linear because g is affine in its second argument. *)
+let chain ~gamma ~k a1 a2 =
+  let c = Maths.log2 gamma in
+  let alphas = Array.make (k + 1) nan in
+  alphas.(0) <- a1;
+  if k >= 2 then alphas.(1) <- a2;
+  (try
+     for j = 2 to k do
+       let prev2 = alphas.(j - 2) and prev = alphas.(j - 1) in
+       if not (0. < prev2 && prev2 < prev && prev < 1.) then raise Exit;
+       let fv = Exponents.f ~gamma prev2 prev in
+       alphas.(j) <- (fv -. 1. +. (prev *. c)) /. (c -. 1.)
+     done
+   with Exit -> ());
+  (if k = 1 then alphas.(1) <- 1.);
+  alphas
+
+(* Residual of the closing condition α_(k+1) = 1 for a seed pair. *)
+let inner_residual ~gamma ~k a1 a2 =
+  let alphas = chain ~gamma ~k a1 a2 in
+  let v = alphas.(k) in
+  if Float.is_nan v then nan else v -. 1.
+
+let solve ~gamma ~k =
+  if k < 1 then invalid_arg "Tables.solve";
+  let boundary a1 ak =
+    Exponents.preprocess_exponent a1 -. Exponents.f ~gamma ak 1.
+  in
+  if k = 1 then begin
+    let a1 =
+      Solver.solve ~f:(fun a -> boundary a a) ~lo:1e-4 ~hi:0.34 ~steps:400 ()
+    in
+    { gamma_in = gamma; k; alpha = [| a1 |]; gamma_out = Exponents.gamma_of_alpha1 a1 }
+  end
+  else begin
+    (* for a given α₁, find the α₂ that closes the chain at 1 *)
+    let solve_a2 a1 =
+      Solver.solve_offset ~tol:1e-16
+        ~f:(fun a2 -> inner_residual ~gamma ~k a1 a2)
+        ~origin:a1 ~max_offset:(0.999 -. a1) ~steps:4000 ()
+    in
+    let outer a1 =
+      match solve_a2 a1 with
+      | a2 ->
+          let alphas = chain ~gamma ~k a1 a2 in
+          boundary a1 alphas.(k - 1)
+      | exception Failure _ -> nan
+    in
+    let a1 = Solver.solve ~f:outer ~lo:1e-3 ~hi:0.34 ~steps:400 () in
+    let a2 = solve_a2 a1 in
+    let alphas = chain ~gamma ~k a1 a2 in
+    {
+      gamma_in = gamma;
+      k;
+      alpha = Array.sub alphas 0 k;
+      gamma_out = Exponents.gamma_of_alpha1 a1;
+    }
+  end
+
+let table1 () = List.init 6 (fun i -> solve ~gamma:3. ~k:(i + 1))
+
+let table2 ?(rounds = 10) () =
+  let rec loop i gamma acc =
+    if i >= rounds then List.rev acc
+    else
+      let row = solve ~gamma ~k:6 in
+      loop (i + 1) row.gamma_out (row :: acc)
+  in
+  loop 0 3. []
+
+let pp_row ppf r =
+  Format.fprintf ppf "γin=%.5f k=%d γout=%.5f α=[%s]" r.gamma_in r.k r.gamma_out
+    (String.concat "; "
+       (List.map (Printf.sprintf "%.6f") (Array.to_list r.alpha)))

@@ -1,0 +1,47 @@
+(** Numerical reproduction of the paper's Table 1 and Table 2.
+
+    Table 1 fixes the parameters of [OptOBDD(k, α)] by solving the
+    system of equations (8)–(9):
+
+    - [1 - α₁ + H(α₁) = f(α_k, 1)];
+    - [f(α_(j-1), α_j) = g(α_j, α_(j+1))] for [j = 2..k], with
+      [α_(k+1) = 1],
+
+    where [f]/[g] use base [γ = 3] (classical [FS*] inside).  Table 2
+    iterates the same system with [γ] set to the previous round's result
+    (Theorem 13's composition, equations (14)–(15)), descending from
+    2.83728 to 2.77286 in ten rounds.
+
+    Solution method: the [g]-equation is linear in [α_(j+1)], so given
+    [(α₁, α₂)] the whole chain [α₃..α_(k+1)] follows by a forward
+    recurrence; an inner bisection on [α₂] enforces [α_(k+1) = 1] and an
+    outer bisection on [α₁] enforces the boundary equation (8).  The
+    paper reports 6 digits (computed at 20-digit precision); bisection to
+    [1e-13] reproduces all published digits. *)
+
+type row = {
+  gamma_in : float;  (** base used inside [g] (3 for Table 1) *)
+  k : int;
+  alpha : float array;  (** the solved division fractions, length [k] *)
+  gamma_out : float;  (** [2^(1-α₁+H(α₁))] — the resulting bound *)
+}
+
+val solve : gamma:float -> k:int -> row
+(** Solve the system for given inner base and number of division points;
+    raises [Failure] if the bisections cannot bracket (does not happen
+    for [k <= 6] and [gamma] in [2.5..3]). *)
+
+val chain : gamma:float -> k:int -> float -> float -> float array
+(** [chain ~gamma ~k α₁ α₂] is the forward recurrence: the array
+    [α₁, …, α_(k+1)] (not validated against the boundary equations; the
+    entries degrade to [nan]/out-of-range values when the seed pair is
+    infeasible — used by the solver and exposed for tests). *)
+
+val table1 : unit -> row list
+(** Rows for [k = 1..6], base 3 — the paper's Table 1. *)
+
+val table2 : ?rounds:int -> unit -> row list
+(** The composition iteration ([k = 6]); default 10 rounds — the
+    paper's Table 2.  Row [i]'s [gamma_in] is row [i-1]'s [gamma_out]. *)
+
+val pp_row : Format.formatter -> row -> unit

@@ -1,0 +1,1 @@
+lib/ordering/annealing.ml: Array Float Ovo_boolfun Ovo_core Perm Random

@@ -1,0 +1,1 @@
+lib/ordering/annealing.mli: Ovo_boolfun Ovo_core Random

@@ -1,0 +1,1 @@
+lib/ordering/astar.ml: Array Hashtbl Ovo_boolfun Ovo_core Set

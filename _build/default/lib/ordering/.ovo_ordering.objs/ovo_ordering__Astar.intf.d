@@ -1,0 +1,1 @@
+lib/ordering/astar.mli: Ovo_boolfun Ovo_core

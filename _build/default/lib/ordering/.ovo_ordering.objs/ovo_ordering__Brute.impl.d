@@ -1,0 +1,1 @@
+lib/ordering/brute.ml: Array Ovo_boolfun Ovo_core Perm

@@ -1,0 +1,1 @@
+lib/ordering/brute.mli: Ovo_boolfun Ovo_core

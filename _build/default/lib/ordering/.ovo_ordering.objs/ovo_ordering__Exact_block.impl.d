@@ -1,0 +1,1 @@
+lib/ordering/exact_block.ml: Array Ovo_boolfun Ovo_core Perm

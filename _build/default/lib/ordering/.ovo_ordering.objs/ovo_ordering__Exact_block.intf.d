@@ -1,0 +1,1 @@
+lib/ordering/exact_block.mli: Ovo_boolfun Ovo_core

@@ -1,0 +1,1 @@
+lib/ordering/genetic.ml: Array Ovo_boolfun Ovo_core Perm Random

@@ -1,0 +1,1 @@
+lib/ordering/genetic.mli: Ovo_boolfun Ovo_core Random

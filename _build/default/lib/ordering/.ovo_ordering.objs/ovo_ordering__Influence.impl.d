@@ -1,0 +1,1 @@
+lib/ordering/influence.ml: Array List Ovo_boolfun Ovo_core

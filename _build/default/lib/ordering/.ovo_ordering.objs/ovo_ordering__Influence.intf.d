@@ -1,0 +1,1 @@
+lib/ordering/influence.mli: Ovo_boolfun Ovo_core

@@ -1,0 +1,1 @@
+lib/ordering/perm.ml: Array Random

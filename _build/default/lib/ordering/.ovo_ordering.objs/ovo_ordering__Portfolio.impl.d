@@ -1,0 +1,1 @@
+lib/ordering/portfolio.ml: Annealing Exact_block Genetic Influence List Ovo_core Random Random_search Sifting Window

@@ -1,0 +1,1 @@
+lib/ordering/portfolio.mli: Ovo_boolfun Ovo_core Random

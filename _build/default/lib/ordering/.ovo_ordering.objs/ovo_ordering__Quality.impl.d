@@ -1,0 +1,1 @@
+lib/ordering/quality.ml: Annealing Format Genetic List Ovo_boolfun Ovo_core Perm Random Random_search Sifting Window

@@ -1,0 +1,1 @@
+lib/ordering/quality.mli: Format Ovo_boolfun Ovo_core Random

@@ -1,0 +1,1 @@
+lib/ordering/random_search.ml: Ovo_boolfun Ovo_core Perm

@@ -1,0 +1,1 @@
+lib/ordering/random_search.mli: Ovo_boolfun Ovo_core Random

@@ -1,0 +1,1 @@
+lib/ordering/sifting.ml: Array List Ovo_boolfun Ovo_core Perm

@@ -1,0 +1,1 @@
+lib/ordering/sifting.mli: Ovo_boolfun Ovo_core

@@ -1,0 +1,1 @@
+lib/ordering/spectrum.ml: Format Hashtbl List Option Ovo_boolfun Ovo_core Perm

@@ -1,0 +1,1 @@
+lib/ordering/spectrum.mli: Format Ovo_boolfun Ovo_core

@@ -1,0 +1,1 @@
+lib/ordering/window.ml: Array Ovo_boolfun Ovo_core Perm

@@ -1,0 +1,1 @@
+lib/ordering/window.mli: Ovo_boolfun Ovo_core

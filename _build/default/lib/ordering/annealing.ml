@@ -1,0 +1,47 @@
+type result = { mincost : int; order : int array; probes : int; accepted : int }
+
+let run_mtable ?(kind = Ovo_core.Compact.Bdd) ?(steps = 400)
+    ?(start_temperature = 5.0) ?(cooling = 0.97) ?initial ~rng mt =
+  let n = Ovo_boolfun.Mtable.arity mt in
+  let base = Ovo_core.Compact.initial kind mt in
+  let probes = ref 0 in
+  let cost_of order =
+    incr probes;
+    (Ovo_core.Compact.compact_chain base order).Ovo_core.Compact.mincost
+  in
+  let current =
+    ref (match initial with None -> Perm.identity n | Some o -> Array.copy o)
+  in
+  let current_cost = ref (cost_of !current) in
+  let best = ref (Array.copy !current) and best_cost = ref !current_cost in
+  let accepted = ref 0 in
+  let temperature = ref start_temperature in
+  if n > 1 then
+    for _ = 1 to steps do
+      let from = Random.State.int rng n in
+      let to_ = Random.State.int rng n in
+      if from <> to_ then begin
+        let cand = Perm.move !current ~from ~to_ in
+        let c = cost_of cand in
+        let delta = float_of_int (c - !current_cost) in
+        let accept =
+          delta <= 0.
+          || Random.State.float rng 1. < exp (-.delta /. Float.max !temperature 1e-9)
+        in
+        if accept then begin
+          incr accepted;
+          current := cand;
+          current_cost := c;
+          if c < !best_cost then begin
+            best_cost := c;
+            best := Array.copy cand
+          end
+        end
+      end;
+      temperature := !temperature *. cooling
+    done;
+  { mincost = !best_cost; order = !best; probes = !probes; accepted = !accepted }
+
+let run ?kind ?steps ?start_temperature ?cooling ?initial ~rng tt =
+  run_mtable ?kind ?steps ?start_temperature ?cooling ?initial ~rng
+    (Ovo_boolfun.Mtable.of_truthtable tt)

@@ -1,0 +1,39 @@
+(** Simulated-annealing ordering search.
+
+    The remaining classic from the reordering-heuristics family: random
+    neighbourhood moves (relocating one variable) accepted when they
+    improve the size or, with probability [exp(-delta/T)], when they do
+    not; the temperature [T] decays geometrically.  Anneals escape the
+    local optima that trap sifting and window permutation, at the price
+    of many more probes — the quality benches put all of them side by
+    side against the exact optimum. *)
+
+type result = {
+  mincost : int;
+  order : int array;
+  probes : int;  (** orderings evaluated *)
+  accepted : int;  (** moves accepted (including uphill ones) *)
+}
+
+val run :
+  ?kind:Ovo_core.Compact.kind ->
+  ?steps:int ->
+  ?start_temperature:float ->
+  ?cooling:float ->
+  ?initial:int array ->
+  rng:Random.State.t ->
+  Ovo_boolfun.Truthtable.t ->
+  result
+(** Defaults: 400 steps, start temperature 5.0 (in node-count units),
+    cooling factor 0.97 per step.  The best ordering ever seen is
+    returned, so the result never loses to its initial ordering. *)
+
+val run_mtable :
+  ?kind:Ovo_core.Compact.kind ->
+  ?steps:int ->
+  ?start_temperature:float ->
+  ?cooling:float ->
+  ?initial:int array ->
+  rng:Random.State.t ->
+  Ovo_boolfun.Mtable.t ->
+  result

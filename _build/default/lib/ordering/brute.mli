@@ -1,0 +1,19 @@
+(** Brute-force optimal ordering — the paper's [O*(n!·2^n)] baseline.
+
+    Evaluates every permutation with one compaction chain ([2^n - 1]
+    table cells each).  This is the algorithm the FS dynamic program was
+    invented to beat; the benches race them to show the crossover. *)
+
+type result = {
+  mincost : int;
+  order : int array;  (** a witness optimum, read-last-first *)
+  evaluated : int;  (** permutations tried, [n!] *)
+}
+
+val best : ?kind:Ovo_core.Compact.kind -> ?limit:int -> Ovo_boolfun.Truthtable.t -> result
+(** Exhaustive search.  Refuses arities above [limit] (default 9) to
+    protect the caller from [n!] explosions — raise the limit expressly
+    if you mean it. *)
+
+val best_mtable : ?kind:Ovo_core.Compact.kind -> ?limit:int -> Ovo_boolfun.Mtable.t -> result
+(** Multi-terminal variant. *)

@@ -1,0 +1,39 @@
+(** Hybrid heuristic: exact optimisation of contiguous blocks.
+
+    The paper (after [MT98, Sec. 9.22]) motivates exact methods partly
+    because they "can be applied at least to parts of the OBDDs within a
+    heuristics procedure".  This module is that procedure: a window of
+    [block] adjacent levels is re-ordered {e exactly} — not by the
+    [w!] enumeration of {!Window}, but by running the composable dynamic
+    program [FS*] (Lemma 8) from the compaction state of the levels below
+    the window.  Lemma 3 guarantees the levels above the window keep
+    their widths (they depend only on the {e set} split), so each window
+    step can only improve the size; sweeps repeat until a fixed point.
+
+    Cost per window position: [O(2^(n-s) · 3^w)] cells instead of
+    [O(w! · 2^n)] — for [w ≥ 5] the DP is already the cheaper exact
+    window. *)
+
+type result = {
+  mincost : int;
+  order : int array;
+  sweeps : int;
+}
+
+val run :
+  ?kind:Ovo_core.Compact.kind ->
+  ?block:int ->
+  ?max_sweeps:int ->
+  ?initial:int array ->
+  Ovo_boolfun.Truthtable.t ->
+  result
+(** Default [block] 4 (clamped to [n]; [block = n] degenerates to the
+    full exact FS), default [max_sweeps] 8. *)
+
+val run_mtable :
+  ?kind:Ovo_core.Compact.kind ->
+  ?block:int ->
+  ?max_sweeps:int ->
+  ?initial:int array ->
+  Ovo_boolfun.Mtable.t ->
+  result

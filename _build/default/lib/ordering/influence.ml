@@ -1,0 +1,26 @@
+let influences tt =
+  let n = Ovo_boolfun.Truthtable.arity tt in
+  let size = 1 lsl n in
+  Array.init n (fun j ->
+      let flips = ref 0 in
+      for code = 0 to size - 1 do
+        if
+          Ovo_boolfun.Truthtable.eval tt code
+          <> Ovo_boolfun.Truthtable.eval tt (code lxor (1 lsl j))
+        then incr flips
+      done;
+      float_of_int !flips /. float_of_int size)
+
+type result = { mincost : int; order : int array }
+
+let run ?kind tt =
+  let n = Ovo_boolfun.Truthtable.arity tt in
+  let inf = influences tt in
+  let by_influence =
+    List.sort
+      (fun (_, a) (_, b) -> compare (a : float) b)
+      (List.init n (fun j -> (j, inf.(j))))
+  in
+  (* ascending influence = read last first, i.e. high influence at root *)
+  let order = Array.of_list (List.map fst by_influence) in
+  { mincost = Ovo_core.Eval_order.mincost ?kind tt order; order }

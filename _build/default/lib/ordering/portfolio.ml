@@ -1,0 +1,30 @@
+type entry = { method_name : string; mincost : int; order : int array }
+
+type result = { best : entry; entries : entry list }
+
+let run ?(kind = Ovo_core.Compact.Bdd) ?rng tt =
+  let rng = match rng with Some r -> r | None -> Random.State.make [| 0x0BDD |] in
+  let members =
+    [
+      (let r = Influence.run ~kind tt in
+       { method_name = "influence"; mincost = r.Influence.mincost; order = r.Influence.order });
+      (let r = Sifting.run ~kind tt in
+       { method_name = "sifting"; mincost = r.Sifting.mincost; order = r.Sifting.order });
+      (let r = Window.run ~kind tt in
+       { method_name = "window"; mincost = r.Window.mincost; order = r.Window.order });
+      (let r = Annealing.run ~kind ~rng tt in
+       { method_name = "annealing"; mincost = r.Annealing.mincost; order = r.Annealing.order });
+      (let r = Genetic.run ~kind ~rng tt in
+       { method_name = "genetic"; mincost = r.Genetic.mincost; order = r.Genetic.order });
+      (let r = Random_search.run ~kind ~rng tt in
+       { method_name = "random"; mincost = r.Random_search.mincost; order = r.Random_search.order });
+      (let r = Exact_block.run ~kind tt in
+       { method_name = "exact-block"; mincost = r.Exact_block.mincost; order = r.Exact_block.order });
+    ]
+  in
+  let sorted =
+    List.sort (fun a b -> compare a.mincost b.mincost) members
+  in
+  match sorted with
+  | [] -> assert false
+  | best :: _ -> { best; entries = sorted }

@@ -1,0 +1,25 @@
+(** Portfolio search: run every heuristic, keep the best.
+
+    No single heuristic dominates (the quality benches show each losing
+    somewhere); a portfolio at roughly the summed probe budget is the
+    practical default when the exact DP is out of reach. *)
+
+type entry = {
+  method_name : string;
+  mincost : int;
+  order : int array;
+}
+
+type result = {
+  best : entry;
+  entries : entry list;  (** every member, best first *)
+}
+
+val run :
+  ?kind:Ovo_core.Compact.kind ->
+  ?rng:Random.State.t ->
+  Ovo_boolfun.Truthtable.t ->
+  result
+(** Members: influence (static), sifting, window permutation, simulated
+    annealing, genetic, random search, and the exact-block hybrid.  The
+    RNG defaults to a fixed seed for reproducibility. *)

@@ -1,0 +1,22 @@
+type result = { mincost : int; order : int array; probes : int }
+
+let run_mtable ?(kind = Ovo_core.Compact.Bdd) ?(samples = 100) ~rng mt =
+  let n = Ovo_boolfun.Mtable.arity mt in
+  let base = Ovo_core.Compact.initial kind mt in
+  let cost_of order =
+    (Ovo_core.Compact.compact_chain base order).Ovo_core.Compact.mincost
+  in
+  let best_order = ref (Perm.identity n) in
+  let best_cost = ref (cost_of !best_order) in
+  for _ = 1 to samples do
+    let cand = Perm.random rng n in
+    let c = cost_of cand in
+    if c < !best_cost then begin
+      best_cost := c;
+      best_order := cand
+    end
+  done;
+  { mincost = !best_cost; order = !best_order; probes = samples + 1 }
+
+let run ?kind ?samples ~rng tt =
+  run_mtable ?kind ?samples ~rng (Ovo_boolfun.Mtable.of_truthtable tt)

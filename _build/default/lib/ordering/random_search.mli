@@ -1,0 +1,25 @@
+(** Random-restart ordering search — the weakest baseline: sample [m]
+    uniform orderings and keep the best.  Its gap to the exact optimum
+    calibrates how much structure the smarter methods exploit. *)
+
+type result = {
+  mincost : int;
+  order : int array;
+  probes : int;
+}
+
+val run :
+  ?kind:Ovo_core.Compact.kind ->
+  ?samples:int ->
+  rng:Random.State.t ->
+  Ovo_boolfun.Truthtable.t ->
+  result
+(** Default 100 samples; the identity ordering is always included so the
+    result never loses to "no search at all". *)
+
+val run_mtable :
+  ?kind:Ovo_core.Compact.kind ->
+  ?samples:int ->
+  rng:Random.State.t ->
+  Ovo_boolfun.Mtable.t ->
+  result

@@ -1,0 +1,58 @@
+type result = { mincost : int; order : int array; passes : int; probes : int }
+
+let run_mtable ?(kind = Ovo_core.Compact.Bdd) ?(max_passes = 8) ?initial mt =
+  let n = Ovo_boolfun.Mtable.arity mt in
+  let base = Ovo_core.Compact.initial kind mt in
+  let cost_of order =
+    (Ovo_core.Compact.compact_chain base order).Ovo_core.Compact.mincost
+  in
+  let order = ref (match initial with None -> Perm.identity n | Some o -> Array.copy o) in
+  let probes = ref 0 in
+  let probe o =
+    incr probes;
+    cost_of o
+  in
+  let cost = ref (probe !order) in
+  let widths_of order =
+    let st = Ovo_core.Compact.compact_chain base order in
+    Ovo_core.Diagram.level_widths (Ovo_core.Diagram.of_state st)
+  in
+  let passes = ref 0 in
+  let improved = ref true in
+  while !improved && !passes < max_passes do
+    incr passes;
+    improved := false;
+    (* sift the fattest levels first, per Rudell *)
+    let widths = widths_of !order in
+    let schedule =
+      List.sort
+        (fun (_, w1) (_, w2) -> compare w2 w1)
+        (List.init n (fun pos -> ((!order).(pos), widths.(pos))))
+    in
+    List.iter
+      (fun (v, _) ->
+        (* current position of v may have shifted during this pass *)
+        let from = ref 0 in
+        Array.iteri (fun i x -> if x = v then from := i) !order;
+        let best_cost = ref !cost and best_order = ref !order in
+        for target = 0 to n - 1 do
+          if target <> !from then begin
+            let cand = Perm.move !order ~from:!from ~to_:target in
+            let c = probe cand in
+            if c < !best_cost then begin
+              best_cost := c;
+              best_order := cand
+            end
+          end
+        done;
+        if !best_cost < !cost then begin
+          cost := !best_cost;
+          order := !best_order;
+          improved := true
+        end)
+      schedule
+  done;
+  { mincost = !cost; order = !order; passes = !passes; probes = !probes }
+
+let run ?kind ?max_passes ?initial tt =
+  run_mtable ?kind ?max_passes ?initial (Ovo_boolfun.Mtable.of_truthtable tt)

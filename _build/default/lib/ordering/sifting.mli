@@ -1,0 +1,38 @@
+(** Rudell-style sifting, the dominant practical reordering heuristic.
+
+    Each variable in turn (largest level first) is moved through every
+    position while the others keep their relative order; it is left at
+    the best position found.  Passes repeat until no pass improves the
+    size or [max_passes] is reached.
+
+    Positions are evaluated with a full compaction chain ([O(2^n)] per
+    probe) rather than by adjacent in-place swaps: for the truth-table
+    scale this repository targets ([n ≲ 14]) this is simpler, exactly as
+    accurate, and still polynomially cheaper per probe than exact
+    optimisation.  One pass costs [O(n² · 2^n)] cells.
+
+    Sifting is a {e heuristic}: it has no worst-case guarantee (the
+    paper's motivation for exact methods) and the tests include functions
+    where it lands above the FS optimum. *)
+
+type result = {
+  mincost : int;
+  order : int array;
+  passes : int;  (** passes executed (including the final no-change one) *)
+  probes : int;  (** orderings evaluated *)
+}
+
+val run :
+  ?kind:Ovo_core.Compact.kind ->
+  ?max_passes:int ->
+  ?initial:int array ->
+  Ovo_boolfun.Truthtable.t ->
+  result
+(** Default [max_passes] 8, default initial ordering the identity. *)
+
+val run_mtable :
+  ?kind:Ovo_core.Compact.kind ->
+  ?max_passes:int ->
+  ?initial:int array ->
+  Ovo_boolfun.Mtable.t ->
+  result

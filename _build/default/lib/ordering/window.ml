@@ -1,0 +1,43 @@
+type result = { mincost : int; order : int array; sweeps : int; probes : int }
+
+let run_mtable ?(kind = Ovo_core.Compact.Bdd) ?(window = 3) ?(max_sweeps = 16)
+    ?initial mt =
+  let n = Ovo_boolfun.Mtable.arity mt in
+  let w = max 2 (min window n) in
+  let base = Ovo_core.Compact.initial kind mt in
+  let probes = ref 0 in
+  let cost_of order =
+    incr probes;
+    (Ovo_core.Compact.compact_chain base order).Ovo_core.Compact.mincost
+  in
+  let order = ref (match initial with None -> Perm.identity n | Some o -> Array.copy o) in
+  let cost = ref (cost_of !order) in
+  let sweeps = ref 0 in
+  let improved = ref true in
+  while !improved && !sweeps < max_sweeps do
+    incr sweeps;
+    improved := false;
+    for start = 0 to n - w do
+      let best_cost = ref !cost and best_order = ref !order in
+      Perm.iter_all w (fun sub ->
+          let cand = Array.copy !order in
+          for i = 0 to w - 1 do
+            cand.(start + i) <- (!order).(start + sub.(i))
+          done;
+          let c = cost_of cand in
+          if c < !best_cost then begin
+            best_cost := c;
+            best_order := cand
+          end);
+      if !best_cost < !cost then begin
+        cost := !best_cost;
+        order := !best_order;
+        improved := true
+      end
+    done
+  done;
+  { mincost = !cost; order = !order; sweeps = !sweeps; probes = !probes }
+
+let run ?kind ?window ?max_sweeps ?initial tt =
+  run_mtable ?kind ?window ?max_sweeps ?initial
+    (Ovo_boolfun.Mtable.of_truthtable tt)

@@ -1,0 +1,31 @@
+(** Window-permutation reordering.
+
+    Classical local-search heuristic: slide a window of [w] adjacent
+    levels across the ordering and replace its contents by the best of
+    the [w!] arrangements; sweep until a whole sweep makes no
+    improvement.  Cheap ([O(n · w! · 2^n)] per sweep here), weaker than
+    sifting, and another baseline with no optimality guarantee. *)
+
+type result = {
+  mincost : int;
+  order : int array;
+  sweeps : int;
+  probes : int;
+}
+
+val run :
+  ?kind:Ovo_core.Compact.kind ->
+  ?window:int ->
+  ?max_sweeps:int ->
+  ?initial:int array ->
+  Ovo_boolfun.Truthtable.t ->
+  result
+(** Default window 3 (clamped to [n]), default [max_sweeps] 16. *)
+
+val run_mtable :
+  ?kind:Ovo_core.Compact.kind ->
+  ?window:int ->
+  ?max_sweeps:int ->
+  ?initial:int array ->
+  Ovo_boolfun.Mtable.t ->
+  result

@@ -1,0 +1,1 @@
+lib/quantum/opt_generic.ml: Array Float Hashtbl List Logs Ovo_core Params Printf Qctx Qsearch String

@@ -1,0 +1,1 @@
+lib/quantum/opt_generic.mli: Ovo_core Qctx

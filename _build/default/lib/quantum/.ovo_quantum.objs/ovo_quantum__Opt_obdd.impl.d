@@ -1,0 +1,1 @@
+lib/quantum/opt_obdd.ml: Opt_generic Ovo_boolfun Ovo_core Qctx Qsearch Random

@@ -1,0 +1,1 @@
+lib/quantum/opt_shared.ml: Array Opt_generic Ovo_boolfun Ovo_core

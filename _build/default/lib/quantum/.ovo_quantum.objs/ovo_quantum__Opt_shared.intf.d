@@ -1,0 +1,1 @@
+lib/quantum/opt_shared.mli: Ovo_boolfun Ovo_core Qctx

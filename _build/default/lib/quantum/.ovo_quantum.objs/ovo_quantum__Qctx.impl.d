@@ -1,0 +1,1 @@
+lib/quantum/qctx.ml: Float Qsearch Random

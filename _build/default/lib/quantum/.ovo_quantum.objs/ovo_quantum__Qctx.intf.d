@@ -1,0 +1,1 @@
+lib/quantum/qctx.mli: Qsearch Random

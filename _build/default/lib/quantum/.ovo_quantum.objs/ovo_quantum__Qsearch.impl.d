@@ -1,0 +1,1 @@
+lib/quantum/qsearch.ml: Array Float Random

@@ -1,0 +1,177 @@
+module Varset = Ovo_core.Varset
+module Cost = Ovo_core.Cost
+
+module type STATE = sig
+  type state
+
+  val compact : state -> int -> state
+  val mincost : state -> int
+  val free : state -> Varset.t
+end
+
+let measured_cells f =
+  let before = Cost.snapshot () in
+  let result = f () in
+  let after = Cost.snapshot () in
+  (result, float_of_int (Cost.diff after before).Cost.table_cells)
+
+(* must mirror Predict.division_points *)
+let division_points ~alpha n' =
+  let clamped =
+    Array.to_list alpha
+    |> List.map (fun a ->
+           let v = int_of_float (Float.round (a *. float_of_int n')) in
+           max 1 (min (n' - 1) v))
+  in
+  let rec dedup last = function
+    | [] -> []
+    | v :: rest -> if v > last then v :: dedup v rest else dedup last rest
+  in
+  dedup 0 (List.sort compare clamped)
+
+let log_src = Logs.Src.create "ovo.quantum" ~doc:"simulated quantum algorithms"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+module Make (S : STATE) = struct
+  module Dp = Ovo_core.Subset_dp.Make (S)
+
+  type subroutine = {
+    label : string;
+    compose : Qctx.t -> S.state -> Varset.t -> S.state * float;
+  }
+
+  let name sub = sub.label
+  let apply sub = sub.compose
+
+  let fs_star =
+    {
+      label = "FS*";
+      compose =
+        (fun _ctx base j_set ->
+          if Varset.is_empty j_set then (base, 0.)
+          else measured_cells (fun () -> Dp.complete ~base ~j_set));
+    }
+
+  let subsets_of l ~size =
+    let acc = ref [] in
+    Varset.iter_subsets_of l ~size (fun k -> acc := k :: !acc);
+    Array.of_list !acc
+
+  let simple_split ?alpha () =
+    let alpha =
+      match alpha with
+      | Some a ->
+          if a <= 0. || a >= 1. then invalid_arg "Opt_generic.simple_split";
+          a
+      | None ->
+          let c = log 3. /. log 2. in
+          (c -. 1.) /. ((2. *. c) -. 1.)
+    in
+    let compose (ctx : Qctx.t) base j_set =
+      let n' = Varset.cardinal j_set in
+      if n' = 0 then (base, 0.)
+      else
+        let k =
+          max 1
+            (min (n' - 1) (int_of_float (Float.round (alpha *. float_of_int n'))))
+        in
+        if k >= n' then fs_star.compose ctx base j_set
+        else begin
+          let candidates = subsets_of j_set ~size:k in
+          let memo = Hashtbl.create (Array.length candidates) in
+          let oracle ksub =
+            let st_k, cost_k =
+              measured_cells (fun () -> Dp.complete ~base ~j_set:ksub)
+            in
+            let st, cost_rest =
+              fs_star.compose ctx st_k (Varset.diff j_set ksub)
+            in
+            Hashtbl.replace memo ksub st;
+            (S.mincost st, cost_k +. cost_rest)
+          in
+          let outcome =
+            Qsearch.find_min ?rng:ctx.Qctx.rng ~epsilon:ctx.Qctx.epsilon
+              ~stats:ctx.Qctx.stats ~candidates ~oracle ()
+          in
+          (Hashtbl.find memo outcome.Qsearch.argmin, outcome.Qsearch.modeled_cost)
+        end
+    in
+    { label = "OptOBDD-simple"; compose }
+
+  let opt_obdd ?label ~k ~alpha gamma =
+    if Array.length alpha <> k then
+      invalid_arg "Opt_obdd.opt_obdd: |alpha| <> k";
+    Array.iteri
+      (fun i a ->
+        if a <= 0. || a >= 1. || (i > 0 && a < alpha.(i - 1)) then
+          invalid_arg "Opt_obdd.opt_obdd: alpha not in (0,1) nondecreasing")
+      alpha;
+    let label =
+      match label with
+      | Some l -> l
+      | None -> Printf.sprintf "OptOBDD*_%s(k=%d)" gamma.label k
+    in
+    let compose (ctx : Qctx.t) base j_set =
+      let n' = Varset.cardinal j_set in
+      if n' = 0 then (base, 0.)
+      else
+        match division_points ~alpha n' with
+        | [] ->
+            (* no interior division point: plain classical composition *)
+            fs_star.compose ctx base j_set
+        | b ->
+            let b = Array.of_list b in
+            let m = Array.length b in
+            let pre, pre_cost =
+              measured_cells (fun () -> Dp.run ~upto:b.(0) ~base j_set)
+            in
+            let rec divide_and_conquer l t =
+              if t = 1 then (Dp.state_of pre l, 0.)
+              else begin
+                let candidates = subsets_of l ~size:b.(t - 2) in
+                let memo = Hashtbl.create (Array.length candidates) in
+                let oracle ksub =
+                  let st_k, cost_k = divide_and_conquer ksub (t - 1) in
+                  let st, cost_rest =
+                    gamma.compose ctx st_k (Varset.diff l ksub)
+                  in
+                  Hashtbl.replace memo ksub st;
+                  (S.mincost st, cost_k +. cost_rest)
+                in
+                let outcome =
+                  Qsearch.find_min ?rng:ctx.Qctx.rng ~epsilon:ctx.Qctx.epsilon
+                    ~stats:ctx.Qctx.stats ~candidates ~oracle ()
+                in
+                ( Hashtbl.find memo outcome.Qsearch.argmin,
+                  outcome.Qsearch.modeled_cost )
+              end
+            in
+            let state, search_cost = divide_and_conquer j_set (m + 1) in
+            Log.debug (fun msg ->
+                msg "%s over %d vars: division points [%s], preprocess %.3e cells, search %.3e modeled"
+                  label n'
+                  (String.concat ";" (Array.to_list (Array.map string_of_int b)))
+                  pre_cost search_cost);
+            (state, pre_cost +. search_cost)
+    in
+    { label; compose }
+
+  let theorem10 ?(k = 6) () =
+    opt_obdd
+      ~label:(Printf.sprintf "OptOBDD(k=%d)" k)
+      ~k ~alpha:(Params.table1_alpha k) fs_star
+
+  let tower ~depth =
+    if depth < 1 || depth > Array.length Params.table2 then
+      invalid_arg "Opt_obdd.tower: depth out of range";
+    let rec build i =
+      let inner = if i = 0 then fs_star else build (i - 1) in
+      opt_obdd
+        ~label:(Printf.sprintf "Gamma_%d" (i + 1))
+        ~k:6 ~alpha:(Params.table2_alpha i) inner
+    in
+    build (depth - 1)
+
+  let run ctx sub ~base j_set = sub.compose ctx base j_set
+end

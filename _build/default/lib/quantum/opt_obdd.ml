@@ -1,0 +1,36 @@
+module Compact = Ovo_core.Compact
+module Fs = Ovo_core.Fs
+
+module Inst = Opt_generic.Make (struct
+  type state = Compact.state
+
+  let compact = Compact.compact
+  let mincost (st : Compact.state) = st.Compact.mincost
+  let free = Compact.free
+end)
+
+type ctx = Qctx.t = {
+  rng : Random.State.t option;
+  epsilon : float;
+  stats : Qsearch.stats;
+}
+
+let make_ctx = Qctx.make
+
+type subroutine = Inst.subroutine
+
+let name = Inst.name
+let apply = Inst.apply
+let fs_star = Inst.fs_star
+let simple_split = Inst.simple_split
+let opt_obdd = Inst.opt_obdd
+let theorem10 = Inst.theorem10
+let tower = Inst.tower
+
+let minimize_mtable ?(kind = Compact.Bdd) ~ctx sub mt =
+  let base = Compact.initial kind mt in
+  let state, cost = Inst.run ctx sub ~base (Compact.free base) in
+  (Fs.of_state state, cost)
+
+let minimize ?kind ~ctx sub tt =
+  minimize_mtable ?kind ~ctx sub (Ovo_boolfun.Mtable.of_truthtable tt)

@@ -1,0 +1,33 @@
+(** Quantum (simulated) joint optimisation of multi-rooted diagrams —
+    the {!Opt_generic} machinery instantiated on {!Ovo_core.Shared}
+    states: the same divide-and-conquer, quantum minimum finding and
+    composition tower, minimising the shared node count of several
+    functions at once. *)
+
+type subroutine
+
+val name : subroutine -> string
+
+val fs_star : subroutine
+val simple_split : ?alpha:float -> unit -> subroutine
+val opt_obdd :
+  ?label:string -> k:int -> alpha:float array -> subroutine -> subroutine
+val theorem10 : ?k:int -> unit -> subroutine
+val tower : depth:int -> subroutine
+(** As in {!Opt_obdd}, over shared states. *)
+
+val minimize :
+  ?kind:Ovo_core.Compact.kind ->
+  ctx:Qctx.t ->
+  subroutine ->
+  Ovo_boolfun.Truthtable.t array ->
+  Ovo_core.Shared.result * float
+(** Jointly minimise the shared diagram of the given functions; returns
+    the result and the modeled quantum cost. *)
+
+val minimize_mtables :
+  ?kind:Ovo_core.Compact.kind ->
+  ctx:Qctx.t ->
+  subroutine ->
+  Ovo_boolfun.Mtable.t array ->
+  Ovo_core.Shared.result * float

@@ -1,0 +1,35 @@
+(** Published numerical parameters of the quantum algorithms.
+
+    These are the values of the paper's Table 1 (optimal [α] and the
+    resulting exponent base [γ_k] for [OptOBDD(k,α)], [k = 1..6]) and
+    Table 2 (the composition iteration of Theorem 13: each row feeds the
+    previous row's [γ] into the equations and yields a smaller [β₆],
+    converging to 2.77286).
+
+    They are hard-coded here — to six published digits — so the
+    algorithms can run without a solver; {!Ovo_numerics.Table1} and
+    {!Ovo_numerics.Table2} re-derive them from the equation systems and
+    the tests check agreement. *)
+
+val table1 : (int * float * float array) array
+(** Rows [(k, γ_k, α)] for [k = 1..6]. *)
+
+val table1_alpha : int -> float array
+(** The [α] vector for a given [k ∈ 1..6]; raises [Invalid_argument]
+    otherwise. *)
+
+val table1_gamma : int -> float
+(** [γ_k] for [k ∈ 1..6]. *)
+
+val table2 : (float * float * float array) array
+(** Rows [(γ_input, β₆, α)] of the ten composition rounds. *)
+
+val table2_alpha : int -> float array
+(** The [α] vector of composition round [i ∈ 0..9] (round 0 is the
+    [γ = 3] row, identical to Table 1's [k = 6] row). *)
+
+val final_gamma : float
+(** The headline constant 2.77286 of Theorems 1 and 13. *)
+
+val classical_gamma : float
+(** The classical FS base, 3. *)

@@ -1,0 +1,8 @@
+type t = {
+  rng : Random.State.t option;
+  epsilon : float;
+  stats : Qsearch.stats;
+}
+
+let make ?rng ?(epsilon = Float.pow 2. (-20.)) () =
+  { rng; epsilon; stats = Qsearch.create_stats () }

@@ -1,0 +1,14 @@
+(** Execution context shared by all simulated quantum algorithms: the
+    error budget, the optional RNG that arms error injection, and the
+    query statistics. *)
+
+type t = {
+  rng : Random.State.t option;
+      (** when present, qsearch errors are injected with prob. [epsilon] *)
+  epsilon : float;  (** per-search error bound (paper: [2^(-p(n))]) *)
+  stats : Qsearch.stats;
+}
+
+val make : ?rng:Random.State.t -> ?epsilon:float -> unit -> t
+(** Default [epsilon] is [2^(-20)]; no [rng] means deterministic, exact
+    simulation. *)

@@ -1,0 +1,47 @@
+type stats = {
+  mutable searches : int;
+  mutable oracle_evaluations : int;
+  mutable modeled_queries : float;
+  mutable injected_errors : int;
+}
+
+let create_stats () =
+  { searches = 0; oracle_evaluations = 0; modeled_queries = 0.; injected_errors = 0 }
+
+let queries_bound ~n ~epsilon =
+  if n <= 0 then invalid_arg "Qsearch.queries_bound";
+  let eps = if epsilon <= 0. then 1e-300 else min epsilon 0.5 in
+  Float.max 1. (Float.round (sqrt (float_of_int n *. (-.log eps /. log 2.))))
+
+type 'a outcome = { argmin : 'a; value : int; modeled_cost : float }
+
+let find_min ?rng ~epsilon ~stats ~candidates ~oracle () =
+  let n = Array.length candidates in
+  if n = 0 then invalid_arg "Qsearch.find_min: no candidates";
+  stats.searches <- stats.searches + 1;
+  let best = ref 0 and best_value = ref max_int and max_cost = ref 0. in
+  let values = Array.make n 0 in
+  Array.iteri
+    (fun i x ->
+      let value, cost = oracle x in
+      stats.oracle_evaluations <- stats.oracle_evaluations + 1;
+      values.(i) <- value;
+      if cost > !max_cost then max_cost := cost;
+      if value < !best_value then begin
+        best_value := value;
+        best := i
+      end)
+    candidates;
+  let queries = queries_bound ~n ~epsilon in
+  stats.modeled_queries <- stats.modeled_queries +. queries;
+  let modeled_cost = queries *. Float.max !max_cost 1. in
+  let pick =
+    match rng with
+    | Some st when n > 1 && Random.State.float st 1. < epsilon ->
+        (* error branch: any candidate other than the true minimum *)
+        stats.injected_errors <- stats.injected_errors + 1;
+        let wrong = Random.State.int st (n - 1) in
+        if wrong >= !best then wrong + 1 else wrong
+    | Some _ | None -> !best
+  in
+  { argmin = candidates.(pick); value = values.(pick); modeled_cost }

@@ -1,0 +1,58 @@
+(** Simulated quantum minimum finding (paper Lemma 6).
+
+    The paper's quantum primitive is the small-error minimum-finding
+    algorithm obtained by combining Dürr–Høyer with the small-error
+    quantum search of Buhrman et al. (as packaged in LGM18, Cor. 2.3):
+    for [f : [N] → Z] given as an oracle and any [ε > 0], it returns an
+    [argmin] with error probability at most [ε] using
+    [O(√(N·log(1/ε)))] oracle queries.
+
+    No quantum hardware exists here, so this module performs the paper's
+    prescribed substitution (see DESIGN.md): it evaluates the oracle on
+    every candidate {e classically} (so the returned value is exact),
+    while {e accounting} the cost the quantum routine would incur:
+
+    - [queries = ⌈√(N · log₂(1/ε))⌉] oracle evaluations;
+    - each query costs what one oracle evaluation costs, so the modeled
+      cost of the whole search is [queries × max_candidate_cost]
+      (the quantum circuit must run the costliest branch coherently).
+
+    An optional error-injection mode returns, with probability [ε], a
+    uniformly random non-minimal candidate instead — this exercises the
+    failure branch the analysis tolerates, and lets tests confirm the
+    paper's claim that even then the final diagram is {e valid}, merely
+    not minimum. *)
+
+type stats = {
+  mutable searches : int;  (** number of [find_min] invocations *)
+  mutable oracle_evaluations : int;  (** classical evaluations performed *)
+  mutable modeled_queries : float;  (** accounted quantum queries *)
+  mutable injected_errors : int;  (** times the error branch was taken *)
+}
+
+val create_stats : unit -> stats
+
+val queries_bound : n:int -> epsilon:float -> float
+(** The Lemma 6 query count [√(N · log₂(1/ε))], at least [1]. *)
+
+type 'a outcome = {
+  argmin : 'a;
+  value : int;  (** oracle value at [argmin] *)
+  modeled_cost : float;
+      (** modeled quantum time of this search: query count times the
+          costliest single oracle evaluation *)
+}
+
+val find_min :
+  ?rng:Random.State.t ->
+  epsilon:float ->
+  stats:stats ->
+  candidates:'a array ->
+  oracle:('a -> int * float) ->
+  unit ->
+  'a outcome
+(** [oracle x] returns [(value, cost)] where [cost] is the modeled time
+    of evaluating the oracle once at [x] (sub-searches included).  The
+    candidate array must be non-empty.  When [rng] is supplied, the error
+    branch fires with probability [epsilon] (given [N > 1]); without
+    [rng] the search is deterministic and exact. *)

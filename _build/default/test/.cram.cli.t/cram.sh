@@ -1,0 +1,17 @@
+  $ ovo fig1 --pairs 3
+  $ ovo optimize --expr 'x0 & x1 | x2'
+  $ ovo optimize --expr 'x0 & x1 | x2' --algo brute
+  $ ovo optimize --family mux-2 --algo astar
+  $ ovo optimize --table 011
+  $ ovo optimize --expr 'x0 &'
+  $ ovo optimize
+  $ ovo optimize --family nope
+  $ ovo optimize --family achilles-3 --algo simple | head -3
+  $ ovo table2 --rounds 2
+  $ ovo spectrum --family achilles-3 | head -2
+  $ ovo families --max-arity 6
+  $ ovo optimize --family mux-2 --weights 5,1,1,1,1,1
+  $ ovo optimize --family achilles-2 --save ach2.ovo > /dev/null
+  $ ovo show ach2.ovo
+  $ echo garbage > bad.ovo
+  $ ovo show bad.ovo

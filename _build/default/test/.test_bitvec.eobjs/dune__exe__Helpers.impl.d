@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Array Format List Ovo_boolfun Ovo_core QCheck QCheck_alcotest Random

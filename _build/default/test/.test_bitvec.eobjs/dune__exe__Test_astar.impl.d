@@ -1,0 +1,1 @@
+test/test_astar.ml: Alcotest Helpers Ovo_boolfun Ovo_core Ovo_ordering QCheck

@@ -1,0 +1,1 @@
+test/test_bdd_pkg.ml: Alcotest Array Helpers List Ovo_bdd Ovo_boolfun Ovo_core QCheck Random String

@@ -1,0 +1,1 @@
+test/test_bitvec.ml: Alcotest Helpers List Ovo_boolfun QCheck String

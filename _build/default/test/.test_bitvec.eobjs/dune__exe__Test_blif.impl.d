@@ -1,0 +1,1 @@
+test/test_blif.ml: Alcotest Buffer Helpers Ovo_boolfun Ovo_core Printf QCheck

@@ -1,0 +1,1 @@
+test/test_bounds.ml: Alcotest Float Helpers Ovo_boolfun Ovo_core QCheck

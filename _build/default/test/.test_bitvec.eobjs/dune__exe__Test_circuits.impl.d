@@ -1,0 +1,1 @@
+test/test_circuits.ml: Alcotest Array Helpers Ovo_bdd Ovo_boolfun Printf QCheck

@@ -1,0 +1,1 @@
+test/test_cost_dp.ml: Alcotest Array Format Hashtbl Helpers List Ovo_boolfun Ovo_core Printf String

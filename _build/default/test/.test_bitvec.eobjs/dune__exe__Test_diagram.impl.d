@@ -1,0 +1,1 @@
+test/test_diagram.ml: Alcotest Array Helpers List Ovo_boolfun Ovo_core Printf QCheck String

@@ -1,0 +1,1 @@
+test/test_dynbdd.ml: Alcotest Array Helpers Ovo_bdd Ovo_boolfun Ovo_core Printf QCheck Random

@@ -1,0 +1,1 @@
+test/test_eval_order.ml: Alcotest Array Helpers Ovo_boolfun Ovo_core QCheck

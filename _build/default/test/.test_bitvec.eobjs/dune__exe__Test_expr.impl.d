@@ -1,0 +1,1 @@
+test/test_expr.ml: Alcotest Helpers List Ovo_boolfun QCheck Random

@@ -1,0 +1,1 @@
+test/test_families.ml: Alcotest Array Helpers List Ovo_boolfun Ovo_core Printf QCheck Random

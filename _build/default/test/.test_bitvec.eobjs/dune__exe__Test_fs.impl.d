@@ -1,0 +1,1 @@
+test/test_fs.ml: Alcotest Array Hashtbl Helpers List Ovo_boolfun Ovo_core Ovo_ordering Printf QCheck Random

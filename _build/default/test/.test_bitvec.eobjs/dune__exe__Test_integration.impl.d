@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array Buffer Helpers Ovo_bdd Ovo_boolfun Ovo_core Printf QCheck Random

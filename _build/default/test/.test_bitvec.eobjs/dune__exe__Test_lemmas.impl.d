@@ -1,0 +1,1 @@
+test/test_lemmas.ml: Alcotest Hashtbl Helpers Ovo_boolfun Ovo_core QCheck Random

@@ -1,0 +1,1 @@
+test/test_mtable.ml: Alcotest Helpers Ovo_boolfun QCheck Random

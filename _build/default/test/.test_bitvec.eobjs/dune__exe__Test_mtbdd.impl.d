@@ -1,0 +1,1 @@
+test/test_mtbdd.ml: Alcotest Helpers Ovo_bdd Ovo_boolfun Ovo_core QCheck

@@ -1,0 +1,1 @@
+test/test_opt_shared.ml: Alcotest Array Helpers Ovo_boolfun Ovo_core Ovo_quantum QCheck String

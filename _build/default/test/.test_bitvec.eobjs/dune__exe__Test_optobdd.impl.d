@@ -1,0 +1,1 @@
+test/test_optobdd.ml: Alcotest Array Float Helpers List Ovo_boolfun Ovo_core Ovo_numerics Ovo_quantum Printf QCheck

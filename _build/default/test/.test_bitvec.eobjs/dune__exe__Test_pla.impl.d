@@ -1,0 +1,1 @@
+test/test_pla.ml: Alcotest Array Helpers Ovo_boolfun QCheck

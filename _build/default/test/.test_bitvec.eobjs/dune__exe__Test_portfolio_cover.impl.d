@@ -1,0 +1,1 @@
+test/test_portfolio_cover.ml: Alcotest Helpers List Ovo_bdd Ovo_boolfun Ovo_core Ovo_ordering QCheck

@@ -1,0 +1,1 @@
+test/test_qsearch.ml: Alcotest Array Float Gen Helpers List Ovo_quantum QCheck

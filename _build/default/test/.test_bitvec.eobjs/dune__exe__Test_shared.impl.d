@@ -1,0 +1,1 @@
+test/test_shared.ml: Alcotest Array Helpers List Ovo_boolfun Ovo_core QCheck String

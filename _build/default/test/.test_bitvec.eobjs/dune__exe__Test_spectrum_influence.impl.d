@@ -1,0 +1,1 @@
+test/test_spectrum_influence.ml: Alcotest Array Helpers List Ovo_boolfun Ovo_core Ovo_ordering Ovo_quantum QCheck

@@ -1,0 +1,1 @@
+test/test_truthtable.ml: Alcotest Array Helpers Ovo_boolfun QCheck Random

@@ -1,0 +1,1 @@
+test/test_varset.ml: Alcotest Format Hashtbl Helpers List Ovo_core Printf QCheck

@@ -1,0 +1,69 @@
+module A = Ovo_ordering.Astar
+module Fs = Ovo_core.Fs
+module T = Ovo_boolfun.Truthtable
+module F = Ovo_boolfun.Families
+
+let unit_tests =
+  [
+    Helpers.case "constant function expands almost nothing" (fun () ->
+        let r = A.run (T.const 5 true) in
+        Helpers.check_int "mincost" 0 r.A.mincost;
+        (* h = 0 everywhere, but g = 0 too: the first complete chain wins;
+           expansion stays linear-ish, far below 2^5 = 32 *)
+        Helpers.check_bool "pruned" true (r.A.expanded < r.A.subsets_total));
+    Helpers.case "achilles is solved optimally" (fun () ->
+        let r = A.run (F.achilles 3) in
+        Helpers.check_int "mincost" 6 r.A.mincost;
+        Helpers.check_int "subsets" 64 r.A.subsets_total);
+    Helpers.case "order achieves the cost" (fun () ->
+        let tt = F.multiplexer ~select:2 in
+        let r = A.run tt in
+        Helpers.check_int "cost" r.A.mincost
+          (Ovo_core.Eval_order.mincost tt r.A.order));
+    Helpers.case "zdd kind" (fun () ->
+        let tt = F.achilles 2 in
+        let r = A.run ~kind:Ovo_core.Compact.Zdd tt in
+        Helpers.check_int "zdd optimum"
+          (Fs.run ~kind:Ovo_core.Compact.Zdd tt).Fs.mincost r.A.mincost);
+    Helpers.case "expansion counts are sane" (fun () ->
+        let r = A.run (F.parity 6) in
+        Helpers.check_bool "expanded <= 2^n" true
+          (r.A.expanded <= r.A.subsets_total);
+        Helpers.check_bool "generated >= expanded" true
+          (r.A.generated >= r.A.expanded));
+    Helpers.case "prunes on functions with small support" (fun () ->
+        (* f depends on 3 of 8 variables: A* should expand a tiny part of
+           the 2^8 lattice because every non-support variable costs 0 *)
+        let f =
+          T.( ||| ) (T.( &&& ) (T.var 8 1) (T.var 8 4)) (T.var 8 6)
+        in
+        let r = A.run f in
+        Helpers.check_int "optimal" (Fs.run f).Fs.mincost r.A.mincost;
+        Helpers.check_bool "hard pruning" true
+          (r.A.expanded * 4 < r.A.subsets_total));
+  ]
+
+let props =
+  [
+    QCheck.Test.make ~name:"A* equals FS (BDD)" ~count:80
+      (Helpers.arb_truthtable ~lo:1 ~hi:6 ())
+      (fun tt -> (A.run tt).A.mincost = (Fs.run tt).Fs.mincost);
+    QCheck.Test.make ~name:"A* equals FS (ZDD)" ~count:40
+      (Helpers.arb_truthtable ~lo:1 ~hi:5 ())
+      (fun tt ->
+        (A.run ~kind:Ovo_core.Compact.Zdd tt).A.mincost
+        = (Fs.run ~kind:Ovo_core.Compact.Zdd tt).Fs.mincost);
+    QCheck.Test.make ~name:"A* order is a valid witness" ~count:60
+      (Helpers.arb_truthtable ~lo:1 ~hi:6 ())
+      (fun tt ->
+        let r = A.run tt in
+        Ovo_core.Eval_order.mincost tt r.A.order = r.A.mincost);
+    QCheck.Test.make ~name:"A* never expands more than the lattice" ~count:60
+      (Helpers.arb_truthtable ~lo:1 ~hi:6 ())
+      (fun tt ->
+        let r = A.run tt in
+        r.A.expanded <= r.A.subsets_total);
+  ]
+
+let () =
+  Alcotest.run "astar" [ ("unit", unit_tests); ("props", Helpers.qtests props) ]

@@ -1,0 +1,134 @@
+module Bv = Ovo_boolfun.Bitvec
+
+let unit_tests =
+  [
+    Helpers.case "create is zeroed" (fun () ->
+        let v = Bv.create 70 in
+        Helpers.check_int "len" 70 (Bv.length v);
+        Helpers.check_int "popcount" 0 (Bv.popcount v);
+        Helpers.check_bool "is_zero" true (Bv.is_zero v));
+    Helpers.case "set/get single bits" (fun () ->
+        let v = Bv.create 17 in
+        Bv.set v 0 true;
+        Bv.set v 16 true;
+        Bv.set v 7 true;
+        Bv.set v 8 true;
+        Helpers.check_bool "bit 0" true (Bv.get v 0);
+        Helpers.check_bool "bit 1" false (Bv.get v 1);
+        Helpers.check_bool "bit 7" true (Bv.get v 7);
+        Helpers.check_bool "bit 8" true (Bv.get v 8);
+        Helpers.check_bool "bit 16" true (Bv.get v 16);
+        Helpers.check_int "popcount" 4 (Bv.popcount v));
+    Helpers.case "set false clears" (fun () ->
+        let v = Bv.create 9 in
+        Bv.set v 5 true;
+        Bv.set v 5 false;
+        Helpers.check_bool "cleared" false (Bv.get v 5);
+        Helpers.check_bool "is_zero" true (Bv.is_zero v));
+    Helpers.case "out of range raises" (fun () ->
+        let v = Bv.create 8 in
+        Alcotest.check_raises "get -1" (Invalid_argument "Bitvec: index out of range")
+          (fun () -> ignore (Bv.get v (-1)));
+        Alcotest.check_raises "get 8" (Invalid_argument "Bitvec: index out of range")
+          (fun () -> ignore (Bv.get v 8)));
+    Helpers.case "negative length raises" (fun () ->
+        Alcotest.check_raises "create" (Invalid_argument "Bitvec.create")
+          (fun () -> ignore (Bv.create (-1))));
+    Helpers.case "string round trip" (fun () ->
+        let s = "011010001110101" in
+        Alcotest.(check string) "round" s (Bv.to_string (Bv.of_string s)));
+    Helpers.case "of_string rejects junk" (fun () ->
+        Alcotest.check_raises "junk" (Invalid_argument "Bitvec.of_string")
+          (fun () -> ignore (Bv.of_string "01x")));
+    Helpers.case "is_ones" (fun () ->
+        Helpers.check_bool "ones" true (Bv.is_ones (Bv.of_string "11111"));
+        Helpers.check_bool "not ones" false (Bv.is_ones (Bv.of_string "11011")));
+    Helpers.case "lnot involutive on example" (fun () ->
+        let v = Bv.of_string "0110100" in
+        Helpers.check_bool "double negation" true
+          (Bv.equal v (Bv.lnot_ (Bv.lnot_ v))));
+    Helpers.case "map2 and" (fun () ->
+        let a = Bv.of_string "1100" and b = Bv.of_string "1010" in
+        Alcotest.(check string) "and" "1000" (Bv.to_string (Bv.map2 ( && ) a b)));
+    Helpers.case "map2 length mismatch" (fun () ->
+        Alcotest.check_raises "mismatch" (Invalid_argument "Bitvec.map2")
+          (fun () ->
+            ignore (Bv.map2 ( && ) (Bv.create 3) (Bv.create 4))));
+    Helpers.case "fold counts ones" (fun () ->
+        let v = Bv.of_string "101101" in
+        Helpers.check_int "fold" 4
+          (Bv.fold (fun acc b -> if b then acc + 1 else acc) 0 v));
+    Helpers.case "iteri visits in order" (fun () ->
+        let v = Bv.of_string "010" in
+        let seen = ref [] in
+        Bv.iteri (fun i b -> seen := (i, b) :: !seen) v;
+        Alcotest.(check (list (pair int bool)))
+          "order"
+          [ (0, false); (1, true); (2, false) ]
+          (List.rev !seen));
+    Helpers.case "empty vector" (fun () ->
+        let v = Bv.create 0 in
+        Helpers.check_int "len" 0 (Bv.length v);
+        Helpers.check_bool "is_zero" true (Bv.is_zero v);
+        Helpers.check_bool "is_ones" true (Bv.is_ones v));
+  ]
+
+let gen_bits =
+  QCheck.Gen.(
+    int_range 0 200 >>= fun len ->
+    string_size ~gen:(oneofl [ '0'; '1' ]) (return len))
+
+let arb_bits = QCheck.make ~print:(fun s -> s) gen_bits
+
+let props =
+  [
+    QCheck.Test.make ~name:"string round trip" ~count:200 arb_bits (fun s ->
+        Bv.to_string (Bv.of_string s) = s);
+    QCheck.Test.make ~name:"popcount matches string" ~count:200 arb_bits
+      (fun s ->
+        Bv.popcount (Bv.of_string s)
+        = String.fold_left (fun acc c -> if c = '1' then acc + 1 else acc) 0 s);
+    QCheck.Test.make ~name:"lnot involutive" ~count:200 arb_bits (fun s ->
+        let v = Bv.of_string s in
+        Bv.equal v (Bv.lnot_ (Bv.lnot_ v)));
+    QCheck.Test.make ~name:"hash respects equal" ~count:200 arb_bits (fun s ->
+        let a = Bv.of_string s and b = Bv.of_string s in
+        Bv.equal a b && Bv.hash a = Bv.hash b && Bv.compare a b = 0);
+    QCheck.Test.make ~name:"copy independent" ~count:100 arb_bits (fun s ->
+        QCheck.assume (String.length s > 0);
+        let v = Bv.of_string s in
+        let c = Bv.copy v in
+        Bv.set c 0 (not (Bv.get c 0));
+        Bv.get v 0 <> Bv.get c 0);
+    QCheck.Test.make ~name:"word-parallel kernels equal map2" ~count:300
+      (QCheck.pair arb_bits arb_bits)
+      (fun (s1, s2) ->
+        let len = min (String.length s1) (String.length s2) in
+        let a = Bv.of_string (String.sub s1 0 len) in
+        let b = Bv.of_string (String.sub s2 0 len) in
+        Bv.equal (Bv.and_ a b) (Bv.map2 ( && ) a b)
+        && Bv.equal (Bv.or_ a b) (Bv.map2 ( || ) a b)
+        && Bv.equal (Bv.xor_ a b) (Bv.map2 ( <> ) a b));
+    QCheck.Test.make ~name:"fast lnot keeps the tail invariant" ~count:300
+      arb_bits
+      (fun s ->
+        let v = Bv.of_string s in
+        let n = Bv.lnot_ v in
+        (* the invariant shows up through popcount and xor *)
+        Bv.popcount n = String.length s - Bv.popcount v
+        && Bv.is_ones (Bv.xor_ v n) = (String.length s > 0)
+        || String.length s = 0);
+    QCheck.Test.make ~name:"init/get agree" ~count:200
+      QCheck.(int_range 0 100)
+      (fun len ->
+        let v = Bv.init len (fun i -> i mod 3 = 0) in
+        let ok = ref true in
+        for i = 0 to len - 1 do
+          if Bv.get v i <> (i mod 3 = 0) then ok := false
+        done;
+        !ok);
+  ]
+
+let () =
+  Alcotest.run "bitvec"
+    [ ("unit", unit_tests); ("props", Helpers.qtests props) ]

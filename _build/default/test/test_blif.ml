@@ -1,0 +1,135 @@
+module Bl = Ovo_boolfun.Blif
+module T = Ovo_boolfun.Truthtable
+
+let full_adder =
+  {|# a full adder in BLIF
+.model fa
+.inputs a b cin
+.outputs sum cout
+.names a b axb
+10 1
+01 1
+.names axb cin sum
+10 1
+01 1
+.names a b cin cout
+11- 1
+1-1 1
+-11 1
+.end|}
+
+let unit_tests =
+  [
+    Helpers.case "full adder parses" (fun () ->
+        let m = Bl.of_string full_adder in
+        Alcotest.(check string) "model" "fa" (Bl.model_name m);
+        Alcotest.(check (list string)) "inputs" [ "a"; "b"; "cin" ]
+          (Bl.input_names m);
+        Alcotest.(check (list string)) "outputs" [ "sum"; "cout" ]
+          (Bl.output_names m));
+    Helpers.case "full adder semantics" (fun () ->
+        let m = Bl.of_string full_adder in
+        let sum = Bl.output_table m "sum" and cout = Bl.output_table m "cout" in
+        for code = 0 to 7 do
+          let a = code land 1 and b = (code lsr 1) land 1 and c = code lsr 2 in
+          let total = a + b + c in
+          Helpers.check_bool "sum" (total land 1 = 1) (T.eval sum code);
+          Helpers.check_bool "cout" (total >= 2) (T.eval cout code)
+        done);
+    Helpers.case "off-set covers (output 0 rows)" (fun () ->
+        let m =
+          Bl.of_string
+            ".model m\n.inputs a b\n.outputs f\n.names a b f\n11 0\n.end"
+        in
+        (* f is defined by its off-set {11}: f = !(a & b) *)
+        let f = Bl.output_table m "f" in
+        Helpers.check_bool "!(a&b)" true
+          (T.equal f (T.not_ (T.( &&& ) (T.var 2 0) (T.var 2 1)))));
+    Helpers.case "constants" (fun () ->
+        let m =
+          Bl.of_string
+            ".model m\n.inputs a\n.outputs t f\n.names t\n1\n.names f\n.end"
+        in
+        Alcotest.(check (option bool)) "true" (Some true)
+          (T.is_const (Bl.output_table m "t"));
+        Alcotest.(check (option bool)) "false" (Some false)
+          (T.is_const (Bl.output_table m "f")));
+    Helpers.case "line continuations" (fun () ->
+        let m =
+          Bl.of_string
+            ".model m\n.inputs \\\na b\n.outputs f\n.names a b f\n11 1\n.end"
+        in
+        Alcotest.(check (list string)) "inputs" [ "a"; "b" ] (Bl.input_names m));
+    Helpers.case "latches rejected" (fun () ->
+        match
+          Bl.of_string ".model m\n.inputs a\n.outputs f\n.latch a f re clk 0\n.end"
+        with
+        | _ -> Alcotest.fail "expected failure"
+        | exception Failure _ -> ());
+    Helpers.case "undefined signals rejected at elaboration" (fun () ->
+        let m =
+          Bl.of_string ".model m\n.inputs a\n.outputs f\n.names ghost f\n1 1\n.end"
+        in
+        match Bl.output_table m "f" with
+        | _ -> Alcotest.fail "expected failure"
+        | exception Failure _ -> ());
+    Helpers.case "mixed polarity rejected" (fun () ->
+        let m =
+          Bl.of_string
+            ".model m\n.inputs a b\n.outputs f\n.names a b f\n11 1\n00 0\n.end"
+        in
+        match Bl.output_table m "f" with
+        | _ -> Alcotest.fail "expected failure"
+        | exception Failure _ -> ());
+    Helpers.case "multi-level chains compose" (fun () ->
+        (* xor of 4 variables built as a tree of 2-input xors *)
+        let m =
+          Bl.of_string
+            ".model x4\n.inputs a b c d\n.outputs f\n\
+             .names a b u\n10 1\n01 1\n\
+             .names c d v\n10 1\n01 1\n\
+             .names u v f\n10 1\n01 1\n.end"
+        in
+        Helpers.check_bool "is parity-4" true
+          (T.equal (Bl.output_table m "f") (Ovo_boolfun.Families.parity 4)));
+    Helpers.case "optimising a BLIF output end-to-end" (fun () ->
+        let m = Bl.of_string full_adder in
+        let cout = Bl.output_table m "cout" in
+        let r = Ovo_core.Fs.run cout in
+        (* carry of a full adder is MAJ3: 4 inner nodes + 2 terminals *)
+        Helpers.check_int "majority-3 optimum" 6 r.Ovo_core.Fs.size);
+  ]
+
+let props =
+  [
+    QCheck.Test.make ~name:"single-gate BLIF equals PLA semantics" ~count:100
+      (Helpers.arb_truthtable ~lo:1 ~hi:4 ())
+      (fun tt ->
+        (* render tt as a minterm cover in BLIF and re-read it *)
+        let n = T.arity tt in
+        let buf = Buffer.create 256 in
+        Buffer.add_string buf ".model m\n.inputs";
+        for j = 0 to n - 1 do
+          Buffer.add_string buf (Printf.sprintf " x%d" j)
+        done;
+        Buffer.add_string buf "\n.outputs f\n.names";
+        for j = 0 to n - 1 do
+          Buffer.add_string buf (Printf.sprintf " x%d" j)
+        done;
+        Buffer.add_string buf " f\n";
+        for code = 0 to (1 lsl n) - 1 do
+          if T.eval tt code then begin
+            for j = 0 to n - 1 do
+              Buffer.add_char buf
+                (if code land (1 lsl j) <> 0 then '1' else '0')
+            done;
+            Buffer.add_string buf " 1\n"
+          end
+        done;
+        Buffer.add_string buf ".end\n";
+        let m = Bl.of_string (Buffer.contents buf) in
+        T.equal (Bl.output_table m "f") tt);
+  ]
+
+let () =
+  Alcotest.run "blif" [ ("unit", unit_tests); ("props", Helpers.qtests props) ]

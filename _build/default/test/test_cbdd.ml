@@ -1,0 +1,179 @@
+module Cb = Ovo_bdd.Cbdd
+module B = Ovo_bdd.Bdd
+module T = Ovo_boolfun.Truthtable
+module E = Ovo_boolfun.Expr
+
+let unit_tests =
+  [
+    Helpers.case "constants are complements of each other" (fun () ->
+        let man = Cb.create 3 in
+        Helpers.check_bool "not true = false" true
+          (Cb.equal (Cb.not_ man (Cb.btrue man)) (Cb.bfalse man));
+        Helpers.check_bool "double negation" true
+          (Cb.equal (Cb.not_ man (Cb.not_ man (Cb.var man 1))) (Cb.var man 1)));
+    Helpers.case "negation shares the sub-graph" (fun () ->
+        let man = Cb.create 5 in
+        let f = Cb.of_truthtable man (Ovo_boolfun.Families.hidden_weighted_bit 5) in
+        let before = Cb.node_count man in
+        let _ = Cb.not_ man f in
+        Helpers.check_int "no new nodes" before (Cb.node_count man);
+        Helpers.check_int "same size" (Cb.size man f)
+          (Cb.size man (Cb.not_ man f)));
+    Helpers.case "parity shrinks to n+1 nodes with complement edges"
+      (fun () ->
+        (* plain BDD: 2n-1 inner nodes; with complement edges the two
+           nodes per level merge: n inner nodes + 1 terminal *)
+        let n = 6 in
+        let man = Cb.create n in
+        let f = Cb.of_truthtable man (Ovo_boolfun.Families.parity n) in
+        Helpers.check_int "size" (n + 1) (Cb.size man f);
+        let plain = B.create n in
+        let g = B.of_truthtable plain (Ovo_boolfun.Families.parity n) in
+        Helpers.check_int "plain size" ((2 * n) - 1 + 2) (B.size plain g));
+    Helpers.case "xor via ite agrees with of_truthtable" (fun () ->
+        let man = Cb.create 4 in
+        let a = Cb.var man 0 and b = Cb.var man 2 in
+        let f = Cb.xor_ man a b in
+        let direct =
+          Cb.of_truthtable man (T.xor (T.var 4 0) (T.var 4 2))
+        in
+        Helpers.check_bool "canonical" true (Cb.equal f direct));
+    Helpers.case "satcount with complemented handles" (fun () ->
+        let man = Cb.create 4 in
+        let f = Cb.of_truthtable man (Ovo_boolfun.Families.threshold 4 ~k:2) in
+        Alcotest.(check (float 0.001)) "count" 11. (Cb.satcount man f);
+        Alcotest.(check (float 0.001)) "complement count" 5.
+          (Cb.satcount man (Cb.not_ man f)));
+  ]
+
+let props =
+  [
+    QCheck.Test.make ~name:"of_truthtable/to_truthtable round trip" ~count:200
+      (Helpers.arb_truthtable ~lo:1 ~hi:7 ())
+      (fun tt ->
+        let man = Cb.create (T.arity tt) in
+        T.equal (Cb.to_truthtable man (Cb.of_truthtable man tt)) tt);
+    QCheck.Test.make ~name:"canonicity: equality iff same function" ~count:200
+      (QCheck.pair
+         (Helpers.arb_truthtable ~lo:1 ~hi:5 ())
+         (Helpers.arb_truthtable ~lo:1 ~hi:5 ()))
+      (fun (a, b) ->
+        QCheck.assume (T.arity a = T.arity b);
+        let man = Cb.create (T.arity a) in
+        Cb.equal (Cb.of_truthtable man a) (Cb.of_truthtable man b)
+        = T.equal a b);
+    QCheck.Test.make ~name:"connectives match tables" ~count:200
+      (QCheck.pair
+         (Helpers.arb_truthtable ~lo:1 ~hi:6 ())
+         (Helpers.arb_truthtable ~lo:1 ~hi:6 ()))
+      (fun (a, b) ->
+        QCheck.assume (T.arity a = T.arity b);
+        let man = Cb.create (T.arity a) in
+        let ba = Cb.of_truthtable man a and bb = Cb.of_truthtable man b in
+        T.equal (Cb.to_truthtable man (Cb.and_ man ba bb)) (T.( &&& ) a b)
+        && T.equal (Cb.to_truthtable man (Cb.or_ man ba bb)) (T.( ||| ) a b)
+        && T.equal (Cb.to_truthtable man (Cb.xor_ man ba bb)) (T.xor a b)
+        && T.equal (Cb.to_truthtable man (Cb.not_ man ba)) (T.not_ a));
+    QCheck.Test.make ~name:"negation preserves size exactly" ~count:150
+      (Helpers.arb_truthtable ~lo:1 ~hi:6 ())
+      (fun tt ->
+        let man = Cb.create (T.arity tt) in
+        let f = Cb.of_truthtable man tt in
+        Cb.size man f = Cb.size man (Cb.not_ man f));
+    QCheck.Test.make ~name:"satcount equals count_ones" ~count:200
+      (Helpers.arb_truthtable ~lo:1 ~hi:7 ())
+      (fun tt ->
+        let man = Cb.create (T.arity tt) in
+        int_of_float (Cb.satcount man (Cb.of_truthtable man tt))
+        = T.count_ones tt);
+    QCheck.Test.make
+      ~name:"complement edges never beat half of the plain size by much"
+      ~count:100
+      (QCheck.pair (Helpers.arb_truthtable ~lo:1 ~hi:6 ()) QCheck.small_int)
+      (fun (tt, seed) ->
+        (* the classical bound: plain-size/2 <= cbdd-size <= plain-size,
+           roughly; precisely cbdd nodes >= (plain inner + terminals)/2
+           and <= plain *)
+        let n = T.arity tt in
+        let pi = Helpers.perm_of_seed seed n in
+        let rf = Ovo_core.Eval_order.read_first pi in
+        let man = Cb.create ~order:rf n in
+        let plain = Ovo_core.Eval_order.size tt pi in
+        let csize = Cb.size man (Cb.of_truthtable man tt) in
+        2 * csize >= plain && csize <= plain);
+    QCheck.Test.make ~name:"ite agrees with table ite" ~count:150
+      (QCheck.triple
+         (Helpers.arb_truthtable ~lo:3 ~hi:5 ())
+         (Helpers.arb_truthtable ~lo:3 ~hi:5 ())
+         (Helpers.arb_truthtable ~lo:3 ~hi:5 ()))
+      (fun (f, g, h) ->
+        QCheck.assume (T.arity f = T.arity g && T.arity g = T.arity h);
+        let man = Cb.create (T.arity f) in
+        let bf = Cb.of_truthtable man f
+        and bg = Cb.of_truthtable man g
+        and bh = Cb.of_truthtable man h in
+        let expect =
+          T.( ||| ) (T.( &&& ) f g) (T.( &&& ) (T.not_ f) h)
+        in
+        T.equal (Cb.to_truthtable man (Cb.ite man bf bg bh)) expect);
+  ]
+
+let extension_props =
+  [
+    QCheck.Test.make ~name:"restrict agrees with table semantics" ~count:150
+      (QCheck.pair (Helpers.arb_truthtable ~lo:2 ~hi:6 ()) QCheck.small_int)
+      (fun (tt, seed) ->
+        let n = T.arity tt in
+        let st = Helpers.rng seed in
+        let v = Random.State.int st n in
+        let bit = Random.State.bool st in
+        let man = Cb.create n in
+        let f = Cb.of_truthtable man tt in
+        let expect =
+          T.of_fun n (fun code ->
+              let forced =
+                if bit then code lor (1 lsl v) else code land lnot (1 lsl v)
+              in
+              T.eval tt forced)
+        in
+        T.equal (Cb.to_truthtable man (Cb.restrict man f ~var:v bit)) expect);
+    QCheck.Test.make ~name:"restrict commutes with negation" ~count:150
+      (QCheck.pair (Helpers.arb_truthtable ~lo:2 ~hi:6 ()) QCheck.small_int)
+      (fun (tt, seed) ->
+        let n = T.arity tt in
+        let v = Random.State.int (Helpers.rng seed) n in
+        let man = Cb.create n in
+        let f = Cb.of_truthtable man tt in
+        Cb.equal
+          (Cb.restrict man (Cb.not_ man f) ~var:v true)
+          (Cb.not_ man (Cb.restrict man f ~var:v true)));
+    QCheck.Test.make ~name:"support equals table support" ~count:150
+      (Helpers.arb_truthtable ~lo:1 ~hi:6 ())
+      (fun tt ->
+        let man = Cb.create (T.arity tt) in
+        Cb.support man (Cb.of_truthtable man tt) = T.support tt);
+    QCheck.Test.make ~name:"exists/forall agree with table quantification"
+      ~count:100
+      (QCheck.pair (Helpers.arb_truthtable ~lo:2 ~hi:5 ()) QCheck.small_int)
+      (fun (tt, seed) ->
+        let n = T.arity tt in
+        let v = Random.State.int (Helpers.rng seed) n in
+        let man = Cb.create n in
+        let f = Cb.of_truthtable man tt in
+        let f0 = T.of_fun n (fun c -> T.eval tt (c land lnot (1 lsl v))) in
+        let f1 = T.of_fun n (fun c -> T.eval tt (c lor (1 lsl v))) in
+        T.equal
+          (Cb.to_truthtable man (Cb.exists man [ v ] f))
+          (T.( ||| ) f0 f1)
+        && T.equal
+             (Cb.to_truthtable man (Cb.forall man [ v ] f))
+             (T.( &&& ) f0 f1));
+  ]
+
+let () =
+  Alcotest.run "cbdd"
+    [
+      ("unit", unit_tests);
+      ("props", Helpers.qtests props);
+      ("extensions", Helpers.qtests extension_props);
+    ]

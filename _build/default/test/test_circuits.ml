@@ -1,0 +1,132 @@
+module B = Ovo_bdd.Bdd
+module Cc = Ovo_bdd.Circuits
+
+(* an n-variable manager with [wa]+[wb] input bits: a at vars 0.., b after *)
+let fresh wa wb =
+  let man = B.create (wa + wb) in
+  let a = Cc.input man (Array.init wa (fun j -> j)) in
+  let b = Cc.input man (Array.init wb (fun j -> wa + j)) in
+  (man, a, b)
+
+let operands code wa wb = (code land ((1 lsl wa) - 1), (code lsr wa) land ((1 lsl wb) - 1))
+
+let unit_tests =
+  [
+    Helpers.case "constants evaluate to themselves" (fun () ->
+        let man = B.create 2 in
+        let v = Cc.constant man ~width:4 11 in
+        Helpers.check_int "value" 11 (Cc.eval_int man v 0);
+        let trunc = Cc.constant man ~width:2 11 in
+        Helpers.check_int "truncated" 3 (Cc.eval_int man trunc 0));
+    Helpers.case "adder is exact on all 3-bit operands" (fun () ->
+        let man, a, b = fresh 3 3 in
+        let sum, carry = Cc.add man a b in
+        for code = 0 to 63 do
+          let va, vb = operands code 3 3 in
+          let expect = va + vb in
+          let got =
+            Cc.eval_int man sum code
+            lor if B.eval man carry code then 8 else 0
+          in
+          Helpers.check_int (Printf.sprintf "%d+%d" va vb) expect got
+        done);
+    Helpers.case "multiplier is exact on all 3x3-bit operands" (fun () ->
+        let man, a, b = fresh 3 3 in
+        let prod = Cc.multiply man a b in
+        for code = 0 to 63 do
+          let va, vb = operands code 3 3 in
+          Helpers.check_int
+            (Printf.sprintf "%d*%d" va vb)
+            (va * vb)
+            (Cc.eval_int man prod code)
+        done);
+    Helpers.case "comparator semantics" (fun () ->
+        let man, a, b = fresh 3 3 in
+        let lt = Cc.less_than man a b in
+        let eq = Cc.equal_vec man a b in
+        for code = 0 to 63 do
+          let va, vb = operands code 3 3 in
+          Helpers.check_bool "lt" (va < vb) (B.eval man lt code);
+          Helpers.check_bool "eq" (va = vb) (B.eval man eq code)
+        done);
+    Helpers.case "adder ordering: interleaved linear, blocked exponential"
+      (fun () ->
+        let size_of interleaved bits =
+          let man, sum, carry = Cc.adder_outputs ~bits ~interleaved in
+          B.shared_size man (carry :: Array.to_list sum)
+        in
+        let good6 = size_of true 6 and bad6 = size_of false 6 in
+        let good7 = size_of true 7 and bad7 = size_of false 7 in
+        (* polynomial growth (the shared sum vector is Theta(n^2)) versus
+           roughly doubling per extra bit *)
+        Helpers.check_bool "good grows polynomially" true
+          (3 * good7 < 4 * good6 + 60);
+        Helpers.check_bool "bad grows geometrically" true
+          (bad7 > bad6 + (bad6 / 2));
+        Helpers.check_bool "gap" true (bad7 > 4 * good7));
+    Helpers.case "width mismatch rejected" (fun () ->
+        let man = B.create 3 in
+        let a = Cc.input man [| 0 |] and b = Cc.input man [| 1; 2 |] in
+        Alcotest.check_raises "mismatch"
+          (Invalid_argument "Circuits: width mismatch") (fun () ->
+            ignore (Cc.add man a b)));
+    Helpers.case "shared size counts common nodes once" (fun () ->
+        let man, a, b = fresh 3 3 in
+        let sum, _ = Cc.add man a b in
+        let separate =
+          Array.fold_left (fun acc bit -> acc + B.size man bit) 0 sum
+        in
+        Helpers.check_bool "sharing helps" true
+          (Cc.total_size man sum < separate));
+    Helpers.case "multiplier middle bit matches Families.adder-style table"
+      (fun () ->
+        (* the product's bit 2 over 2x2 operands equals the catalogue's
+           mtable used elsewhere *)
+        let man, a, b = fresh 2 2 in
+        let prod = Cc.multiply man a b in
+        let direct =
+          Ovo_boolfun.Truthtable.of_fun 4 (fun code ->
+              let va, vb = operands code 2 2 in
+              (va * vb) land 4 <> 0)
+        in
+        Helpers.check_bool "bit 2" true
+          (Ovo_boolfun.Truthtable.equal (B.to_truthtable man prod.(2)) direct));
+  ]
+
+let props =
+  [
+    QCheck.Test.make ~name:"addition commutes (canonicity)" ~count:50
+      QCheck.(int_range 1 4)
+      (fun w ->
+        let man, a, b = fresh w w in
+        let s1, c1 = Cc.add man a b in
+        let s2, c2 = Cc.add man b a in
+        B.equal c1 c2 && Array.for_all2 B.equal s1 s2);
+    QCheck.Test.make ~name:"multiplication commutes (canonicity)" ~count:30
+      QCheck.(int_range 1 3)
+      (fun w ->
+        let man, a, b = fresh w w in
+        let p1 = Cc.multiply man a b and p2 = Cc.multiply man b a in
+        Array.for_all2 B.equal p1 p2);
+    QCheck.Test.make ~name:"a < b xor b < a xor a = b" ~count:30
+      QCheck.(int_range 1 4)
+      (fun w ->
+        let man, a, b = fresh w w in
+        let lt = Cc.less_than man a b in
+        let gt = Cc.less_than man b a in
+        let eq = Cc.equal_vec man a b in
+        let xor3 = B.xor_ man (B.xor_ man lt gt) eq in
+        B.is_true man xor3);
+    QCheck.Test.make ~name:"adding zero is the identity" ~count:30
+      QCheck.(int_range 1 5)
+      (fun w ->
+        let man = B.create w in
+        let a = Cc.input man (Array.init w (fun j -> j)) in
+        let z = Cc.constant man ~width:w 0 in
+        let s, carry = Cc.add man a z in
+        B.is_false man carry && Array.for_all2 B.equal s a);
+  ]
+
+let () =
+  Alcotest.run "circuits"
+    [ ("unit", unit_tests); ("props", Helpers.qtests props) ]

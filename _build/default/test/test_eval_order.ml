@@ -1,0 +1,66 @@
+module E = Ovo_core.Eval_order
+module T = Ovo_boolfun.Truthtable
+module F = Ovo_boolfun.Families
+
+let unit_tests =
+  [
+    Helpers.case "fig1 evaluations" (fun () ->
+        let tt = F.achilles 3 in
+        Helpers.check_int "good" 8 (E.size tt (F.achilles_good_order 3));
+        Helpers.check_int "bad" 16 (E.size tt (F.achilles_bad_order 3));
+        Helpers.check_int "good mincost" 6
+          (E.mincost tt (F.achilles_good_order 3)));
+    Helpers.case "widths of parity are 1 2 2 ... capped" (fun () ->
+        let tt = F.parity 4 in
+        Alcotest.(check (list int)) "widths" [ 2; 2; 2; 1 ]
+          (Array.to_list (E.widths tt [| 0; 1; 2; 3 |])));
+    Helpers.case "rejects non-permutations" (fun () ->
+        let tt = T.of_string "0110" in
+        Alcotest.check_raises "dup" (Invalid_argument "Eval_order: not a permutation")
+          (fun () -> ignore (E.mincost tt [| 0; 0 |]));
+        Alcotest.check_raises "len" (Invalid_argument "Eval_order: wrong length")
+          (fun () -> ignore (E.mincost tt [| 0 |])));
+    Helpers.case "read_first reverses" (fun () ->
+        Alcotest.(check (array int)) "rev" [| 2; 0; 1 |]
+          (E.read_first [| 1; 0; 2 |]));
+    Helpers.case "zdd kind differs from bdd kind" (fun () ->
+        (* f = !x0: BDD has 1 node, ZDD has 0 *)
+        let tt = T.of_string "10" in
+        Helpers.check_int "bdd" 1 (E.mincost tt [| 0 |]);
+        Helpers.check_int "zdd" 0
+          (E.mincost ~kind:Ovo_core.Compact.Zdd tt [| 0 |]));
+  ]
+
+let props =
+  [
+    QCheck.Test.make ~name:"diagram of order represents the function"
+      ~count:200
+      (QCheck.pair (Helpers.arb_truthtable ~lo:1 ~hi:6 ()) QCheck.small_int)
+      (fun (tt, seed) ->
+        let order = Helpers.perm_of_seed seed (T.arity tt) in
+        Ovo_core.Diagram.check_tt (E.diagram tt order) tt);
+    QCheck.Test.make ~name:"size = mincost + reachable terminals" ~count:200
+      (QCheck.pair (Helpers.arb_truthtable ~lo:1 ~hi:6 ()) QCheck.small_int)
+      (fun (tt, seed) ->
+        let order = Helpers.perm_of_seed seed (T.arity tt) in
+        let d = E.diagram tt order in
+        E.size tt order
+        = E.mincost tt order + Ovo_core.Diagram.reachable_terminals d);
+    QCheck.Test.make ~name:"read_first is an involution" ~count:100
+      (QCheck.pair (QCheck.int_range 1 10) QCheck.small_int)
+      (fun (n, seed) ->
+        let order = Helpers.perm_of_seed seed n in
+        E.read_first (E.read_first order) = order);
+    QCheck.Test.make
+      ~name:"symmetric functions: every ordering has the same cost" ~count:50
+      (QCheck.pair (QCheck.int_range 2 6) QCheck.small_int)
+      (fun (n, seed) ->
+        let tt = F.threshold n ~k:(n / 2) in
+        let o1 = Helpers.perm_of_seed seed n in
+        let o2 = Helpers.perm_of_seed (seed + 1) n in
+        E.mincost tt o1 = E.mincost tt o2);
+  ]
+
+let () =
+  Alcotest.run "eval_order"
+    [ ("unit", unit_tests); ("props", Helpers.qtests props) ]

@@ -1,0 +1,144 @@
+module F = Ovo_boolfun.Families
+module T = Ovo_boolfun.Truthtable
+
+let popcount code =
+  let rec loop c acc = if c = 0 then acc else loop (c lsr 1) (acc + (c land 1)) in
+  loop code 0
+
+let unit_tests =
+  [
+    Helpers.case "achilles semantics" (fun () ->
+        let tt = F.achilles 2 in
+        Helpers.check_bool "x0x1" true (T.eval tt 0b0011);
+        Helpers.check_bool "x2x3" true (T.eval tt 0b1100);
+        Helpers.check_bool "x0x2" false (T.eval tt 0b0101);
+        Helpers.check_bool "none" false (T.eval tt 0));
+    Helpers.case "achilles orderings are permutations" (fun () ->
+        let check order n =
+          let seen = Array.make n false in
+          Array.iter (fun v -> seen.(v) <- true) order;
+          Array.for_all (fun b -> b) seen
+        in
+        Helpers.check_bool "good" true (check (F.achilles_good_order 4) 8);
+        Helpers.check_bool "bad" true (check (F.achilles_bad_order 4) 8));
+    Helpers.case "fig1 sizes at n = 3 pairs (paper: 8 vs 16)" (fun () ->
+        let tt = F.achilles 3 in
+        Helpers.check_int "good" 8
+          (Ovo_core.Eval_order.size tt (F.achilles_good_order 3));
+        Helpers.check_int "bad" 16
+          (Ovo_core.Eval_order.size tt (F.achilles_bad_order 3)));
+    Helpers.case "parity" (fun () ->
+        let tt = F.parity 5 in
+        Helpers.check_bool "odd" true (T.eval tt 0b10011);
+        Helpers.check_bool "even" false (T.eval tt 0b11011);
+        Helpers.check_int "balanced" 16 (T.count_ones tt));
+    Helpers.case "majority" (fun () ->
+        let tt = F.majority 5 in
+        Helpers.check_bool "3 of 5" true (T.eval tt 0b10101);
+        Helpers.check_bool "2 of 5" false (T.eval tt 0b00101));
+    Helpers.case "threshold edge values" (fun () ->
+        let tt = F.threshold 4 ~k:0 in
+        Alcotest.(check (option bool)) "k=0 is const true" (Some true)
+          (T.is_const tt);
+        let tt5 = F.threshold 4 ~k:5 in
+        Alcotest.(check (option bool)) "k>n is const false" (Some false)
+          (T.is_const tt5));
+    Helpers.case "weight_interval" (fun () ->
+        let tt = F.weight_interval 6 ~lo:2 ~hi:3 in
+        Helpers.check_bool "w2" true (T.eval tt 0b000011);
+        Helpers.check_bool "w4" false (T.eval tt 0b001111));
+    Helpers.case "symmetric from values" (fun () ->
+        let tt = F.symmetric [| true; false; true |] in
+        Helpers.check_bool "w0" true (T.eval tt 0);
+        Helpers.check_bool "w1" false (T.eval tt 1);
+        Helpers.check_bool "w2" true (T.eval tt 3));
+    Helpers.case "hwb semantics" (fun () ->
+        let tt = F.hidden_weighted_bit 4 in
+        (* wt=2 at code 0b0011: bit index wt-1 = 1 -> set *)
+        Helpers.check_bool "0011" true (T.eval tt 0b0011);
+        (* wt=2 at code 0b1010: bit 1 is set -> true *)
+        Helpers.check_bool "1010" true (T.eval tt 0b1010);
+        (* wt=1 at code 0b1000: bit 0 clear -> false *)
+        Helpers.check_bool "1000" false (T.eval tt 0b1000);
+        Helpers.check_bool "zero" false (T.eval tt 0));
+    Helpers.case "multiplexer selects data" (fun () ->
+        let tt = F.multiplexer ~select:2 in
+        (* address 2 (x0=0,x1=1), data bits at vars 2..5; data var 2+2=4 *)
+        Helpers.check_bool "selected set" true (T.eval tt (0b10 lor (1 lsl 4)));
+        Helpers.check_bool "selected clear" false
+          (T.eval tt (0b10 lor (1 lsl 5))));
+    Helpers.case "adder_bit carry" (fun () ->
+        let tt = F.adder_bit ~bits:2 ~out:2 in
+        (* a=3 (x0,x1), b=1 (x2) -> 4, carry set *)
+        Helpers.check_bool "3+1 carries" true (T.eval tt 0b0111);
+        Helpers.check_bool "1+1 no carry" false (T.eval tt 0b0101));
+    Helpers.case "multi_catalogue outputs encode their circuits" (fun () ->
+        let outputs name = List.assoc name F.multi_catalogue in
+        let value outs code =
+          Array.to_list (Array.mapi (fun j t -> (j, t)) outs)
+          |> List.fold_left
+               (fun acc (j, t) ->
+                 if T.eval t code then acc lor (1 lsl j) else acc)
+               0
+        in
+        let check name arity f =
+          let outs = outputs name in
+          for code = 0 to (1 lsl arity) - 1 do
+            Helpers.check_int
+              (Printf.sprintf "%s(%d)" name code)
+              (f code) (value outs code)
+          done
+        in
+        check "rd53" 5 popcount;
+        check "sqr3" 3 (fun a -> a * a);
+        check "add3" 6 (fun code -> (code land 7) + (code lsr 3));
+        check "mul2" 4 (fun code -> (code land 3) * (code lsr 2)));
+    Helpers.case "catalogue respects max_arity" (fun () ->
+        List.iter
+          (fun (_, tt) -> Helpers.check_bool "arity" true (T.arity tt <= 8))
+          (F.catalogue ~max_arity:8);
+        Helpers.check_bool "nonempty" true (F.catalogue ~max_arity:8 <> []));
+  ]
+
+let props =
+  [
+    QCheck.Test.make ~name:"parity flips on single-bit change" ~count:200
+      QCheck.(pair (int_range 1 8) small_int)
+      (fun (n, seed) ->
+        let tt = F.parity n in
+        let st = Helpers.rng seed in
+        let code = Random.State.int st (1 lsl n) in
+        let j = Random.State.int st n in
+        T.eval tt code <> T.eval tt (code lxor (1 lsl j)));
+    QCheck.Test.make ~name:"threshold is monotone in weight" ~count:200
+      QCheck.(pair (int_range 1 8) small_int)
+      (fun (n, seed) ->
+        let st = Helpers.rng seed in
+        let k = Random.State.int st (n + 1) in
+        let tt = F.threshold n ~k in
+        let ok = ref true in
+        for code = 0 to (1 lsl n) - 1 do
+          if T.eval tt code <> (popcount code >= k) then ok := false
+        done;
+        !ok);
+    QCheck.Test.make ~name:"achilles good order linear size" ~count:20
+      QCheck.(int_range 1 6)
+      (fun pairs ->
+        Ovo_core.Eval_order.size (F.achilles pairs) (F.achilles_good_order pairs)
+        = (2 * pairs) + 2);
+    QCheck.Test.make ~name:"achilles bad order exponential size" ~count:20
+      QCheck.(int_range 1 6)
+      (fun pairs ->
+        Ovo_core.Eval_order.size (F.achilles pairs) (F.achilles_bad_order pairs)
+        = 1 lsl (pairs + 1));
+    QCheck.Test.make ~name:"symmetric functions ignore permutation" ~count:100
+      QCheck.(pair (int_range 1 7) small_int)
+      (fun (n, seed) ->
+        let tt = F.weight_interval n ~lo:(n / 3) ~hi:(2 * n / 3) in
+        let perm = Helpers.perm_of_seed seed n in
+        T.equal tt (T.permute_vars tt perm));
+  ]
+
+let () =
+  Alcotest.run "families"
+    [ ("unit", unit_tests); ("props", Helpers.qtests props) ]

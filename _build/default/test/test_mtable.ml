@@ -1,0 +1,61 @@
+module M = Ovo_boolfun.Mtable
+module T = Ovo_boolfun.Truthtable
+
+let unit_tests =
+  [
+    Helpers.case "of_array / eval" (fun () ->
+        let m = M.of_array ~values:4 [| 0; 3; 1; 2 |] in
+        Helpers.check_int "arity" 2 (M.arity m);
+        Helpers.check_int "values" 4 (M.num_values m);
+        Helpers.check_int "cell 1" 3 (M.eval m 1));
+    Helpers.case "of_array checks range" (fun () ->
+        Alcotest.check_raises "range" (Invalid_argument "Mtable: value out of range")
+          (fun () -> ignore (M.of_array ~values:2 [| 0; 2 |])));
+    Helpers.case "of_array checks power of two" (fun () ->
+        Alcotest.check_raises "len"
+          (Invalid_argument "Mtable: length not a power of two") (fun () ->
+            ignore (M.of_array ~values:2 [| 0; 1; 0 |])));
+    Helpers.case "of_truthtable maps booleans" (fun () ->
+        let m = M.of_truthtable (T.of_string "0110") in
+        Helpers.check_int "values" 2 (M.num_values m);
+        Helpers.check_int "m(1)" 1 (M.eval m 1);
+        Helpers.check_int "m(3)" 0 (M.eval m 3));
+    Helpers.case "restrict" (fun () ->
+        let m = M.of_array ~values:5 [| 0; 1; 2; 3; 4; 0; 1; 2 |] in
+        (* restrict x1 = 1: cells at codes with bit1 set: 2,3,6,7 -> [2;3;1;2] *)
+        let r = M.restrict m 1 true in
+        Helpers.check_int "arity" 2 (M.arity r);
+        Helpers.check_int "r(0)" 2 (M.eval r 0);
+        Helpers.check_int "r(1)" 3 (M.eval r 1);
+        Helpers.check_int "r(2)" 1 (M.eval r 2);
+        Helpers.check_int "r(3)" 2 (M.eval r 3));
+    Helpers.case "equal" (fun () ->
+        let a = M.of_array ~values:3 [| 1; 2 |] in
+        let b = M.of_array ~values:3 [| 1; 2 |] in
+        let c = M.of_array ~values:3 [| 2; 1 |] in
+        Helpers.check_bool "eq" true (M.equal a b);
+        Helpers.check_bool "ne" false (M.equal a c));
+  ]
+
+let props =
+  [
+    QCheck.Test.make ~name:"restrict agrees with truthtable restrict"
+      ~count:300
+      (QCheck.pair (Helpers.arb_truthtable ~lo:2 ~hi:6 ()) QCheck.small_int)
+      (fun (tt, seed) ->
+        let st = Helpers.rng seed in
+        let j = Random.State.int st (T.arity tt) in
+        let b = Random.State.bool st in
+        let via_m = M.restrict (M.of_truthtable tt) j b in
+        M.equal via_m (M.of_truthtable (T.restrict tt j b)));
+    QCheck.Test.make ~name:"of_fun respects range check" ~count:100
+      QCheck.(int_range 1 4)
+      (fun n ->
+        try
+          ignore (M.of_fun n ~values:2 (fun code -> code));
+          n <= 1
+        with Invalid_argument _ -> n > 1);
+  ]
+
+let () =
+  Alcotest.run "mtable" [ ("unit", unit_tests); ("props", Helpers.qtests props) ]

@@ -1,0 +1,85 @@
+module P = Ovo_boolfun.Pla
+module T = Ovo_boolfun.Truthtable
+
+let sample =
+  {|# comment line
+.i 3
+.o 2
+.ilb a b c
+.ob f g
+.p 3
+1-- 10
+-11 11
+000 01
+.e|}
+
+let unit_tests =
+  [
+    Helpers.case "parse header" (fun () ->
+        let p = P.of_string sample in
+        Helpers.check_int "inputs" 3 (P.inputs p);
+        Helpers.check_int "outputs" 2 (P.outputs p);
+        Helpers.check_int "cubes" 3 (P.num_cubes p);
+        Alcotest.(check (option (array string))) "ilb"
+          (Some [| "a"; "b"; "c" |])
+          (P.input_names p));
+    Helpers.case "cover semantics" (fun () ->
+        let p = P.of_string sample in
+        let f = P.output_table p 0 and g = P.output_table p 1 in
+        (* f = x0 | (x1 & x2) *)
+        Helpers.check_bool "f(100)" true (T.eval f 0b001);
+        Helpers.check_bool "f(011)" true (T.eval f 0b110);
+        Helpers.check_bool "f(010)" false (T.eval f 0b010);
+        (* g = (x1 & x2) | (!x0 & !x1 & !x2) *)
+        Helpers.check_bool "g(000)" true (T.eval g 0);
+        Helpers.check_bool "g(011)" true (T.eval g 0b110);
+        Helpers.check_bool "g(100)" false (T.eval g 0b001));
+    Helpers.case ".p mismatch rejected" (fun () ->
+        match P.of_string ".i 1\n.o 1\n.p 2\n1 1\n.e" with
+        | _ -> Alcotest.fail "expected failure"
+        | exception Failure _ -> ());
+    Helpers.case "missing .i rejected" (fun () ->
+        match P.of_string ".o 1\n1 1\n.e" with
+        | _ -> Alcotest.fail "expected failure"
+        | exception Failure _ -> ());
+    Helpers.case "width mismatch rejected" (fun () ->
+        match P.of_string ".i 2\n.o 1\n1 1\n.e" with
+        | _ -> Alcotest.fail "expected failure"
+        | exception Failure _ -> ());
+    Helpers.case "bad character rejected" (fun () ->
+        match P.of_string ".i 2\n.o 1\n1x 1\n.e" with
+        | _ -> Alcotest.fail "expected failure"
+        | exception Failure _ -> ());
+    Helpers.case "content after .e is ignored" (fun () ->
+        let p = P.of_string ".i 1\n.o 1\n1 1\n.e\ngarbage here\n" in
+        Helpers.check_int "cubes" 1 (P.num_cubes p));
+    Helpers.case "unknown dot directives are skipped" (fun () ->
+        let p = P.of_string ".i 1\n.o 1\n.type fr\n1 1\n.e" in
+        Helpers.check_int "cubes" 1 (P.num_cubes p));
+    Helpers.case "output_table range check" (fun () ->
+        let p = P.of_string sample in
+        Alcotest.check_raises "idx" (Invalid_argument "Pla.output_table")
+          (fun () -> ignore (P.output_table p 2)));
+  ]
+
+let props =
+  [
+    QCheck.Test.make ~name:"of_truthtables/tables round trip" ~count:100
+      (QCheck.pair
+         (Helpers.arb_truthtable ~lo:1 ~hi:5 ())
+         (Helpers.arb_truthtable ~lo:1 ~hi:5 ()))
+      (fun (a, b) ->
+        QCheck.assume (T.arity a = T.arity b);
+        let p = P.of_truthtables [| a; b |] in
+        let ts = P.tables p in
+        T.equal ts.(0) a && T.equal ts.(1) b);
+    QCheck.Test.make ~name:"to_string/of_string round trip" ~count:100
+      (Helpers.arb_truthtable ~lo:1 ~hi:5 ())
+      (fun tt ->
+        let p = P.of_truthtables [| tt |] in
+        let p' = P.of_string (P.to_string p) in
+        T.equal (P.output_table p' 0) tt);
+  ]
+
+let () =
+  Alcotest.run "pla" [ ("unit", unit_tests); ("props", Helpers.qtests props) ]

@@ -1,0 +1,117 @@
+module Q = Ovo_quantum.Qsearch
+
+let unit_tests =
+  [
+    Helpers.case "finds the minimum deterministically" (fun () ->
+        let stats = Q.create_stats () in
+        let out =
+          Q.find_min ~epsilon:0.01 ~stats
+            ~candidates:[| 5; 3; 9; 3; 7 |]
+            ~oracle:(fun x -> (x, 1.))
+            ()
+        in
+        Helpers.check_int "value" 3 out.Q.value;
+        Helpers.check_int "argmin" 3 out.Q.argmin;
+        Helpers.check_int "searches" 1 stats.Q.searches;
+        Helpers.check_int "oracle evals" 5 stats.Q.oracle_evaluations);
+    Helpers.case "query accounting matches the Lemma 6 bound" (fun () ->
+        let stats = Q.create_stats () in
+        let eps = Float.pow 2. (-10.) in
+        let n = 100 in
+        let _ =
+          Q.find_min ~epsilon:eps ~stats
+            ~candidates:(Array.init n (fun i -> i))
+            ~oracle:(fun x -> (x, 1.))
+            ()
+        in
+        Alcotest.(check (float 1e-9))
+          "queries" (Q.queries_bound ~n ~epsilon:eps)
+          stats.Q.modeled_queries);
+    Helpers.case "queries bound grows like sqrt(N log 1/eps)" (fun () ->
+        let q n = Q.queries_bound ~n ~epsilon:(Float.pow 2. (-16.)) in
+        Alcotest.(check (float 1.)) "N=100" (sqrt (100. *. 16.)) (q 100);
+        Helpers.check_bool "monotone" true (q 400 > q 100);
+        Alcotest.(check (float 1e-9)) "quadruple N doubles queries"
+          (2. *. q 100) (q 400));
+    Helpers.case "modeled cost = queries x max branch cost" (fun () ->
+        let stats = Q.create_stats () in
+        let out =
+          Q.find_min ~epsilon:0.25 ~stats
+            ~candidates:[| 0; 1; 2; 3 |]
+            ~oracle:(fun x -> (x, float_of_int (10 * (x + 1))))
+            ()
+        in
+        let queries = Q.queries_bound ~n:4 ~epsilon:0.25 in
+        Alcotest.(check (float 1e-9)) "cost" (queries *. 40.) out.Q.modeled_cost);
+    Helpers.case "empty candidate set rejected" (fun () ->
+        let stats = Q.create_stats () in
+        Alcotest.check_raises "empty"
+          (Invalid_argument "Qsearch.find_min: no candidates") (fun () ->
+            ignore
+              (Q.find_min ~epsilon:0.1 ~stats ~candidates:[||]
+                 ~oracle:(fun x -> (x, 1.))
+                 ())));
+    Helpers.case "error injection fires at the requested rate" (fun () ->
+        let rng = Helpers.rng 5 in
+        let stats = Q.create_stats () in
+        let trials = 2000 in
+        let wrong = ref 0 in
+        for _ = 1 to trials do
+          let out =
+            Q.find_min ~rng ~epsilon:0.3 ~stats ~candidates:[| 4; 1; 2 |]
+              ~oracle:(fun x -> (x, 1.))
+              ()
+          in
+          if out.Q.value <> 1 then incr wrong
+        done;
+        Helpers.check_int "injected = observed" !wrong stats.Q.injected_errors;
+        let rate = float_of_int !wrong /. float_of_int trials in
+        Helpers.check_bool "rate near 0.3" true (rate > 0.24 && rate < 0.36));
+    Helpers.case "error branch never returns the true minimum" (fun () ->
+        let rng = Helpers.rng 6 in
+        let stats = Q.create_stats () in
+        for _ = 1 to 500 do
+          let out =
+            Q.find_min ~rng ~epsilon:1.0 ~stats ~candidates:[| 9; 2; 5 |]
+              ~oracle:(fun x -> (x, 1.))
+              ()
+          in
+          (* epsilon = 1: always the error branch; result must be wrong *)
+          Helpers.check_bool "not the min" true (out.Q.value <> 2)
+        done);
+    Helpers.case "singleton candidate is exact even with errors" (fun () ->
+        let rng = Helpers.rng 7 in
+        let stats = Q.create_stats () in
+        let out =
+          Q.find_min ~rng ~epsilon:1.0 ~stats ~candidates:[| 42 |]
+            ~oracle:(fun x -> (x, 1.))
+            ()
+        in
+        Helpers.check_int "value" 42 out.Q.value);
+  ]
+
+let props =
+  [
+    QCheck.Test.make ~name:"deterministic search returns a true minimum"
+      ~count:200
+      QCheck.(list_of_size (Gen.int_range 1 40) (int_range (-100) 100))
+      (fun xs ->
+        let candidates = Array.of_list xs in
+        let stats = Q.create_stats () in
+        let out =
+          Q.find_min ~epsilon:0.001 ~stats ~candidates
+            ~oracle:(fun x -> (x, 1.))
+            ()
+        in
+        out.Q.value = List.fold_left min max_int xs);
+    QCheck.Test.make ~name:"queries bound >= 1 and <= N for sane eps"
+      ~count:200
+      QCheck.(int_range 1 10000)
+      (fun n ->
+        let q = Q.queries_bound ~n ~epsilon:0.5 in
+        q >= 1. && q <= float_of_int (max n 2));
+  ]
+
+let () =
+  Alcotest.run "qsearch"
+    [ ("unit", unit_tests); ("props", Helpers.qtests props) ]

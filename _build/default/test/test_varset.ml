@@ -1,0 +1,94 @@
+module V = Ovo_core.Varset
+
+let binomial n k =
+  let rec loop i acc = if i > k then acc else loop (i + 1) (acc * (n - i + 1) / i) in
+  if k < 0 || k > n then 0 else loop 1 1
+
+let unit_tests =
+  [
+    Helpers.case "basic operations" (fun () ->
+        let s = V.of_list [ 1; 4; 6 ] in
+        Helpers.check_bool "mem 4" true (V.mem 4 s);
+        Helpers.check_bool "mem 3" false (V.mem 3 s);
+        Helpers.check_int "cardinal" 3 (V.cardinal s);
+        Alcotest.(check (list int)) "elements" [ 1; 4; 6 ] (V.elements s);
+        Helpers.check_int "min_elt" 1 (V.min_elt s));
+    Helpers.case "add/remove" (fun () ->
+        let s = V.add 2 V.empty in
+        Helpers.check_bool "added" true (V.mem 2 s);
+        Helpers.check_bool "removed" false (V.mem 2 (V.remove 2 s));
+        Helpers.check_bool "remove absent is idempotent" true
+          (V.remove 5 s = s));
+    Helpers.case "set algebra" (fun () ->
+        let a = V.of_list [ 0; 1; 2 ] and b = V.of_list [ 2; 3 ] in
+        Alcotest.(check (list int)) "union" [ 0; 1; 2; 3 ] (V.elements (V.union a b));
+        Alcotest.(check (list int)) "inter" [ 2 ] (V.elements (V.inter a b));
+        Alcotest.(check (list int)) "diff" [ 0; 1 ] (V.elements (V.diff a b));
+        Helpers.check_bool "subset" true (V.subset (V.of_list [ 1 ]) a);
+        Helpers.check_bool "not subset" false (V.subset b a);
+        Helpers.check_bool "disjoint" true
+          (V.disjoint (V.of_list [ 0 ]) (V.of_list [ 1 ])));
+    Helpers.case "full" (fun () ->
+        Helpers.check_int "cardinal" 5 (V.cardinal (V.full 5));
+        Helpers.check_int "empty full" 0 (V.cardinal (V.full 0)));
+    Helpers.case "min_elt of empty raises" (fun () ->
+        Alcotest.check_raises "empty" Not_found (fun () ->
+            ignore (V.min_elt V.empty)));
+    Helpers.case "rank_in" (fun () ->
+        let s = V.of_list [ 0; 2; 5; 7 ] in
+        Helpers.check_int "rank of 5" 2 (V.rank_in 5 s);
+        Helpers.check_int "rank of 0" 0 (V.rank_in 0 s);
+        Helpers.check_int "rank of non-member 6" 3 (V.rank_in 6 s));
+    Helpers.case "fold ascending" (fun () ->
+        Alcotest.(check (list int)) "order" [ 6; 4; 1 ]
+          (V.fold (fun i acc -> i :: acc) (V.of_list [ 1; 4; 6 ]) []));
+    Helpers.case "iter_subsets_of_size counts binomials" (fun () ->
+        for n = 0 to 8 do
+          for k = 0 to n do
+            let count = ref 0 in
+            V.iter_subsets_of_size ~n ~k (fun s ->
+                incr count;
+                Helpers.check_int "cardinal" k (V.cardinal s));
+            Helpers.check_int
+              (Printf.sprintf "C(%d,%d)" n k)
+              (binomial n k) !count
+          done
+        done);
+    Helpers.case "iter_subsets_of arbitrary set" (fun () ->
+        let s = V.of_list [ 1; 3; 6; 7 ] in
+        let seen = ref [] in
+        V.iter_subsets_of s ~size:2 (fun sub ->
+            Helpers.check_bool "subset" true (V.subset sub s);
+            Helpers.check_int "size" 2 (V.cardinal sub);
+            seen := sub :: !seen);
+        Helpers.check_int "count" 6 (List.length !seen);
+        Helpers.check_int "distinct" 6
+          (List.length (List.sort_uniq compare !seen)));
+    Helpers.case "pp" (fun () ->
+        Alcotest.(check string) "render" "{0,3}"
+          (Format.asprintf "%a" V.pp (V.of_list [ 0; 3 ])));
+  ]
+
+let props =
+  [
+    QCheck.Test.make ~name:"of_list/elements round trip" ~count:200
+      QCheck.(small_list (int_range 0 20))
+      (fun l ->
+        V.elements (V.of_list l) = List.sort_uniq compare l);
+    QCheck.Test.make ~name:"cardinal = length of elements" ~count:200
+      QCheck.(small_list (int_range 0 30))
+      (fun l ->
+        let s = V.of_list l in
+        V.cardinal s = List.length (V.elements s));
+    QCheck.Test.make ~name:"subset enumeration is exhaustive and unique"
+      ~count:50
+      QCheck.(pair (int_range 0 10) (int_range 0 10))
+      (fun (n, k) ->
+        QCheck.assume (k <= n);
+        let seen = Hashtbl.create 16 in
+        V.iter_subsets_of_size ~n ~k (fun s -> Hashtbl.replace seen s ());
+        Hashtbl.length seen = binomial n k);
+  ]
+
+let () =
+  Alcotest.run "varset" [ ("unit", unit_tests); ("props", Helpers.qtests props) ]
