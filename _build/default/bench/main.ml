@@ -492,6 +492,57 @@ let spectrum () =
     ]
 
 (* ------------------------------------------------------------------ *)
+
+(* Engine comparison: the same FS run sequentially and domain-parallel.
+   Wall-clock must come from gettimeofday — Sys.time sums CPU seconds
+   across domains and would hide any speedup.  Results (and the metrics
+   counters showing what the two-pass DP avoids) go to BENCH_engine.json
+   for machine consumption. *)
+let engine_bench () =
+  section "engine";
+  let n = 13 in
+  let tt = T.random (Random.State.make [| 1313 |]) n in
+  let wall f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let seq_metrics = Ovo_core.Metrics.create () in
+  let seq_r, seq_s =
+    wall (fun () ->
+        Fs.run ~engine:Ovo_core.Engine.Seq ~metrics:seq_metrics tt)
+  in
+  let par_engine = Ovo_core.Engine.par () in
+  let domains = Ovo_core.Engine.domain_count par_engine in
+  let par_metrics = Ovo_core.Metrics.create () in
+  let par_r, par_s =
+    wall (fun () -> Fs.run ~engine:par_engine ~metrics:par_metrics tt)
+  in
+  let agree = seq_r.Fs.mincost = par_r.Fs.mincost && seq_r.Fs.order = par_r.Fs.order in
+  let speedup = seq_s /. par_s in
+  Printf.printf
+    "FS on a random n=%d function: seq %.3fs, par (%d domains) %.3fs -> %.2fx\n"
+    n seq_s domains par_s speedup;
+  Printf.printf "identical result: %b (Par is deterministic and bit-identical)\n"
+    agree;
+  let ms = Ovo_core.Metrics.snapshot seq_metrics in
+  Printf.printf
+    "two-pass accounting: %d cost probes elected %d materialised winners\n\
+     (node-table copies %d - one per winner, none per losing candidate)\n"
+    ms.Ovo_core.Metrics.s_cost_probes ms.Ovo_core.Metrics.s_states_materialised
+    ms.Ovo_core.Metrics.s_node_table_copies;
+  let oc = open_out "BENCH_engine.json" in
+  Printf.fprintf oc
+    "{\"n\": %d, \"domains\": %d, \"seq_seconds\": %.6f, \"par_seconds\": \
+     %.6f, \"speedup\": %.4f, \"agree\": %b, \"seq_metrics\": %s, \
+     \"par_metrics\": %s}\n"
+    n domains seq_s par_s speedup agree
+    (Ovo_core.Metrics.to_json ms)
+    (Ovo_core.Metrics.to_json (Ovo_core.Metrics.snapshot par_metrics));
+  close_out oc;
+  Printf.printf "written: BENCH_engine.json\n"
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel wall-clock micro-benchmarks: one per table/figure.         *)
 
 let wallclock () =
@@ -582,5 +633,6 @@ let () =
   ablations ();
   shared_bench ();
   spectrum ();
+  engine_bench ();
   wallclock ();
   Printf.printf "\nAll sections completed.\n"

@@ -118,6 +118,46 @@ let kind_arg =
     value & opt kind_conv Ovo_core.Compact.Bdd
     & info [ "kind" ] ~docv:"KIND" ~doc:"Diagram kind: $(b,bdd) or $(b,zdd).")
 
+let engine_arg =
+  let engine_conv = Arg.enum [ ("seq", `Seq); ("par", `Par) ] in
+  Arg.(
+    value & opt engine_conv `Seq
+    & info [ "engine" ] ~docv:"ENGINE"
+        ~doc:
+          "DP engine: $(b,seq) (default) or $(b,par), which splits each \
+           cardinality layer of the dynamic program across worker domains \
+           (see $(b,--domains)).  Results are identical either way.")
+
+let domains_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "domains" ] ~docv:"N"
+        ~doc:
+          "Worker domains for $(b,--engine par); $(b,0) (default) uses the \
+           runtime's recommended count.")
+
+let stats_arg =
+  let stats_conv = Arg.enum [ ("none", `None); ("text", `Text); ("json", `Json) ] in
+  Arg.(
+    value & opt stats_conv `None
+    & info [ "stats" ] ~docv:"FMT"
+        ~doc:
+          "Print the run's operation counters (table cells, cost probes, \
+           materialised states, ...) after the result: $(b,text) or \
+           $(b,json).")
+
+let resolve_engine engine domains =
+  match engine with
+  | `Seq -> Ovo_core.Engine.Seq
+  | `Par -> Ovo_core.Engine.par ~domains ()
+
+let emit_stats stats (m : Ovo_core.Metrics.t) =
+  let s = Ovo_core.Metrics.snapshot m in
+  match stats with
+  | `None -> ()
+  | `Text -> Format.printf "%a@." Ovo_core.Metrics.pp s
+  | `Json -> Format.printf "%s@." (Ovo_core.Metrics.to_json s)
+
 let save_arg =
   Arg.(
     value
@@ -190,15 +230,18 @@ let seed_arg =
 
 let optimize_cmd =
   let run table expr pla pla_output blif signal family kind algo dot save
-      weights seed =
+      weights seed engine domains stats =
+    let engine = resolve_engine engine domains in
     match load_function ~table ~expr ~pla ~pla_output ~blif ~signal ~family with
     | Error m -> `Error (false, m)
     | Ok tt when weights <> None -> (
         match weights with
         | Some ws -> (
             try
+              let metrics = Ovo_core.Metrics.create () in
               let r =
-                Ovo_core.Fs_weighted.run ~kind ~weights:(Array.of_list ws) tt
+                Ovo_core.Fs_weighted.run ~kind ~engine ~metrics
+                  ~weights:(Array.of_list ws) tt
               in
               Format.printf "algorithm        : FS (exact, weighted)@.";
               Format.printf "weighted cost    : %d@."
@@ -207,6 +250,7 @@ let optimize_cmd =
                 r.Ovo_core.Fs_weighted.mincost;
               Format.printf "order (root first): %a@." pp_order
                 (Ovo_core.Eval_order.read_first r.Ovo_core.Fs_weighted.order);
+              emit_stats stats metrics;
               `Ok ()
             with Invalid_argument m -> `Error (false, m))
         | None -> assert false)
@@ -215,33 +259,36 @@ let optimize_cmd =
           let st = Ovo_core.Eval_order.state ~kind tt order in
           print_result ~save ~algo:name ~modeled:None (Ovo_core.Fs.of_state st)
             dot;
+          emit_stats stats Ovo_core.Metrics.ambient;
           `Ok ()
         in
         try
           match String.split_on_char ':' algo with
           | [ "fs" ] ->
-              let before = Ovo_core.Cost.snapshot () in
-              let r = Ovo_core.Fs.run ~kind tt in
-              let after = Ovo_core.Cost.snapshot () in
+              let metrics = Ovo_core.Metrics.create () in
+              let r = Ovo_core.Fs.run ~kind ~engine ~metrics tt in
               print_result ~save ~algo:"FS (exact)"
                 ~modeled:
                   (Some
                      (float_of_int
-                        (Ovo_core.Cost.diff after before).Ovo_core.Cost.table_cells))
+                        (Ovo_core.Metrics.snapshot metrics)
+                          .Ovo_core.Metrics.s_table_cells))
                 r dot;
+              emit_stats stats metrics;
               `Ok ()
           | [ "qdc" ] ->
-              let ctx = Ovo_quantum.Opt_obdd.make_ctx () in
+              let ctx = Ovo_quantum.Opt_obdd.make_ctx ~engine () in
               let r, cost =
                 Ovo_quantum.Opt_obdd.minimize ~kind ~ctx
                   (Ovo_quantum.Opt_obdd.theorem10 ()) tt
               in
               print_result ~save ~algo:"OptOBDD(6,alpha) [simulated]" ~modeled:(Some cost)
                 r dot;
+              emit_stats stats ctx.Ovo_quantum.Opt_obdd.metrics;
               `Ok ()
           | [ "tower"; d ] ->
               let depth = int_of_string d in
-              let ctx = Ovo_quantum.Opt_obdd.make_ctx () in
+              let ctx = Ovo_quantum.Opt_obdd.make_ctx ~engine () in
               let r, cost =
                 Ovo_quantum.Opt_obdd.minimize ~kind ~ctx
                   (Ovo_quantum.Opt_obdd.tower ~depth) tt
@@ -249,6 +296,7 @@ let optimize_cmd =
               print_result ~save
                 ~algo:(Printf.sprintf "Gamma_%d tower [simulated]" depth)
                 ~modeled:(Some cost) r dot;
+              emit_stats stats ctx.Ovo_quantum.Opt_obdd.metrics;
               `Ok ()
           | [ "brute" ] ->
               let r = Ovo_ordering.Brute.best ~kind tt in
@@ -275,13 +323,14 @@ let optimize_cmd =
               let r = Ovo_ordering.Influence.run ~kind tt in
               with_eval "influence static heuristic" r.Ovo_ordering.Influence.order
           | [ "simple" ] ->
-              let ctx = Ovo_quantum.Opt_obdd.make_ctx () in
+              let ctx = Ovo_quantum.Opt_obdd.make_ctx ~engine () in
               let r, cost =
                 Ovo_quantum.Opt_obdd.minimize ~kind ~ctx
                   (Ovo_quantum.Opt_obdd.simple_split ()) tt
               in
               print_result ~save ~algo:"OptOBDD simple split [simulated]"
                 ~modeled:(Some cost) r dot;
+              emit_stats stats ctx.Ovo_quantum.Opt_obdd.metrics;
               `Ok ()
           | [ "annealing" ] ->
               let rng = Random.State.make [| seed |] in
@@ -313,7 +362,8 @@ let optimize_cmd =
       ret
         (const run $ table_arg $ expr_arg $ pla_arg $ pla_output_arg
        $ blif_arg $ signal_arg $ family_arg $ kind_arg $ algo_arg $ dot_arg
-       $ save_arg $ weights_arg $ seed_arg))
+       $ save_arg $ weights_arg $ seed_arg $ engine_arg $ domains_arg
+       $ stats_arg))
   in
   Cmd.v
     (Cmd.info "optimize"
@@ -449,14 +499,16 @@ let compare_cmd =
 (* shared (multi-output)                                               *)
 
 let shared_cmd =
-  let run pla kind =
+  let run pla kind engine domains stats =
+    let engine = resolve_engine engine domains in
     match pla with
     | None -> `Error (false, "pass --pla FILE (all outputs are optimised jointly)")
     | Some path -> (
         try
           let p = Ovo_boolfun.Pla.of_file path in
           let outputs = Ovo_boolfun.Pla.tables p in
-          let r = Ovo_core.Shared.minimize ~kind outputs in
+          let metrics = Ovo_core.Metrics.create () in
+          let r = Ovo_core.Shared.minimize ~kind ~engine ~metrics outputs in
           Format.printf "outputs            : %d over %d inputs@."
             (Array.length outputs) (Ovo_boolfun.Pla.inputs p);
           Format.printf "shared minimum size: %d nodes (%d non-terminal)@."
@@ -469,6 +521,7 @@ let shared_cmd =
               let alone = (Ovo_core.Fs.run ~kind tt).Ovo_core.Fs.mincost in
               Format.printf "  output %d alone would need %d nodes@." j alone)
             outputs;
+          emit_stats stats metrics;
           `Ok ()
         with
         | Failure m | Invalid_argument m | Sys_error m -> `Error (false, m))
@@ -476,7 +529,8 @@ let shared_cmd =
   Cmd.v
     (Cmd.info "shared"
        ~doc:"Jointly optimise all outputs of a PLA as one shared diagram")
-    Term.(ret (const run $ pla_arg $ kind_arg))
+    Term.(ret (const run $ pla_arg $ kind_arg $ engine_arg $ domains_arg
+               $ stats_arg))
 
 (* ------------------------------------------------------------------ *)
 (* spectrum                                                            *)

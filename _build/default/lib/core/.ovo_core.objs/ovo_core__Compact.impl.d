@@ -1,1 +1,1 @@
-lib/core/compact.ml: Array Cost Hashtbl List Ovo_boolfun Varset
+lib/core/compact.ml: Array Hashtbl List Metrics Ovo_boolfun Printf Varset

@@ -1,1 +1,1 @@
-lib/core/compact.mli: Hashtbl Ovo_boolfun Varset
+lib/core/compact.mli: Hashtbl Metrics Ovo_boolfun Varset

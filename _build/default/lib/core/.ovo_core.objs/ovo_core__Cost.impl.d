@@ -1,1 +1,1 @@
-lib/core/cost.ml: Format
+lib/core/cost.ml: Format Metrics

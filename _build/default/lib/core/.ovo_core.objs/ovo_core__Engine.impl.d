@@ -1,0 +1,1 @@
+lib/core/engine.ml: Array Domain Format Metrics Printf String

@@ -1,1 +1,1 @@
-lib/core/fs.mli: Compact Diagram Hashtbl Ovo_boolfun Varset
+lib/core/fs.mli: Compact Diagram Engine Hashtbl Metrics Ovo_boolfun Varset

@@ -1,1 +1,1 @@
-lib/core/fs_star.mli: Compact Hashtbl Varset
+lib/core/fs_star.mli: Compact Engine Hashtbl Metrics Subset_dp Varset

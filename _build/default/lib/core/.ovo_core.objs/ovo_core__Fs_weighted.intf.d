@@ -1,1 +1,1 @@
-lib/core/fs_weighted.mli: Compact Diagram Ovo_boolfun
+lib/core/fs_weighted.mli: Compact Diagram Engine Metrics Ovo_boolfun

@@ -1,1 +1,1 @@
-lib/core/shared.ml: Array Buffer Compact Cost Diagram Hashtbl List Ovo_boolfun Printf Subset_dp Varset
+lib/core/shared.ml: Array Buffer Compact Diagram Hashtbl List Metrics Ovo_boolfun Printf Subset_dp Varset

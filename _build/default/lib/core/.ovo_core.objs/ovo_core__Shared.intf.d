@@ -1,1 +1,1 @@
-lib/core/shared.mli: Compact Diagram Hashtbl Ovo_boolfun Varset
+lib/core/shared.mli: Compact Diagram Engine Hashtbl Metrics Ovo_boolfun Varset

@@ -1,1 +1,1 @@
-lib/core/subset_dp.ml: Hashtbl Varset
+lib/core/subset_dp.ml: Array Engine Hashtbl List Metrics Varset

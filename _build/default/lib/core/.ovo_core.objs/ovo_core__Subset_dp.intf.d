@@ -1,1 +1,1 @@
-lib/core/subset_dp.mli: Hashtbl Varset
+lib/core/subset_dp.mli: Engine Hashtbl Metrics Varset

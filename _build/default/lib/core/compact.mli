@@ -50,9 +50,29 @@ val initial : kind -> Ovo_boolfun.Mtable.t -> state
 val of_truthtable : kind -> Ovo_boolfun.Truthtable.t -> state
 (** Boolean convenience wrapper around {!initial} (two terminals). *)
 
-val compact : state -> int -> state
+val compact : ?metrics:Metrics.t -> state -> int -> state
 (** [compact st i] — see above.  Raises [Invalid_argument] if [i] is out
-    of range or already assigned.  The input state is not mutated. *)
+    of range or already assigned.  The input state is not mutated.
+    Charges [table_cells]/[compactions] (and the allocation counters) to
+    [metrics], defaulting to {!Metrics.ambient}. *)
+
+val width_if_compacted : ?metrics:Metrics.t -> state -> int -> int
+(** The cost-only kernel of the two-pass DP: how many nodes
+    [compact st i] {e would} create — the paper's [Cost_i] — computed by
+    the same cell scan but with {e no} allocation: no new table, no copy
+    of the node hashtable, no state.  Charges [table_cells] (a probe does
+    the work the theorems price) and [cost_probes].  Safe to call
+    concurrently on shared frozen states from {!Engine.Par} workers. *)
+
+val mincost_if_compacted : ?metrics:Metrics.t -> state -> int -> int
+(** [st.mincost + width_if_compacted st i] — the DP objective of the
+    candidate, without building it. *)
+
+val materialise : ?metrics:Metrics.t -> state -> int -> state
+(** Exactly {!compact}, but with DP-winner accounting: the candidate's
+    cells were already charged by the {!width_if_compacted} probe that
+    elected it, so this charges only [states_materialised],
+    [node_table_copies] and [node_creations]. *)
 
 val compact_chain : state -> int array -> state
 (** Fold {!compact} over the variables of an array, left to right: the

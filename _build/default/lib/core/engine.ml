@@ -1,0 +1,70 @@
+type t = Seq | Par of { domains : int }
+
+let seq = Seq
+let par ?(domains = 0) () = Par { domains }
+
+let hard_cap = 64
+
+let resolve_domains d =
+  let d = if d <= 0 then Domain.recommended_domain_count () else d in
+  max 1 (min hard_cap d)
+
+let domain_count = function
+  | Seq -> 1
+  | Par { domains } -> resolve_domains domains
+
+let to_string = function
+  | Seq -> "seq"
+  | Par { domains } when domains <= 0 -> "par"
+  | Par { domains } -> Printf.sprintf "par:%d" domains
+
+let of_string s =
+  match String.split_on_char ':' (String.lowercase_ascii (String.trim s)) with
+  | [ "seq" ] -> Ok Seq
+  | [ "par" ] -> Ok (Par { domains = 0 })
+  | [ "par"; d ] -> (
+      match int_of_string_opt d with
+      | Some d when d > 0 -> Ok (Par { domains = d })
+      | Some _ | None ->
+          Error (`Msg (Printf.sprintf "bad domain count in engine %S" s)))
+  | _ -> Error (`Msg (Printf.sprintf "unknown engine %S (expected seq|par[:N])" s))
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)
+
+let map t ~metrics f xs =
+  let len = Array.length xs in
+  let seq_map () = Array.map (f metrics) xs in
+  match t with
+  | Seq -> seq_map ()
+  | Par { domains } ->
+      let d = min (resolve_domains domains) len in
+      if d <= 1 then seq_map ()
+      else begin
+        (* Contiguous chunks: one domain per chunk, each counting into a
+           scratch context.  All items have the same cardinality, hence
+           near-identical work, so static splitting balances well.  The
+           input layer is only read, never written, and the results are
+           reassembled in input order on the calling domain — Par runs
+           are therefore deterministic and bit-identical to Seq. *)
+        let chunk = (len + d - 1) / d in
+        let workers =
+          Array.init d (fun w ->
+              let lo = w * chunk in
+              let hi = min len (lo + chunk) in
+              let scratch = Metrics.create () in
+              let dom =
+                Domain.spawn (fun () ->
+                    Array.init (max 0 (hi - lo)) (fun i -> f scratch xs.(lo + i)))
+              in
+              (scratch, dom))
+        in
+        let parts =
+          Array.map
+            (fun (scratch, dom) ->
+              let part = Domain.join dom in
+              Metrics.merge_into ~into:metrics scratch;
+              part)
+            workers
+        in
+        Array.concat (Array.to_list parts)
+      end

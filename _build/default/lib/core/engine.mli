@@ -1,0 +1,45 @@
+(** Execution engine for the subset dynamic programs — sequential, or
+    domain-parallel on OCaml 5 runtimes.
+
+    The Friedman–Supowit DP is embarrassingly parallel within one
+    cardinality layer: every [K] with [|K| = k] depends only on the
+    frozen layer [k-1], so the subsets of a layer can be split across
+    {!Domain.t}s with no synchronisation beyond the final join.  This
+    module captures that split once; {!Subset_dp.Make} (and everything
+    above it: {!Fs}, {!Fs_star}, {!Fs_weighted}, {!Shared} and the
+    quantum entry points) takes an engine parameter.
+
+    {!Par} is deterministic: results are reassembled in input order, so a
+    parallel run produces bit-identical tables, orderings and metrics to
+    a sequential one. *)
+
+type t =
+  | Seq  (** single-domain, the default everywhere *)
+  | Par of { domains : int }
+      (** split each DP layer across [domains] worker domains;
+          [domains <= 0] means {!Domain.recommended_domain_count} *)
+
+val seq : t
+
+val par : ?domains:int -> unit -> t
+(** [par ()] uses the recommended domain count at run time. *)
+
+val domain_count : t -> int
+(** The number of domains the engine will actually use (1 for {!Seq});
+    resolves [domains <= 0] and clamps to a safe bound. *)
+
+val to_string : t -> string
+(** ["seq"], ["par"] or ["par:N"]. *)
+
+val of_string : string -> (t, [ `Msg of string ]) result
+(** Inverse of {!to_string}; accepts ["seq"], ["par"], ["par:N"]. *)
+
+val pp : Format.formatter -> t -> unit
+
+val map : t -> metrics:Metrics.t -> (Metrics.t -> 'a -> 'b) -> 'a array -> 'b array
+(** [map t ~metrics f xs] applies [f] to every element, giving each
+    worker domain a scratch {!Metrics.t} that is {!Metrics.merge_into}d
+    [metrics] after its join ({!Seq} passes [metrics] straight through).
+    [f] must be safe to run concurrently against shared read-only data:
+    the DP guarantees this because a layer only reads its predecessor.
+    The result array is in input order regardless of engine. *)

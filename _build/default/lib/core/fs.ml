@@ -16,25 +16,27 @@ let of_state (st : Compact.state) =
     diagram;
   }
 
-let run_mtable ?(kind = Compact.Bdd) mt =
+let run_mtable ?(kind = Compact.Bdd) ?engine ?metrics mt =
   let base = Compact.initial kind mt in
-  let st = Fs_star.complete ~base ~j_set:(Compact.free base) in
+  let st = Fs_star.complete ?engine ?metrics ~base (Compact.free base) in
   of_state st
 
-let run ?kind tt = run_mtable ?kind (Ovo_boolfun.Mtable.of_truthtable tt)
+let run ?kind ?engine ?metrics tt =
+  run_mtable ?kind ?engine ?metrics (Ovo_boolfun.Mtable.of_truthtable tt)
 
-let all_mincosts ?(kind = Compact.Bdd) tt =
+let all_mincosts ?(kind = Compact.Bdd) ?engine ?metrics tt =
   let base = Compact.of_truthtable kind tt in
-  let t = Fs_star.run ~base (Compact.free base) in
-  t.Fs_star.mincosts
+  let ct = Fs_star.costs ?engine ?metrics ~base (Compact.free base) in
+  ct.Fs_star.cost_table
 
 let read_first_order r =
   let n = Array.length r.order in
   Array.init n (fun i -> r.order.(n - 1 - i))
 
 (* Path counting over the subset lattice: cnt(I) = sum over h of
-   cnt(I∖h) where placing h last is tight.  States for the previous
-   cardinality are kept to recompute candidate widths. *)
+   cnt(I∖h) where placing h last is tight.  Candidates are probed with
+   the cost-only kernel; only each subset's winner is materialised (the
+   next cardinality's probes need its table). *)
 let count_optimal_orders ?(kind = Compact.Bdd) tt =
   let n = Ovo_boolfun.Truthtable.arity tt in
   let base = Compact.of_truthtable kind tt in
@@ -51,20 +53,21 @@ let count_optimal_orders ?(kind = Compact.Bdd) tt =
         Varset.iter
           (fun h ->
             let before = Hashtbl.find prev (Varset.remove h iset) in
-            let cand = Compact.compact before h in
+            let c = Compact.mincost_if_compacted before h in
             let cnt = Hashtbl.find prev_counts (Varset.remove h iset) in
             match !best with
-            | Some (c, _) when cand.Compact.mincost > c -> ()
-            | Some (c, _) when cand.Compact.mincost = c -> ways := !ways +. cnt
+            | Some (bc, _, _) when c > bc -> ()
+            | Some (bc, _, _) when c = bc -> ways := !ways +. cnt
             | Some _ | None ->
-                best := Some (cand.Compact.mincost, cand);
+                best := Some (c, before, h);
                 ways := cnt)
           iset;
         match !best with
         | None -> assert false
-        | Some (_, st) ->
-            Hashtbl.replace next_layer iset st;
+        | Some (_, before, h) ->
+            Hashtbl.replace next_layer iset (Compact.materialise before h);
             Hashtbl.replace next_counts iset !ways);
+    Hashtbl.reset prev;
     layer := next_layer;
     counts := next_counts
   done;

@@ -16,18 +16,35 @@ type result = {
   diagram : Diagram.t;  (** a minimum diagram realising [order] *)
 }
 
-val run : ?kind:Compact.kind -> Ovo_boolfun.Truthtable.t -> result
+val run :
+  ?kind:Compact.kind ->
+  ?engine:Engine.t ->
+  ?metrics:Metrics.t ->
+  Ovo_boolfun.Truthtable.t ->
+  result
 (** Minimum OBDD ([kind = Bdd], default) or ZDD ([kind = Zdd]) for a
-    Boolean function. *)
+    Boolean function.  [engine] (default {!Engine.Seq}) splits each DP
+    layer across domains; [metrics] (default {!Metrics.ambient}) receives
+    the run's counters. *)
 
-val run_mtable : ?kind:Compact.kind -> Ovo_boolfun.Mtable.t -> result
+val run_mtable :
+  ?kind:Compact.kind ->
+  ?engine:Engine.t ->
+  ?metrics:Metrics.t ->
+  Ovo_boolfun.Mtable.t ->
+  result
 (** Multi-terminal variant (minimum MTBDD when [kind = Bdd]). *)
 
 val all_mincosts :
-  ?kind:Compact.kind -> Ovo_boolfun.Truthtable.t -> (Varset.t, int) Hashtbl.t
+  ?kind:Compact.kind ->
+  ?engine:Engine.t ->
+  ?metrics:Metrics.t ->
+  Ovo_boolfun.Truthtable.t ->
+  (Varset.t, int) Hashtbl.t
 (** [MINCOST_I] for every subset [I ⊆ \[n\]] — the full DP table, used by
     the Lemma 4 / Lemma 9 verification tests and by the divide-and-conquer
-    cross-checks.  The table has [2^n] entries. *)
+    cross-checks.  The table has [2^n] entries.  Runs in pure cost-table
+    mode: no per-candidate node-table copies, no layer of states kept. *)
 
 val of_state : Compact.state -> result
 (** Package a complete compaction state (any provenance: FS, FS*, or the

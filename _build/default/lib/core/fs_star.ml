@@ -5,7 +5,10 @@ module Log = (val Logs.src_log log_src : Logs.LOG)
 module Dp = Subset_dp.Make (struct
   type state = Compact.state
 
-  let compact = Compact.compact
+  let cost_if_compacted ~metrics (st : Compact.state) h =
+    st.Compact.mincost + Compact.width_if_compacted ~metrics st h
+
+  let materialise ~metrics st h = Compact.materialise ~metrics st h
   let mincost (st : Compact.state) = st.Compact.mincost
   let free = Compact.free
 end)
@@ -18,14 +21,22 @@ type t = {
   layer : (Varset.t, Compact.state) Hashtbl.t;
 }
 
-let run ?upto ~(base : Compact.state) j_set =
-  let d =
-    try Dp.run ?upto ~base j_set
-    with Invalid_argument m ->
-      (* keep the module's historical error messages *)
-      let suffix = String.sub m (String.length "Subset_dp") (String.length m - String.length "Subset_dp") in
-      invalid_arg ("Fs_star" ^ suffix)
-  in
+type costs = Subset_dp.costs = {
+  cost_j_set : Varset.t;
+  cost_upto : int;
+  cost_table : (Varset.t, int) Hashtbl.t;
+  cost_choice : (Varset.t, int) Hashtbl.t;
+}
+
+(* keep the module's historical error messages *)
+let rebrand f =
+  try f ()
+  with Invalid_argument m when String.length m > 9
+                              && String.sub m 0 9 = "Subset_dp" ->
+    invalid_arg ("Fs_star" ^ String.sub m 9 (String.length m - 9))
+
+let run ?engine ?metrics ?upto ~(base : Compact.state) j_set =
+  let d = rebrand (fun () -> Dp.run ?engine ?metrics ?upto ~base j_set) in
   Log.debug (fun m ->
       m "FS* over %a from |I|=%d: %d subsets summarised, layer of %d states"
         Varset.pp j_set
@@ -40,10 +51,15 @@ let run ?upto ~(base : Compact.state) j_set =
     layer = d.Dp.layer;
   }
 
+let costs ?engine ?metrics ?upto ~(base : Compact.state) j_set =
+  rebrand (fun () -> Dp.costs ?engine ?metrics ?upto ~base j_set)
+
+let reconstruct ?metrics ~base ct target =
+  rebrand (fun () -> Dp.reconstruct ?metrics ~base ct target)
+
 let state_of t ksub = Hashtbl.find t.layer ksub
 
 let mincost_of t ksub = Hashtbl.find t.mincosts ksub
 
-let complete ~base ~j_set =
-  let t = run ~base j_set in
-  state_of t j_set
+let complete ?engine ?metrics ~base j_set =
+  rebrand (fun () -> Dp.complete ?engine ?metrics ~base j_set)

@@ -26,10 +26,47 @@ type t = private {
       (** the optimal states at cardinality [upto], keyed by [K] *)
 }
 
-val run : ?upto:int -> base:Compact.state -> Varset.t -> t
+type costs = Subset_dp.costs = {
+  cost_j_set : Varset.t;
+  cost_upto : int;
+  cost_table : (Varset.t, int) Hashtbl.t;
+      (** [MINCOST⟨I,K⟩] for every computed [K] (including [∅]) *)
+  cost_choice : (Varset.t, int) Hashtbl.t;
+      (** backtracking pointers: a tight last-placed [h] per [K ≠ ∅] *)
+}
+(** The cost-table result of {!costs} — see {!Subset_dp.costs}. *)
+
+val run :
+  ?engine:Engine.t ->
+  ?metrics:Metrics.t ->
+  ?upto:int ->
+  base:Compact.state ->
+  Varset.t ->
+  t
 (** [run ~base j_set] requires [j_set] to be a subset of the base
     state's free variables; [upto] defaults to [|j_set|] (full run).
-    Raises [Invalid_argument] on violations. *)
+    Raises [Invalid_argument] on violations.  [engine] (default
+    {!Engine.Seq}) splits each cardinality layer across domains;
+    [metrics] (default {!Metrics.ambient}) receives the run's counters,
+    aggregated across domains. *)
+
+val costs :
+  ?engine:Engine.t ->
+  ?metrics:Metrics.t ->
+  ?upto:int ->
+  base:Compact.state ->
+  Varset.t ->
+  costs
+(** Pure cost-table mode: same sweep as {!run} but no layer of states is
+    returned — only [MINCOST⟨I,K⟩] and the backtracking pointers, two
+    integers per subset.  Same validation and defaults as {!run}. *)
+
+val reconstruct :
+  ?metrics:Metrics.t -> base:Compact.state -> costs -> Varset.t -> Compact.state
+(** [reconstruct ~base ct k] materialises an optimal state for [K = k] by
+    backtracking the tight transitions recorded in [ct] — [|k|]
+    compactions over [base].  Requires [k ⊆ ct.cost_j_set] and
+    [|k| ≤ ct.cost_upto]. *)
 
 val state_of : t -> Varset.t -> Compact.state
 (** The optimal state for a [K] in the final layer; raises [Not_found]
@@ -38,7 +75,15 @@ val state_of : t -> Varset.t -> Compact.state
 val mincost_of : t -> Varset.t -> int
 (** [MINCOST⟨I,K⟩]; raises [Not_found] when [K] was not computed. *)
 
-val complete : base:Compact.state -> j_set:Varset.t -> Compact.state
-(** Full run returning the single optimal state for [K = J] — the
+val complete :
+  ?engine:Engine.t ->
+  ?metrics:Metrics.t ->
+  base:Compact.state ->
+  Varset.t ->
+  Compact.state
+(** [complete ~base j_set]: full run returning the single optimal state
+    for [K = J] — the
     composition step [FS(⟨I⟩) ↦ FS(⟨I,J⟩)] used verbatim by the quantum
-    algorithms (their classical subroutine [Γ = FS*]). *)
+    algorithms (their classical subroutine [Γ = FS*]).  Runs in
+    cost-table mode and reconstructs the winner, so it never holds more
+    than one layer of states. *)

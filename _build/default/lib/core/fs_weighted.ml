@@ -6,7 +6,8 @@ type result = {
 }
 
 (* A compaction state paired with its weighted objective; the Subset_dp
-   functor then minimises the weighted cost directly. *)
+   functor then minimises the weighted cost directly.  The cost pass
+   prices a candidate as w_i · width without building it. *)
 module Weighted_state = struct
   type state = {
     inner : Compact.state;
@@ -14,8 +15,11 @@ module Weighted_state = struct
     wcost : int;
   }
 
-  let compact st i =
-    let next = Compact.compact st.inner i in
+  let cost_if_compacted ~metrics st i =
+    st.wcost + (st.weights.(i) * Compact.width_if_compacted ~metrics st.inner i)
+
+  let materialise ~metrics st i =
+    let next = Compact.materialise ~metrics st.inner i in
     let width = Compact.width_of_last ~before:st.inner ~after:next in
     { st with inner = next; wcost = st.wcost + (st.weights.(i) * width) }
 
@@ -25,7 +29,7 @@ end
 
 module Dp = Subset_dp.Make (Weighted_state)
 
-let run_mtable ?(kind = Compact.Bdd) ~weights mt =
+let run_mtable ?(kind = Compact.Bdd) ?engine ?metrics ~weights mt =
   let n = Ovo_boolfun.Mtable.arity mt in
   if Array.length weights <> n then invalid_arg "Fs_weighted.run: bad weights";
   Array.iter
@@ -38,7 +42,10 @@ let run_mtable ?(kind = Compact.Bdd) ~weights mt =
       wcost = 0;
     }
   in
-  let st = Dp.complete ~base ~j_set:(Compact.free base.Weighted_state.inner) in
+  let st =
+    Dp.complete ?engine ?metrics ~base
+      (Compact.free base.Weighted_state.inner)
+  in
   let inner = st.Weighted_state.inner in
   {
     weighted_cost = st.Weighted_state.wcost;
@@ -47,5 +54,6 @@ let run_mtable ?(kind = Compact.Bdd) ~weights mt =
     diagram = Diagram.of_state inner;
   }
 
-let run ?kind ~weights tt =
-  run_mtable ?kind ~weights (Ovo_boolfun.Mtable.of_truthtable tt)
+let run ?kind ?engine ?metrics ~weights tt =
+  run_mtable ?kind ?engine ?metrics ~weights
+    (Ovo_boolfun.Mtable.of_truthtable tt)

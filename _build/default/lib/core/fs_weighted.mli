@@ -17,14 +17,18 @@ type result = {
 
 val run :
   ?kind:Compact.kind ->
+  ?engine:Engine.t ->
+  ?metrics:Metrics.t ->
   weights:int array ->
   Ovo_boolfun.Truthtable.t ->
   result
 (** Weights must be non-negative, one per variable.  [O*(3^n)] like the
-    unweighted DP. *)
+    unweighted DP.  [engine]/[metrics] as in {!Fs.run}. *)
 
 val run_mtable :
   ?kind:Compact.kind ->
+  ?engine:Engine.t ->
+  ?metrics:Metrics.t ->
   weights:int array ->
   Ovo_boolfun.Mtable.t ->
   result

@@ -1,0 +1,88 @@
+type t = {
+  mutable table_cells : int;
+  mutable cost_probes : int;
+  mutable compactions : int;
+  mutable node_creations : int;
+  mutable states_materialised : int;
+  mutable node_table_copies : int;
+}
+
+type snapshot = {
+  s_table_cells : int;
+  s_cost_probes : int;
+  s_compactions : int;
+  s_node_creations : int;
+  s_states_materialised : int;
+  s_node_table_copies : int;
+}
+
+let create () =
+  {
+    table_cells = 0;
+    cost_probes = 0;
+    compactions = 0;
+    node_creations = 0;
+    states_materialised = 0;
+    node_table_copies = 0;
+  }
+
+let reset m =
+  m.table_cells <- 0;
+  m.cost_probes <- 0;
+  m.compactions <- 0;
+  m.node_creations <- 0;
+  m.states_materialised <- 0;
+  m.node_table_copies <- 0
+
+let snapshot m =
+  {
+    s_table_cells = m.table_cells;
+    s_cost_probes = m.cost_probes;
+    s_compactions = m.compactions;
+    s_node_creations = m.node_creations;
+    s_states_materialised = m.states_materialised;
+    s_node_table_copies = m.node_table_copies;
+  }
+
+let diff a b =
+  {
+    s_table_cells = a.s_table_cells - b.s_table_cells;
+    s_cost_probes = a.s_cost_probes - b.s_cost_probes;
+    s_compactions = a.s_compactions - b.s_compactions;
+    s_node_creations = a.s_node_creations - b.s_node_creations;
+    s_states_materialised = a.s_states_materialised - b.s_states_materialised;
+    s_node_table_copies = a.s_node_table_copies - b.s_node_table_copies;
+  }
+
+let merge_into ~into m =
+  into.table_cells <- into.table_cells + m.table_cells;
+  into.cost_probes <- into.cost_probes + m.cost_probes;
+  into.compactions <- into.compactions + m.compactions;
+  into.node_creations <- into.node_creations + m.node_creations;
+  into.states_materialised <- into.states_materialised + m.states_materialised;
+  into.node_table_copies <- into.node_table_copies + m.node_table_copies
+
+let add_cells m n = m.table_cells <- m.table_cells + n
+let add_probe m = m.cost_probes <- m.cost_probes + 1
+let add_compaction m = m.compactions <- m.compactions + 1
+let add_node m = m.node_creations <- m.node_creations + 1
+let add_state m = m.states_materialised <- m.states_materialised + 1
+let add_copy m = m.node_table_copies <- m.node_table_copies + 1
+
+(* The process-global context backing the legacy {!Cost} API and the
+   default of the counting entry points.  Only ever written from the
+   domain that runs the DP main loop (worker domains count into scratch
+   contexts that are merged after the join), so it stays race-free. *)
+let ambient = create ()
+
+let pp ppf s =
+  Format.fprintf ppf
+    "cells=%d probes=%d compactions=%d nodes=%d states=%d copies=%d"
+    s.s_table_cells s.s_cost_probes s.s_compactions s.s_node_creations
+    s.s_states_materialised s.s_node_table_copies
+
+let to_json s =
+  Printf.sprintf
+    "{\"table_cells\":%d,\"cost_probes\":%d,\"compactions\":%d,\"node_creations\":%d,\"states_materialised\":%d,\"node_table_copies\":%d}"
+    s.s_table_cells s.s_cost_probes s.s_compactions s.s_node_creations
+    s.s_states_materialised s.s_node_table_copies

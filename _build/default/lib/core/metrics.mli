@@ -1,0 +1,81 @@
+(** Per-run operation accounting — the replacement for the global
+    counters of {!Cost}.
+
+    A {!t} is a mutable context owned by one run of a dynamic program (or
+    by one worker domain of a parallel run; see {!Engine}).  The core
+    algorithms take the context explicitly, so concurrent runs — or the
+    per-layer worker domains of {!Engine.Par} — never contaminate each
+    other: each domain counts into its own scratch context and the engine
+    {!merge_into}s the scratches after the join.
+
+    Counter discipline (chosen so that [table_cells] keeps the exact
+    meaning the complexity theorems price — one unit per table cell
+    processed while {e evaluating a candidate}):
+
+    - {!Compact.compact} (a direct, stand-alone compaction): charges
+      [table_cells], [compactions], [node_creations], [node_table_copies].
+    - {!Compact.width_if_compacted} (the allocation-free cost probe):
+      charges [table_cells] and [cost_probes] — a probe does the same
+      cell scan a compaction would, it just materialises nothing.
+    - {!Compact.materialise} (building the already-costed winner inside
+      the DP): charges [states_materialised], [node_table_copies] and
+      [node_creations] but {e not} [table_cells] — its cells were already
+      charged by the probe that elected it.
+
+    With this discipline the measured [table_cells] of a full {!Fs.run}
+    is exactly the paper's [n·3^(n-1)] (Theorem 5), as before the
+    two-pass refactor, while the new counters expose what the refactor
+    eliminated: [node_table_copies] now equals the number of winners
+    materialised instead of the number of candidates tried. *)
+
+type t = private {
+  mutable table_cells : int;
+      (** cells scanned during candidate evaluation (probe or compact) *)
+  mutable cost_probes : int;  (** allocation-free cost probes *)
+  mutable compactions : int;  (** stand-alone {!Compact.compact} steps *)
+  mutable node_creations : int;  (** fresh diagram nodes allocated *)
+  mutable states_materialised : int;  (** winner states built by the DP *)
+  mutable node_table_copies : int;  (** [NODE] hashtable copies taken *)
+}
+
+type snapshot = {
+  s_table_cells : int;
+  s_cost_probes : int;
+  s_compactions : int;
+  s_node_creations : int;
+  s_states_materialised : int;
+  s_node_table_copies : int;
+}
+(** An immutable copy of the counters, for before/after arithmetic. *)
+
+val create : unit -> t
+(** A fresh context with all counters at zero. *)
+
+val reset : t -> unit
+val snapshot : t -> snapshot
+
+val diff : snapshot -> snapshot -> snapshot
+(** [diff later earlier] is the per-field difference. *)
+
+val merge_into : into:t -> t -> unit
+(** Add every counter of the second context into [into].  Used by
+    {!Engine} to fold worker-domain scratches into the run's context. *)
+
+val add_cells : t -> int -> unit
+val add_probe : t -> unit
+val add_compaction : t -> unit
+val add_node : t -> unit
+val add_state : t -> unit
+val add_copy : t -> unit
+(** Incrementors used by the core algorithms. *)
+
+val ambient : t
+(** The process-global context behind the deprecated {!Cost} API; it is
+    also the default context of the counting entry points, so legacy
+    [Cost.snapshot]-diff measurements keep working.  Written only by the
+    calling domain, never from {!Engine.Par} workers. *)
+
+val pp : Format.formatter -> snapshot -> unit
+
+val to_json : snapshot -> string
+(** One-line JSON object, for [--stats json] and the bench harness. *)

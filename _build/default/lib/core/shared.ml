@@ -38,13 +38,19 @@ let initial kind mts =
 let of_truthtables kind tts =
   initial kind (Array.map Ovo_boolfun.Mtable.of_truthtable tts)
 
+let check_var name st i =
+  if i < 0 || i >= st.n then
+    invalid_arg (Printf.sprintf "Shared.%s: variable out of range" name);
+  if Varset.mem i st.assigned then
+    invalid_arg (Printf.sprintf "Shared.%s: variable already assigned" name)
+
 (* One compaction across every root's table; the node set — and hence the
    objective — is shared, so a subfunction used by several outputs is
-   created and counted once. *)
-let compact st i =
-  if i < 0 || i >= st.n then invalid_arg "Shared.compact: variable out of range";
-  if Varset.mem i st.assigned then
-    invalid_arg "Shared.compact: variable already assigned";
+   created and counted once.  [charge] selects the accounting: `Direct
+   prices the scan as the theorems do (cells + a compaction); `Materialise
+   records only the DP-winner counters, the probe that elected it having
+   already paid for the cells. *)
+let compact_gen ~charge ~metrics st i =
   let freeset = Varset.diff (Varset.full st.n) st.assigned in
   let p = Varset.rank_in i freeset in
   let old_len = Array.length st.tables.(0) in
@@ -69,15 +75,19 @@ let compact st i =
             let u = !next_id in
             incr next_id;
             incr mincost;
-            Cost.add_node ();
+            Metrics.add_node metrics;
             Hashtbl.add node key u;
             out.(b) <- u
     done;
     out
   in
   let tables = Array.map compact_table st.tables in
-  Cost.add_cells (new_len * Array.length st.tables);
-  Cost.add_compaction ();
+  Metrics.add_copy metrics;
+  (match charge with
+  | `Direct ->
+      Metrics.add_cells metrics (new_len * Array.length st.tables);
+      Metrics.add_compaction metrics
+  | `Materialise -> Metrics.add_state metrics);
   {
     st with
     assigned = Varset.add i st.assigned;
@@ -88,7 +98,49 @@ let compact st i =
     next_id = !next_id;
   }
 
-let compact_chain st vars = Array.fold_left compact st vars
+let compact ?(metrics = Metrics.ambient) st i =
+  check_var "compact" st i;
+  compact_gen ~charge:`Direct ~metrics st i
+
+let materialise ?(metrics = Metrics.ambient) st i =
+  check_var "materialise" st i;
+  compact_gen ~charge:`Materialise ~metrics st i
+
+(* Cost-only kernel: how many fresh shared nodes a compaction on [i]
+   would create, across all roots, with no allocation.  As in
+   {!Compact.width_if_compacted}, no key [(i, _, _)] can pre-exist in
+   [st.node] because [i] is unassigned, so it suffices to count distinct
+   non-elided [(lo, hi)] pairs over every table's scan. *)
+let width_if_compacted ?(metrics = Metrics.ambient) st i =
+  check_var "width_if_compacted" st i;
+  let freeset = Varset.diff (Varset.full st.n) st.assigned in
+  let p = Varset.rank_in i freeset in
+  let old_len = Array.length st.tables.(0) in
+  let new_len = old_len / 2 in
+  let low_mask = (1 lsl p) - 1 in
+  let seen = Hashtbl.create 64 in
+  let fresh = ref 0 in
+  Array.iter
+    (fun table ->
+      for b = 0 to new_len - 1 do
+        let idx0 = ((b lsr p) lsl (p + 1)) lor (b land low_mask) in
+        let lo = table.(idx0) in
+        let hi = table.(idx0 lor (1 lsl p)) in
+        let elided =
+          match st.kind with Compact.Bdd -> lo = hi | Compact.Zdd -> hi = 0
+        in
+        if (not elided) && not (Hashtbl.mem seen (lo, hi)) then begin
+          Hashtbl.add seen (lo, hi) ();
+          incr fresh
+        end
+      done)
+    st.tables;
+  Metrics.add_cells metrics (new_len * Array.length st.tables);
+  Metrics.add_probe metrics;
+  !fresh
+
+let compact_chain st vars =
+  Array.fold_left (fun st i -> compact st i) st vars
 
 let free st = Varset.diff (Varset.full st.n) st.assigned
 let order st = List.rev st.order_rev
@@ -145,7 +197,10 @@ let check st mts =
 module Dp = Subset_dp.Make (struct
   type nonrec state = state
 
-  let compact = compact
+  let cost_if_compacted ~metrics st h =
+    st.mincost + width_if_compacted ~metrics st h
+
+  let materialise ~metrics st h = materialise ~metrics st h
   let mincost st = st.mincost
   let free = free
 end)
@@ -190,12 +245,13 @@ let of_state st =
     state = st;
   }
 
-let minimize_mtables ?(kind = Compact.Bdd) mts =
+let minimize_mtables ?(kind = Compact.Bdd) ?engine ?metrics mts =
   let base = initial kind mts in
-  of_state (Dp.complete ~base ~j_set:(free base))
+  of_state (Dp.complete ?engine ?metrics ~base (free base))
 
-let minimize ?kind tts =
-  minimize_mtables ?kind (Array.map Ovo_boolfun.Mtable.of_truthtable tts)
+let minimize ?kind ?engine ?metrics tts =
+  minimize_mtables ?kind ?engine ?metrics
+    (Array.map Ovo_boolfun.Mtable.of_truthtable tts)
 
 let to_dot st =
   if not (is_complete st) then invalid_arg "Shared.to_dot: state not complete";

@@ -32,8 +32,21 @@ val initial : Compact.kind -> Ovo_boolfun.Mtable.t array -> state
 val of_truthtables : Compact.kind -> Ovo_boolfun.Truthtable.t array -> state
 (** Boolean convenience wrapper. *)
 
-val compact : state -> int -> state
-(** One table compaction across all roots with a shared node set. *)
+val compact : ?metrics:Metrics.t -> state -> int -> state
+(** One table compaction across all roots with a shared node set.
+    Charges [table_cells] (one count per root per new cell) and
+    [compactions] to [metrics], defaulting to {!Metrics.ambient}. *)
+
+val width_if_compacted : ?metrics:Metrics.t -> state -> int -> int
+(** Cost-only kernel: how many fresh shared nodes {!compact} would
+    create, across all roots, with no allocation (no new tables, no
+    node-table copy, no state).  Charges [table_cells] and
+    [cost_probes].  Safe on frozen states from {!Engine.Par} workers. *)
+
+val materialise : ?metrics:Metrics.t -> state -> int -> state
+(** Exactly {!compact} but with DP-winner accounting: cells were already
+    charged by the probe that elected this candidate, so only
+    [states_materialised]/[node_table_copies]/[node_creations] move. *)
 
 val compact_chain : state -> int array -> state
 
@@ -66,12 +79,22 @@ val diagrams : state -> Diagram.t array
 val of_state : state -> result
 (** Package a complete shared state (any provenance) as a result. *)
 
-val minimize : ?kind:Compact.kind -> Ovo_boolfun.Truthtable.t array -> result
+val minimize :
+  ?kind:Compact.kind ->
+  ?engine:Engine.t ->
+  ?metrics:Metrics.t ->
+  Ovo_boolfun.Truthtable.t array ->
+  result
 (** Exact optimal ordering for the shared diagram (the FS dynamic
     program over shared states): visits all [2^n] subsets, [O*(m·3^n)]
-    cells. *)
+    cells.  [engine]/[metrics] as in {!Fs.run}. *)
 
-val minimize_mtables : ?kind:Compact.kind -> Ovo_boolfun.Mtable.t array -> result
+val minimize_mtables :
+  ?kind:Compact.kind ->
+  ?engine:Engine.t ->
+  ?metrics:Metrics.t ->
+  Ovo_boolfun.Mtable.t array ->
+  result
 
 val to_dot : state -> string
 (** Graphviz rendering of a complete shared diagram (roots annotated). *)

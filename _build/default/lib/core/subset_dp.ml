@@ -1,10 +1,18 @@
 module type COMPACTABLE = sig
   type state
 
-  val compact : state -> int -> state
+  val cost_if_compacted : metrics:Metrics.t -> state -> int -> int
+  val materialise : metrics:Metrics.t -> state -> int -> state
   val mincost : state -> int
   val free : state -> Varset.t
 end
+
+type costs = {
+  cost_j_set : Varset.t;
+  cost_upto : int;
+  cost_table : (Varset.t, int) Hashtbl.t;
+  cost_choice : (Varset.t, int) Hashtbl.t;
+}
 
 module Make (S : COMPACTABLE) = struct
   type t = {
@@ -14,43 +22,126 @@ module Make (S : COMPACTABLE) = struct
     layer : (Varset.t, S.state) Hashtbl.t;
   }
 
-  let run ?upto ~base j_set =
+  let validate ~base j_set upto =
     if not (Varset.subset j_set (S.free base)) then
       invalid_arg "Subset_dp.run: J not free in the base state";
     let j_size = Varset.cardinal j_set in
     let upto = match upto with None -> j_size | Some k -> k in
     if upto < 0 || upto > j_size then invalid_arg "Subset_dp.run: bad upto";
+    upto
+
+  let subsets_of j_set ~size =
+    let acc = ref [] in
+    Varset.iter_subsets_of j_set ~size (fun k -> acc := k :: !acc);
+    Array.of_list (List.rev !acc)
+
+  (* The two-pass layer step for one subset.  Pass 1 probes every
+     candidate [h] for its cost only (Lemma 7 minimisation) — no state,
+     no node-table copy.  Pass 2 materialises the single winner, unless
+     [skip_state] (the caller will never read this layer's states).
+     Ties keep the smallest [h], as the one-pass code did.  The previous
+     layer is frozen, so this function is safe on Engine.Par workers. *)
+  let eval_subset ~prev ~skip_state metrics ksub =
+    let best_h = ref (-1) and best_c = ref max_int in
+    Varset.iter
+      (fun h ->
+        let before = Hashtbl.find prev (Varset.remove h ksub) in
+        let c = S.cost_if_compacted ~metrics before h in
+        if c < !best_c then begin
+          best_c := c;
+          best_h := h
+        end)
+      ksub;
+    assert (!best_h >= 0);
+    let st =
+      if skip_state then None
+      else begin
+        let before = Hashtbl.find prev (Varset.remove !best_h ksub) in
+        let st = S.materialise ~metrics before !best_h in
+        assert (S.mincost st = !best_c);
+        Some st
+      end
+    in
+    (ksub, !best_h, !best_c, st)
+
+  (* One full DP sweep.  [keep_last_states]: materialise and keep the
+     states of the final cardinality layer (algorithm FS* proper);
+     cost-only callers skip them and backtrack instead.  Intermediate
+     layers are always materialised (the next layer's probes need them)
+     and dropped eagerly as soon as their successor layer is complete —
+     only the integer cost table outlives a layer. *)
+  let sweep ~engine ~metrics ~upto ~keep_last_states ~base j_set =
     let mincosts = Hashtbl.create 64 in
+    let choices = Hashtbl.create 64 in
     Hashtbl.replace mincosts Varset.empty (S.mincost base);
     let layer = ref (Hashtbl.create 1) in
     Hashtbl.replace !layer Varset.empty base;
     for k = 1 to upto do
-      let next = Hashtbl.create (Hashtbl.length !layer * 2) in
       let prev = !layer in
-      Varset.iter_subsets_of j_set ~size:k (fun ksub ->
-          (* Lemma 7: optimal K-state = cheapest over last-placed h ∈ K *)
-          let best = ref None in
-          Varset.iter
-            (fun h ->
-              let before = Hashtbl.find prev (Varset.remove h ksub) in
-              let cand = S.compact before h in
-              match !best with
-              | Some b when S.mincost b <= S.mincost cand -> ()
-              | Some _ | None -> best := Some cand)
-            ksub;
-          match !best with
-          | None -> assert false
-          | Some st ->
-              Hashtbl.replace next ksub st;
-              Hashtbl.replace mincosts ksub (S.mincost st));
+      let skip_state = k = upto && not keep_last_states in
+      let results =
+        Engine.map engine ~metrics
+          (eval_subset ~prev ~skip_state)
+          (subsets_of j_set ~size:k)
+      in
+      let next = Hashtbl.create (Array.length results * 2) in
+      Array.iter
+        (fun (ksub, h, c, st) ->
+          Hashtbl.replace mincosts ksub c;
+          Hashtbl.replace choices ksub h;
+          match st with Some st -> Hashtbl.replace next ksub st | None -> ())
+        results;
+      (* eager drop: only [mincosts]/[choices] survive a finished layer *)
+      Hashtbl.reset prev;
       layer := next
     done;
-    { j_set; upto; mincosts; layer = !layer }
+    (mincosts, choices, !layer)
+
+  let run ?(engine = Engine.Seq) ?(metrics = Metrics.ambient) ?upto ~base j_set
+      =
+    let upto = validate ~base j_set upto in
+    let mincosts, _, layer =
+      sweep ~engine ~metrics ~upto ~keep_last_states:true ~base j_set
+    in
+    { j_set; upto; mincosts; layer }
+
+  let costs ?(engine = Engine.Seq) ?(metrics = Metrics.ambient) ?upto ~base
+      j_set =
+    let upto = validate ~base j_set upto in
+    let mincosts, choices, _ =
+      sweep ~engine ~metrics ~upto ~keep_last_states:false ~base j_set
+    in
+    { cost_j_set = j_set; cost_upto = upto; cost_table = mincosts;
+      cost_choice = choices }
+
+  let reconstruct ?(metrics = Metrics.ambient) ~base ct target =
+    if not (Varset.subset target ct.cost_j_set)
+       || Varset.cardinal target > ct.cost_upto
+    then invalid_arg "Subset_dp.reconstruct: target not covered";
+    (* Backtrack the recorded tight transitions: [cost_choice] holds, for
+       every K, the last-placed h of an optimal suborder of K.  Walking
+       it from [target] down to the empty set yields the placement
+       sequence; replaying it over [base] materialises the optimal state
+       in |target| compactions. *)
+    let rec chain k acc =
+      if Varset.is_empty k then acc
+      else
+        let h = Hashtbl.find ct.cost_choice k in
+        chain (Varset.remove h k) (h :: acc)
+    in
+    let st =
+      List.fold_left
+        (fun st h -> S.materialise ~metrics st h)
+        base (chain target [])
+    in
+    assert (S.mincost st = Hashtbl.find ct.cost_table target);
+    st
 
   let state_of t ksub = Hashtbl.find t.layer ksub
   let mincost_of t ksub = Hashtbl.find t.mincosts ksub
 
-  let complete ~base ~j_set =
-    let t = run ~base j_set in
-    state_of t j_set
+  let complete ?(engine = Engine.Seq) ?(metrics = Metrics.ambient) ~base j_set
+      =
+    let ct = costs ~engine ~metrics ~base j_set in
+    reconstruct ~metrics ~base ct j_set
 end

@@ -1,18 +1,41 @@
 (** The subset dynamic program of Lemmas 4/7, abstracted over the state
-    being compacted.
+    being compacted — now a {e two-pass} engine.
 
     Both the single-rooted [FS*] ({!Fs_star}) and the multi-rooted
     variant ({!Shared}) run the same loop: for growing cardinality [k],
     compute the optimal state for every [K ⊆ J] with [|K| = k] by trying
     each [h ∈ K] on top of the optimal state for [K ∖ {h}].  This functor
-    captures that loop once; the per-state operations (one table
-    compaction, the cost, the free set) come from the parameter. *)
+    captures that loop once; the per-state operations come from the
+    parameter.
+
+    The loop evaluates each subset in two passes: a {e cost pass} probes
+    every candidate [h] with the allocation-free [cost_if_compacted]
+    kernel, and only the single winner is then materialised — losing
+    candidates never allocate a state or copy a node table.  Layers are
+    independent given their predecessor, so an {!Engine.Par} engine
+    splits each layer across worker domains, each counting into its own
+    {!Metrics.t} scratch; results are deterministic and identical to
+    {!Engine.Seq}.
+
+    Beyond the classic {!run} (which returns the final layer's states),
+    the {e cost-table mode} {!costs} stores only two integers per subset
+    — [MINCOST⟨K⟩] and the tight last-placed variable — and
+    {!reconstruct} replays those tight transitions over the base to
+    materialise an optimal state in [|K|] compactions, as the paper
+    reconstructs orderings from the DP table. *)
 
 module type COMPACTABLE = sig
   type state
 
-  val compact : state -> int -> state
-  (** Place one variable on top of the assigned block. *)
+  val cost_if_compacted : metrics:Metrics.t -> state -> int -> int
+  (** The DP objective the state would have after placing one variable
+      on top of the assigned block — computed {e without} building the
+      state (no allocation, no node-table copy).  Must equal
+      [mincost (materialise st h)] exactly. *)
+
+  val materialise : metrics:Metrics.t -> state -> int -> state
+  (** Place one variable on top of the assigned block (the winner of a
+      cost pass; accounting goes to the materialisation counters). *)
 
   val mincost : state -> int
   (** Non-terminal nodes created so far (the DP objective). *)
@@ -20,6 +43,19 @@ module type COMPACTABLE = sig
   val free : state -> Varset.t
   (** Variables not yet assigned. *)
 end
+
+type costs = {
+  cost_j_set : Varset.t;
+  cost_upto : int;
+  cost_table : (Varset.t, int) Hashtbl.t;
+      (** [MINCOST⟨base, K⟩] for every computed [K] (including [∅]) *)
+  cost_choice : (Varset.t, int) Hashtbl.t;
+      (** for each [K ≠ ∅], a tight last-placed [h] of the Lemma 7
+          recurrence — the backtracking pointers *)
+}
+(** The cost-table result: two integers per subset, no states.  It is
+    state-independent, so it lives outside the functor and can be shared
+    by every instance. *)
 
 module Make (S : COMPACTABLE) : sig
   type t = {
@@ -31,13 +67,43 @@ module Make (S : COMPACTABLE) : sig
         (** optimal states at cardinality [upto] *)
   }
 
-  val run : ?upto:int -> base:S.state -> Varset.t -> t
+  val run :
+    ?engine:Engine.t ->
+    ?metrics:Metrics.t ->
+    ?upto:int ->
+    base:S.state ->
+    Varset.t ->
+    t
   (** As {!Fs_star.run}: requires [j_set ⊆ free base]; [upto] defaults
-      to [|j_set|]. *)
+      to [|j_set|].  Engine defaults to {!Engine.Seq}; metrics to
+      {!Metrics.ambient}.  Intermediate layers are dropped eagerly (only
+      [mincosts] survives), so peak state memory is two adjacent layers
+      during the sweep and one — the returned [upto] layer — after. *)
+
+  val costs :
+    ?engine:Engine.t ->
+    ?metrics:Metrics.t ->
+    ?upto:int ->
+    base:S.state ->
+    Varset.t ->
+    costs
+  (** Pure cost-table mode: same sweep, but the final layer's states are
+      never materialised and nothing but the integer tables is returned.
+      Same validation and defaults as {!run}. *)
+
+  val reconstruct :
+    ?metrics:Metrics.t -> base:S.state -> costs -> Varset.t -> S.state
+  (** [reconstruct ~base ct k] materialises an optimal state for [K = k]
+      by backtracking [ct.cost_choice] from [k] to [∅] and replaying the
+      resulting placement sequence over [base] — [|k|] compactions
+      total.  Requires [k ⊆ ct.cost_j_set] and [|k| ≤ ct.cost_upto]. *)
 
   val state_of : t -> Varset.t -> S.state
   val mincost_of : t -> Varset.t -> int
 
-  val complete : base:S.state -> j_set:Varset.t -> S.state
-  (** Full run; the optimal state for [K = J]. *)
+  val complete :
+    ?engine:Engine.t -> ?metrics:Metrics.t -> base:S.state -> Varset.t -> S.state
+  (** Full run; the optimal state for [K = J].  Implemented as {!costs}
+      followed by {!reconstruct}, so it holds at most one layer of
+      states at any time. *)
 end

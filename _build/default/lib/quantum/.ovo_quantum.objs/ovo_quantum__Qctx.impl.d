@@ -1,1 +1,1 @@
-lib/quantum/qctx.ml: Float Qsearch Random
+lib/quantum/qctx.ml: Float Ovo_core Qsearch Random

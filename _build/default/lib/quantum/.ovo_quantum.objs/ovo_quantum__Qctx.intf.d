@@ -1,1 +1,1 @@
-lib/quantum/qctx.mli: Qsearch Random
+lib/quantum/qctx.mli: Ovo_core Qsearch Random

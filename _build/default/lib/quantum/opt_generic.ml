@@ -1,19 +1,22 @@
 module Varset = Ovo_core.Varset
-module Cost = Ovo_core.Cost
+module Metrics = Ovo_core.Metrics
 
 module type STATE = sig
   type state
 
-  val compact : state -> int -> state
+  val cost_if_compacted : metrics:Metrics.t -> state -> int -> int
+  val materialise : metrics:Metrics.t -> state -> int -> state
   val mincost : state -> int
   val free : state -> Varset.t
 end
 
-let measured_cells f =
-  let before = Cost.snapshot () in
+(* Modeled classical cost of [f ()]: table cells charged to the
+   context's metrics (nested measurements compose — diffs telescope). *)
+let measured_cells (ctx : Qctx.t) f =
+  let before = Metrics.snapshot ctx.Qctx.metrics in
   let result = f () in
-  let after = Cost.snapshot () in
-  (result, float_of_int (Cost.diff after before).Cost.table_cells)
+  let after = Metrics.snapshot ctx.Qctx.metrics in
+  (result, float_of_int (Metrics.diff after before).Metrics.s_table_cells)
 
 (* must mirror Predict.division_points *)
 let division_points ~alpha n' =
@@ -48,9 +51,12 @@ module Make (S : STATE) = struct
     {
       label = "FS*";
       compose =
-        (fun _ctx base j_set ->
+        (fun (ctx : Qctx.t) base j_set ->
           if Varset.is_empty j_set then (base, 0.)
-          else measured_cells (fun () -> Dp.complete ~base ~j_set));
+          else
+            measured_cells ctx (fun () ->
+                Dp.complete ~engine:ctx.Qctx.engine ~metrics:ctx.Qctx.metrics
+                  ~base j_set));
     }
 
   let subsets_of l ~size =
@@ -82,7 +88,9 @@ module Make (S : STATE) = struct
           let memo = Hashtbl.create (Array.length candidates) in
           let oracle ksub =
             let st_k, cost_k =
-              measured_cells (fun () -> Dp.complete ~base ~j_set:ksub)
+              measured_cells ctx (fun () ->
+                  Dp.complete ~engine:ctx.Qctx.engine
+                    ~metrics:ctx.Qctx.metrics ~base ksub)
             in
             let st, cost_rest =
               fs_star.compose ctx st_k (Varset.diff j_set ksub)
@@ -124,7 +132,9 @@ module Make (S : STATE) = struct
             let b = Array.of_list b in
             let m = Array.length b in
             let pre, pre_cost =
-              measured_cells (fun () -> Dp.run ~upto:b.(0) ~base j_set)
+              measured_cells ctx (fun () ->
+                  Dp.run ~engine:ctx.Qctx.engine ~metrics:ctx.Qctx.metrics
+                    ~upto:b.(0) ~base j_set)
             in
             let rec divide_and_conquer l t =
               if t = 1 then (Dp.state_of pre l, 0.)

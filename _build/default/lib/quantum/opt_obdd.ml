@@ -4,7 +4,10 @@ module Fs = Ovo_core.Fs
 module Inst = Opt_generic.Make (struct
   type state = Compact.state
 
-  let compact = Compact.compact
+  let cost_if_compacted ~metrics (st : Compact.state) h =
+    st.Compact.mincost + Compact.width_if_compacted ~metrics st h
+
+  let materialise ~metrics st h = Compact.materialise ~metrics st h
   let mincost (st : Compact.state) = st.Compact.mincost
   let free = Compact.free
 end)
@@ -13,6 +16,8 @@ type ctx = Qctx.t = {
   rng : Random.State.t option;
   epsilon : float;
   stats : Qsearch.stats;
+  engine : Ovo_core.Engine.t;
+  metrics : Ovo_core.Metrics.t;
 }
 
 let make_ctx = Qctx.make

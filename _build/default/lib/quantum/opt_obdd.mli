@@ -27,9 +27,18 @@ type ctx = Qctx.t = {
       (** when present, qsearch errors are injected with prob. [epsilon] *)
   epsilon : float;  (** per-search error bound (paper: [2^(-p(n))]) *)
   stats : Qsearch.stats;
+  engine : Ovo_core.Engine.t;
+      (** engine for the classical [FS*] subroutines (default [Seq]) *)
+  metrics : Ovo_core.Metrics.t;
+      (** per-context counters backing the modeled-cost measurements *)
 }
 
-val make_ctx : ?rng:Random.State.t -> ?epsilon:float -> unit -> ctx
+val make_ctx :
+  ?rng:Random.State.t ->
+  ?epsilon:float ->
+  ?engine:Ovo_core.Engine.t ->
+  unit ->
+  ctx
 (** Default [epsilon] is [2^(-20)]; no [rng] means deterministic, exact
     simulation. *)
 

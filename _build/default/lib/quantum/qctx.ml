@@ -2,7 +2,16 @@ type t = {
   rng : Random.State.t option;
   epsilon : float;
   stats : Qsearch.stats;
+  engine : Ovo_core.Engine.t;
+  metrics : Ovo_core.Metrics.t;
 }
 
-let make ?rng ?(epsilon = Float.pow 2. (-20.)) () =
-  { rng; epsilon; stats = Qsearch.create_stats () }
+let make ?rng ?(epsilon = Float.pow 2. (-20.)) ?(engine = Ovo_core.Engine.Seq)
+    () =
+  {
+    rng;
+    epsilon;
+    stats = Qsearch.create_stats ();
+    engine;
+    metrics = Ovo_core.Metrics.create ();
+  }

@@ -1,14 +1,21 @@
 (** Execution context shared by all simulated quantum algorithms: the
-    error budget, the optional RNG that arms error injection, and the
-    query statistics. *)
+    error budget, the optional RNG that arms error injection, the query
+    statistics, plus the engine and metrics context the classical
+    subroutines run under. *)
 
 type t = {
   rng : Random.State.t option;
       (** when present, qsearch errors are injected with prob. [epsilon] *)
   epsilon : float;  (** per-search error bound (paper: [2^(-p(n))]) *)
   stats : Qsearch.stats;
+  engine : Ovo_core.Engine.t;
+      (** engine for the classical [FS*] subroutines (default [Seq]) *)
+  metrics : Ovo_core.Metrics.t;
+      (** per-context counters; modeled costs are measured against this,
+          not against the process-global {!Ovo_core.Metrics.ambient} *)
 }
 
-val make : ?rng:Random.State.t -> ?epsilon:float -> unit -> t
+val make :
+  ?rng:Random.State.t -> ?epsilon:float -> ?engine:Ovo_core.Engine.t -> unit -> t
 (** Default [epsilon] is [2^(-20)]; no [rng] means deterministic, exact
-    simulation. *)
+    simulation.  A fresh {!Ovo_core.Metrics.t} is created per context. *)

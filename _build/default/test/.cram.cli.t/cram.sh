@@ -15,3 +15,6 @@
   $ ovo show ach2.ovo
   $ echo garbage > bad.ovo
   $ ovo show bad.ovo
+  $ ovo optimize --table 01101001 --engine par --domains 2
+  $ ovo optimize --table 01101001 --stats json
+  $ ovo optimize --table 01101001 --engine par --domains 2 --stats text

@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Array Hashtbl Helpers List Ovo_boolfun Ovo_core QCheck Random

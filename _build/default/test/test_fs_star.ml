@@ -25,7 +25,7 @@ let unit_tests =
     Helpers.case "full run from empty base equals FS" (fun () ->
         let tt = Ovo_boolfun.Families.hidden_weighted_bit 5 in
         let base = C.of_truthtable C.Bdd tt in
-        let st = Fss.complete ~base ~j_set:(C.free base) in
+        let st = Fss.complete ~base (C.free base) in
         Helpers.check_int "mincost" (Fs.run tt).Fs.mincost st.C.mincost);
     Helpers.case "upto stops at the requested layer" (fun () ->
         let tt = Ovo_boolfun.Families.parity 5 in
@@ -78,9 +78,9 @@ let props =
         let base0 = C.of_truthtable C.Bdd tt in
         let base =
           if V.is_empty !i_set then base0
-          else Fss.complete ~base:base0 ~j_set:!i_set
+          else Fss.complete ~base:base0 !i_set
         in
-        let st' = Fss.complete ~base ~j_set:!j_set in
+        let st' = Fss.complete ~base !j_set in
         st'.C.mincost = brute_seg_mincost tt !i_set !j_set);
     QCheck.Test.make ~name:"composing two FS* runs equals one (consistency)"
       ~count:60
@@ -96,8 +96,8 @@ let props =
         done;
         QCheck.assume (not (V.is_empty !a) && not (V.is_empty !b));
         let base0 = C.of_truthtable C.Bdd tt in
-        let sa = Fss.complete ~base:base0 ~j_set:!a in
-        let sab = Fss.complete ~base:sa ~j_set:!b in
+        let sa = Fss.complete ~base:base0 !a in
+        let sab = Fss.complete ~base:sa !b in
         sab.C.mincost = brute_seg_mincost tt !a !b);
     QCheck.Test.make ~name:"layer states carry consistent orders" ~count:60
       (QCheck.pair (Helpers.arb_truthtable ~lo:2 ~hi:5 ()) QCheck.small_int)
@@ -131,9 +131,9 @@ let props =
         let base0 = C.of_truthtable C.Zdd tt in
         let base =
           if V.is_empty !i_set then base0
-          else Fss.complete ~base:base0 ~j_set:!i_set
+          else Fss.complete ~base:base0 !i_set
         in
-        let s = Fss.complete ~base ~j_set in
+        let s = Fss.complete ~base j_set in
         s.C.mincost = brute_seg_mincost ~kind:C.Zdd tt !i_set j_set);
   ]
 

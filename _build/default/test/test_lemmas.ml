@@ -26,7 +26,7 @@ let lemma4_holds tt =
             let without = V.remove k iset in
             let st_without =
               if V.is_empty without then base
-              else Fss.complete ~base ~j_set:without
+              else Fss.complete ~base without
             in
             let st = C.compact st_without k in
             if st.C.mincost < !best then best := st.C.mincost)
@@ -45,9 +45,9 @@ let lemma9_holds ?(kind = C.Bdd) tt =
   for k = 1 to n - 1 do
     let best = ref max_int in
     V.iter_subsets_of_size ~n ~k (fun kset ->
-        let st_k = Fss.complete ~base ~j_set:kset in
+        let st_k = Fss.complete ~base kset in
         let mincost_k = st_k.C.mincost in
-        let st_full = Fss.complete ~base:st_k ~j_set:(V.diff (V.full n) kset) in
+        let st_full = Fss.complete ~base:st_k (V.diff (V.full n) kset) in
         (* MINCOST_<K,[n]∖K>([n]∖K) = total of the composed run minus the
            K part *)
         let upper = st_full.C.mincost - mincost_k in
@@ -85,13 +85,13 @@ let props =
         let base0 = C.of_truthtable C.Bdd tt in
         let base =
           if V.is_empty !i_set then base0
-          else Fss.complete ~base:base0 ~j_set:!i_set
+          else Fss.complete ~base:base0 !i_set
         in
         (* pick a random non-empty J ⊆ j_all *)
         let j_set = ref V.empty in
         V.iter (fun v -> if Random.State.bool st then j_set := V.add v !j_set) j_all;
         if V.is_empty !j_set then j_set := V.singleton (V.min_elt j_all);
-        let lhs = (Fss.complete ~base ~j_set:!j_set).C.mincost in
+        let lhs = (Fss.complete ~base !j_set).C.mincost in
         (* rhs: min over k ∈ J of MINCOST<I, J∖k, k> *)
         let best = ref max_int in
         V.iter
@@ -99,7 +99,7 @@ let props =
             let without = V.remove k !j_set in
             let st_without =
               if V.is_empty without then base
-              else Fss.complete ~base ~j_set:without
+              else Fss.complete ~base without
             in
             let st' = C.compact st_without k in
             if st'.C.mincost < !best then best := st'.C.mincost)

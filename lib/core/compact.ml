@@ -30,14 +30,20 @@ let initial kind mt =
 let of_truthtable kind tt =
   initial kind (Ovo_boolfun.Mtable.of_truthtable tt)
 
+let check_var name st i =
+  if i < 0 || i >= st.n then
+    invalid_arg (Printf.sprintf "Compact.%s: variable out of range" name);
+  if Varset.mem i st.assigned then
+    invalid_arg (Printf.sprintf "Compact.%s: variable already assigned" name)
+
 (* One table compaction w.r.t. variable [i].  For each assignment [b] to
    the remaining free variables, fetch the two cofactor nodes and apply
    the reduction rule of [st.kind]; create a fresh node only when the pair
-   is new at this variable. *)
-let compact st i =
-  if i < 0 || i >= st.n then invalid_arg "Compact.compact: variable out of range";
-  if Varset.mem i st.assigned then
-    invalid_arg "Compact.compact: variable already assigned";
+   is new at this variable.  A pair can never collide with an entry of
+   [st.node]: those are keyed by previously assigned variables, while [i]
+   is still free, so the per-variable node key [(i, lo, hi)] is fresh by
+   construction — dedup only has to look at pairs seen in this scan. *)
+let compact_gen ~charge ~metrics st i =
   let freeset = Varset.diff (Varset.full st.n) st.assigned in
   let p = Varset.rank_in i freeset in
   let new_len = Array.length st.table / 2 in
@@ -62,12 +68,16 @@ let compact st i =
           let u = !next_id in
           incr next_id;
           incr mincost;
-          Cost.add_node ();
+          Metrics.add_node metrics;
           Hashtbl.add node key u;
           table.(b) <- u
   done;
-  Cost.add_cells new_len;
-  Cost.add_compaction ();
+  Metrics.add_copy metrics;
+  (match charge with
+  | `Direct ->
+      Metrics.add_cells metrics new_len;
+      Metrics.add_compaction metrics
+  | `Materialise -> Metrics.add_state metrics);
   {
     st with
     assigned = Varset.add i st.assigned;
@@ -78,7 +88,51 @@ let compact st i =
     next_id = !next_id;
   }
 
-let compact_chain st vars = Array.fold_left compact st vars
+let compact ?(metrics = Metrics.ambient) st i =
+  check_var "compact" st i;
+  compact_gen ~charge:`Direct ~metrics st i
+
+let materialise ?(metrics = Metrics.ambient) st i =
+  check_var "materialise" st i;
+  compact_gen ~charge:`Materialise ~metrics st i
+
+(* The cost-only kernel: the same scan as [compact], but nothing is
+   allocated beyond a small per-scan dedup set — no table, no node-table
+   copy, no state.  Exactness relies on the freshness argument above:
+   the number of nodes [compact st i] would create is the number of
+   distinct unelided [(lo, hi)] pairs in this scan. *)
+let width_if_compacted ?(metrics = Metrics.ambient) st i =
+  check_var "width_if_compacted" st i;
+  let freeset = Varset.diff (Varset.full st.n) st.assigned in
+  let p = Varset.rank_in i freeset in
+  let new_len = Array.length st.table / 2 in
+  let seen = Hashtbl.create (min 64 (max 1 new_len)) in
+  let width = ref 0 in
+  let low_mask = (1 lsl p) - 1 in
+  for b = 0 to new_len - 1 do
+    let idx0 = ((b lsr p) lsl (p + 1)) lor (b land low_mask) in
+    let lo = st.table.(idx0) in
+    let hi = st.table.(idx0 lor (1 lsl p)) in
+    let elided =
+      match st.kind with Bdd -> lo = hi | Zdd -> hi = 0
+    in
+    if not elided then begin
+      let key = (lo, hi) in
+      if not (Hashtbl.mem seen key) then begin
+        Hashtbl.add seen key ();
+        incr width
+      end
+    end
+  done;
+  Metrics.add_cells metrics new_len;
+  Metrics.add_probe metrics;
+  !width
+
+let mincost_if_compacted ?metrics st i =
+  st.mincost + width_if_compacted ?metrics st i
+
+let compact_chain st vars =
+  Array.fold_left (fun st i -> compact st i) st vars
 
 let width_of_last ~before ~after = after.mincost - before.mincost
 

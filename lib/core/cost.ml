@@ -1,16 +1,14 @@
 type snapshot = { table_cells : int; compactions : int; node_creations : int }
 
-let cells = ref 0
-let compactions = ref 0
-let nodes = ref 0
+let of_metrics (s : Metrics.snapshot) =
+  {
+    table_cells = s.Metrics.s_table_cells;
+    compactions = s.Metrics.s_compactions;
+    node_creations = s.Metrics.s_node_creations;
+  }
 
-let reset () =
-  cells := 0;
-  compactions := 0;
-  nodes := 0
-
-let snapshot () =
-  { table_cells = !cells; compactions = !compactions; node_creations = !nodes }
+let reset () = Metrics.reset Metrics.ambient
+let snapshot () = of_metrics (Metrics.snapshot Metrics.ambient)
 
 let diff a b =
   {
@@ -19,9 +17,9 @@ let diff a b =
     node_creations = a.node_creations - b.node_creations;
   }
 
-let add_cells n = cells := !cells + n
-let add_compaction () = incr compactions
-let add_node () = incr nodes
+let add_cells n = Metrics.add_cells Metrics.ambient n
+let add_compaction () = Metrics.add_compaction Metrics.ambient
+let add_node () = Metrics.add_node Metrics.ambient
 
 let pp ppf s =
   Format.fprintf ppf "cells=%d compactions=%d nodes=%d" s.table_cells

@@ -1,26 +1,32 @@
-(** Operation accounting for complexity experiments.
+(** Legacy operation accounting — a thin view of {!Metrics.ambient}.
 
-    The paper's complexity claims (Theorem 5's [O*(3^n)], Theorem 10's
-    [O*(2.83728^n)], Theorem 13's [O*(2.77286^n)]) are all dominated by
-    the same unit of work: processing one cell of a [TABLE] during a table
-    compaction.  This module counts those units so the bench harness can
-    plot measured work against the predicted exponentials, independent of
-    wall-clock noise.
+    Historically these counters were free-standing globals; they are now
+    backed by the process-global {!Metrics.ambient} context, which the
+    counting entry points use when no per-run {!Metrics.t} is passed
+    explicitly.  Existing [snapshot]/[diff] measurements around
+    sequential runs therefore keep working unchanged.
 
-    Counters are global and not thread-safe; the whole repository is
-    single-threaded. *)
+    New code should prefer an explicit per-run context
+    ([Metrics.create ()] threaded through [?metrics]): it is immune to
+    cross-run contamination and is the only supported way to account for
+    {!Engine.Par} runs (worker domains never write the ambient context —
+    their scratches are merged into whatever context the run was given).
+
+    The unit of [table_cells] is unchanged: one cell of a [TABLE]
+    processed while evaluating a candidate compaction — the quantity the
+    paper's Theorems 5/10/13 price. *)
 
 type snapshot = {
-  table_cells : int;  (** table cells processed by {!Compact.compact} *)
-  compactions : int;  (** number of compaction steps *)
+  table_cells : int;  (** cells processed evaluating candidates *)
+  compactions : int;  (** stand-alone {!Compact.compact} steps *)
   node_creations : int;  (** fresh diagram nodes allocated *)
 }
 
 val reset : unit -> unit
-(** Zero all counters. *)
+(** Zero all counters of {!Metrics.ambient}. *)
 
 val snapshot : unit -> snapshot
-(** Current counter values. *)
+(** Current ambient counter values. *)
 
 val diff : snapshot -> snapshot -> snapshot
 (** [diff later earlier] is the per-field difference. *)
@@ -28,6 +34,6 @@ val diff : snapshot -> snapshot -> snapshot
 val add_cells : int -> unit
 val add_compaction : unit -> unit
 val add_node : unit -> unit
-(** Incrementors used by the core algorithms. *)
+(** Incrementors (ambient context). *)
 
 val pp : Format.formatter -> snapshot -> unit

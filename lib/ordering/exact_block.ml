@@ -27,7 +27,7 @@ let run_mtable ?(kind = Ovo_core.Compact.Bdd) ?(block = 4) ?(max_sweeps = 8)
           (Array.to_list (Array.sub !order start w))
       in
       (* exact DP over the window (Lemma 8) *)
-      let st = Ovo_core.Fs_star.complete ~base ~j_set:window_vars in
+      let st = Ovo_core.Fs_star.complete ~base window_vars in
       let best_block =
         (* the suborder achieved by the optimal state, window part only *)
         let full = Array.of_list (Ovo_core.Compact.order st) in

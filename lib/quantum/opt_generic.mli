@@ -12,7 +12,11 @@
 module type STATE = sig
   type state
 
-  val compact : state -> int -> state
+  val cost_if_compacted :
+    metrics:Ovo_core.Metrics.t -> state -> int -> int
+  (** Two-pass DP probe — see {!Ovo_core.Subset_dp.COMPACTABLE}. *)
+
+  val materialise : metrics:Ovo_core.Metrics.t -> state -> int -> state
   val mincost : state -> int
   val free : state -> Ovo_core.Varset.t
 end

@@ -61,6 +61,8 @@ module Toy = struct
     let free = Ovo_core.Varset.remove i st.free in
     { free; cost = st.cost + (i * Ovo_core.Varset.cardinal free) }
 
+  let cost_if_compacted ~metrics:_ st i = (compact st i).cost
+  let materialise ~metrics:_ st i = compact st i
   let mincost st = st.cost
   let free st = st.free
 end
@@ -81,7 +83,7 @@ let dp_tests =
         for n = 1 to 6 do
           let full = Ovo_core.Varset.full n in
           let base = { Toy.free = full; cost = 0 } in
-          let st = Toy_dp.complete ~base ~j_set:full in
+          let st = Toy_dp.complete ~base full in
           Helpers.check_int
             (Printf.sprintf "n=%d" n)
             (toy_brute base (List.init n (fun i -> i)))
