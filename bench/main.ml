@@ -543,6 +543,58 @@ let engine_bench () =
   Printf.printf "written: BENCH_engine.json\n"
 
 (* ------------------------------------------------------------------ *)
+
+(* Tracer overhead: the same FS run with the null tracer and with a
+   recording tracer.  The instrumentation granularity is one DP layer,
+   so the recording cost is a handful of events per run and the ratio
+   must stay near 1 (CI gates on <= 2x).  Medians of repeated runs keep
+   one GC pause from deciding the number. *)
+let obs_bench () =
+  section "obs";
+  let n = 12 in
+  let tt = T.random (Random.State.make [| 1212 |]) n in
+  let wall f =
+    let t0 = Unix.gettimeofday () in
+    ignore (f ());
+    Unix.gettimeofday () -. t0
+  in
+  let median xs =
+    let a = Array.of_list xs in
+    Array.sort compare a;
+    a.(Array.length a / 2)
+  in
+  let reps = 5 in
+  let times f = median (List.init reps (fun _ -> wall f)) in
+  let off_s = times (fun () -> Fs.run tt) in
+  let trace = ref (Ovo_obs.Trace.make ()) in
+  let on_s =
+    times (fun () ->
+        trace := Ovo_obs.Trace.make ();
+        Fs.run ~trace:!trace tt)
+  in
+  let events = Ovo_obs.Trace.event_count !trace in
+  let ratio = on_s /. Float.max 1e-9 off_s in
+  Printf.printf
+    "FS on a random n=%d function: tracer off %.4fs, on %.4fs (%d events) -> %.3fx\n"
+    n off_s on_s events ratio;
+  let doc =
+    Ovo_obs.Json.Obj
+      [
+        ("n", Ovo_obs.Json.Int n);
+        ("reps", Ovo_obs.Json.Int reps);
+        ("off_seconds", Ovo_obs.Json.Float off_s);
+        ("on_seconds", Ovo_obs.Json.Float on_s);
+        ("events", Ovo_obs.Json.Int events);
+        ("overhead_ratio", Ovo_obs.Json.Float ratio);
+      ]
+  in
+  let oc = open_out "BENCH_obs.json" in
+  output_string oc (Ovo_obs.Json.to_string doc);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "written: BENCH_obs.json\n"
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel wall-clock micro-benchmarks: one per table/figure.         *)
 
 let wallclock () =
@@ -634,5 +686,6 @@ let () =
   shared_bench ();
   spectrum ();
   engine_bench ();
+  obs_bench ();
   wallclock ();
   Printf.printf "\nAll sections completed.\n"

@@ -158,6 +158,65 @@ let emit_stats stats (m : Ovo_core.Metrics.t) =
   | `Text -> Format.printf "%a@." Ovo_core.Metrics.pp s
   | `Json -> Format.printf "%s@." (Ovo_core.Metrics.to_json s)
 
+(* ------------------------------------------------------------------ *)
+(* observability: --trace / --profile / --progress share one tracer    *)
+
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Record a span trace of the run.  A $(i,FILE) ending in \
+           $(b,.jsonl) gets one JSON object per event; any other name \
+           gets Chrome $(b,trace_event) JSON, loadable in Perfetto or \
+           chrome://tracing.  Schemas in doc/observability.md.")
+
+let profile_arg =
+  Arg.(
+    value & flag
+    & info [ "profile" ]
+        ~doc:
+          "Print a profile to stderr after the run: wall time, per-span \
+           aggregates, the slowest spans, and GC allocation totals.")
+
+let progress_arg =
+  Arg.(
+    value & flag
+    & info [ "progress" ]
+        ~doc:"Tick each completed DP phase on stderr as the run goes.")
+
+(* Build the tracer the three flags imply ({!Ovo_obs.Trace.null} when
+   none is set, so traced code paths cost one branch), run [f] under it,
+   and emit the requested outputs — also when [f] raises, so a trace of
+   a crashing run survives for inspection. *)
+let with_obs ~trace_file ~profile ~progress f =
+  if trace_file = None && (not profile) && not progress then
+    f Ovo_obs.Trace.null
+  else begin
+    let trace = Ovo_obs.Trace.make () in
+    if progress then
+      Ovo_obs.Trace.on_event trace (function
+        | Ovo_obs.Trace.Span s when s.Ovo_obs.Trace.cat = "dp" ->
+            Printf.eprintf "[ovo] %-16s %8.3f ms\n%!" s.Ovo_obs.Trace.name
+              ((s.Ovo_obs.Trace.stop -. s.Ovo_obs.Trace.start) *. 1e3)
+        | _ -> ());
+    let finish () =
+      (match trace_file with
+      | None -> ()
+      | Some path ->
+          let oc = open_out path in
+          (if Filename.check_suffix path ".jsonl" then
+             Ovo_obs.Export.write_jsonl oc trace
+           else Ovo_obs.Export.write_chrome oc trace);
+          close_out oc;
+          Printf.eprintf "[ovo] trace written: %s (%d events)\n%!" path
+            (Ovo_obs.Trace.event_count trace));
+      if profile then prerr_string (Ovo_obs.Export.summary trace)
+    in
+    Fun.protect ~finally:finish (fun () -> f trace)
+  end
+
 let save_arg =
   Arg.(
     value
@@ -230,8 +289,9 @@ let seed_arg =
 
 let optimize_cmd =
   let run table expr pla pla_output blif signal family kind algo dot save
-      weights seed engine domains stats =
+      weights seed engine domains stats trace_file profile progress =
     let engine = resolve_engine engine domains in
+    with_obs ~trace_file ~profile ~progress @@ fun trace ->
     match load_function ~table ~expr ~pla ~pla_output ~blif ~signal ~family with
     | Error m -> `Error (false, m)
     | Ok tt when weights <> None -> (
@@ -240,7 +300,7 @@ let optimize_cmd =
             try
               let metrics = Ovo_core.Metrics.create () in
               let r =
-                Ovo_core.Fs_weighted.run ~kind ~engine ~metrics
+                Ovo_core.Fs_weighted.run ~trace ~kind ~engine ~metrics
                   ~weights:(Array.of_list ws) tt
               in
               Format.printf "algorithm        : FS (exact, weighted)@.";
@@ -266,7 +326,7 @@ let optimize_cmd =
           match String.split_on_char ':' algo with
           | [ "fs" ] ->
               let metrics = Ovo_core.Metrics.create () in
-              let r = Ovo_core.Fs.run ~kind ~engine ~metrics tt in
+              let r = Ovo_core.Fs.run ~trace ~kind ~engine ~metrics tt in
               print_result ~save ~algo:"FS (exact)"
                 ~modeled:
                   (Some
@@ -277,7 +337,7 @@ let optimize_cmd =
               emit_stats stats metrics;
               `Ok ()
           | [ "qdc" ] ->
-              let ctx = Ovo_quantum.Opt_obdd.make_ctx ~engine () in
+              let ctx = Ovo_quantum.Opt_obdd.make_ctx ~engine ~trace () in
               let r, cost =
                 Ovo_quantum.Opt_obdd.minimize ~kind ~ctx
                   (Ovo_quantum.Opt_obdd.theorem10 ()) tt
@@ -288,7 +348,7 @@ let optimize_cmd =
               `Ok ()
           | [ "tower"; d ] ->
               let depth = int_of_string d in
-              let ctx = Ovo_quantum.Opt_obdd.make_ctx ~engine () in
+              let ctx = Ovo_quantum.Opt_obdd.make_ctx ~engine ~trace () in
               let r, cost =
                 Ovo_quantum.Opt_obdd.minimize ~kind ~ctx
                   (Ovo_quantum.Opt_obdd.tower ~depth) tt
@@ -302,16 +362,16 @@ let optimize_cmd =
               let r = Ovo_ordering.Brute.best ~kind tt in
               with_eval "brute force" r.Ovo_ordering.Brute.order
           | [ "sifting" ] ->
-              let r = Ovo_ordering.Sifting.run ~kind tt in
+              let r = Ovo_ordering.Sifting.run ~trace ~kind tt in
               with_eval "sifting (heuristic)" r.Ovo_ordering.Sifting.order
           | [ "window" ] ->
-              let r = Ovo_ordering.Window.run ~kind tt in
+              let r = Ovo_ordering.Window.run ~trace ~kind tt in
               with_eval "window permutation (heuristic)" r.Ovo_ordering.Window.order
           | [ "exact-block" ] ->
               let r = Ovo_ordering.Exact_block.run ~kind tt in
               with_eval "exact-block hybrid" r.Ovo_ordering.Exact_block.order
           | [ "astar" ] ->
-              let r = Ovo_ordering.Astar.run ~kind tt in
+              let r = Ovo_ordering.Astar.run ~trace ~kind tt in
               Format.printf "A* expanded %d of %d subsets@."
                 r.Ovo_ordering.Astar.expanded r.Ovo_ordering.Astar.subsets_total;
               with_eval "A* (exact, pruned)" r.Ovo_ordering.Astar.order
@@ -323,7 +383,7 @@ let optimize_cmd =
               let r = Ovo_ordering.Influence.run ~kind tt in
               with_eval "influence static heuristic" r.Ovo_ordering.Influence.order
           | [ "simple" ] ->
-              let ctx = Ovo_quantum.Opt_obdd.make_ctx ~engine () in
+              let ctx = Ovo_quantum.Opt_obdd.make_ctx ~engine ~trace () in
               let r, cost =
                 Ovo_quantum.Opt_obdd.minimize ~kind ~ctx
                   (Ovo_quantum.Opt_obdd.simple_split ()) tt
@@ -339,7 +399,7 @@ let optimize_cmd =
                 r.Ovo_ordering.Annealing.order
           | [ "portfolio" ] ->
               let rng = Random.State.make [| seed |] in
-              let r = Ovo_ordering.Portfolio.run ~kind ~rng tt in
+              let r = Ovo_ordering.Portfolio.run ~trace ~kind ~rng tt in
               List.iter
                 (fun e ->
                   Format.printf "  %-12s %d@."
@@ -363,7 +423,7 @@ let optimize_cmd =
         (const run $ table_arg $ expr_arg $ pla_arg $ pla_output_arg
        $ blif_arg $ signal_arg $ family_arg $ kind_arg $ algo_arg $ dot_arg
        $ save_arg $ weights_arg $ seed_arg $ engine_arg $ domains_arg
-       $ stats_arg))
+       $ stats_arg $ trace_arg $ profile_arg $ progress_arg))
   in
   Cmd.v
     (Cmd.info "optimize"
@@ -499,8 +559,9 @@ let compare_cmd =
 (* shared (multi-output)                                               *)
 
 let shared_cmd =
-  let run pla kind engine domains stats =
+  let run pla kind engine domains stats trace_file profile progress =
     let engine = resolve_engine engine domains in
+    with_obs ~trace_file ~profile ~progress @@ fun trace ->
     match pla with
     | None -> `Error (false, "pass --pla FILE (all outputs are optimised jointly)")
     | Some path -> (
@@ -508,7 +569,9 @@ let shared_cmd =
           let p = Ovo_boolfun.Pla.of_file path in
           let outputs = Ovo_boolfun.Pla.tables p in
           let metrics = Ovo_core.Metrics.create () in
-          let r = Ovo_core.Shared.minimize ~kind ~engine ~metrics outputs in
+          let r =
+            Ovo_core.Shared.minimize ~trace ~kind ~engine ~metrics outputs
+          in
           Format.printf "outputs            : %d over %d inputs@."
             (Array.length outputs) (Ovo_boolfun.Pla.inputs p);
           Format.printf "shared minimum size: %d nodes (%d non-terminal)@."
@@ -530,7 +593,7 @@ let shared_cmd =
     (Cmd.info "shared"
        ~doc:"Jointly optimise all outputs of a PLA as one shared diagram")
     Term.(ret (const run $ pla_arg $ kind_arg $ engine_arg $ domains_arg
-               $ stats_arg))
+               $ stats_arg $ trace_arg $ profile_arg $ progress_arg))
 
 (* ------------------------------------------------------------------ *)
 (* spectrum                                                            *)

@@ -31,14 +31,32 @@ let of_string s =
 
 let pp ppf t = Format.pp_print_string ppf (to_string t)
 
-let map t ~metrics f xs =
+let map ?(trace = Ovo_obs.Trace.null) t ~metrics f xs =
   let len = Array.length xs in
   let seq_map () = Array.map (f metrics) xs in
   match t with
   | Seq -> seq_map ()
   | Par { domains } ->
       let d = min (resolve_domains domains) len in
-      if d <= 1 then seq_map ()
+      if d <= 1 then
+        if not (Ovo_obs.Trace.enabled trace) then seq_map ()
+        else begin
+          (* a layer too small to split still gets its attribution span
+             (on the calling domain), so that the domain spans of a Par
+             run always sum to the layers' merged metrics *)
+          let scratch = Metrics.create () in
+          let out =
+            Ovo_obs.Trace.with_span trace ~cat:"engine"
+              ~args:(fun () ->
+                ("worker", Ovo_obs.Json.Int 0)
+                :: ("items", Ovo_obs.Json.Int len)
+                :: Metrics.to_args (Metrics.snapshot scratch))
+              "domain 0"
+              (fun () -> Array.map (f scratch) xs)
+          in
+          Metrics.merge_into ~into:metrics scratch;
+          out
+        end
       else begin
         (* Contiguous chunks: one domain per chunk, each counting into a
            scratch context.  All items have the same cardinality, hence
@@ -54,7 +72,18 @@ let map t ~metrics f xs =
               let scratch = Metrics.create () in
               let dom =
                 Domain.spawn (fun () ->
-                    Array.init (max 0 (hi - lo)) (fun i -> f scratch xs.(lo + i)))
+                    (* the span is recorded from the worker, so its tid
+                       is the worker domain's id and its metrics args
+                       are exactly this chunk's contribution *)
+                    Ovo_obs.Trace.with_span trace ~cat:"engine"
+                      ~args:(fun () ->
+                        ("worker", Ovo_obs.Json.Int w)
+                        :: ("items", Ovo_obs.Json.Int (max 0 (hi - lo)))
+                        :: Metrics.to_args (Metrics.snapshot scratch))
+                      (Printf.sprintf "domain %d" w)
+                      (fun () ->
+                        Array.init (max 0 (hi - lo)) (fun i ->
+                            f scratch xs.(lo + i))))
               in
               (scratch, dom))
         in

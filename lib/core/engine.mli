@@ -36,10 +36,23 @@ val of_string : string -> (t, [ `Msg of string ]) result
 
 val pp : Format.formatter -> t -> unit
 
-val map : t -> metrics:Metrics.t -> (Metrics.t -> 'a -> 'b) -> 'a array -> 'b array
+val map :
+  ?trace:Ovo_obs.Trace.t ->
+  t ->
+  metrics:Metrics.t ->
+  (Metrics.t -> 'a -> 'b) ->
+  'a array ->
+  'b array
 (** [map t ~metrics f xs] applies [f] to every element, giving each
     worker domain a scratch {!Metrics.t} that is {!Metrics.merge_into}d
     [metrics] after its join ({!Seq} passes [metrics] straight through).
     [f] must be safe to run concurrently against shared read-only data:
     the DP guarantees this because a layer only reads its predecessor.
-    The result array is in input order regardless of engine. *)
+    The result array is in input order regardless of engine.
+
+    With a recording [trace] (default {!Ovo_obs.Trace.null}), each
+    worker domain wraps its chunk in a span (category ["engine"]) whose
+    args carry the chunk bounds and that worker's own metrics — the
+    per-domain attribution of a {!Par} layer.  The args of the domain
+    spans of one layer sum to the layer's merged metrics delta; a layer
+    too small to split records one such span on the calling domain. *)

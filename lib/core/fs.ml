@@ -16,18 +16,30 @@ let of_state (st : Compact.state) =
     diagram;
   }
 
-let run_mtable ?(kind = Compact.Bdd) ?engine ?metrics mt =
+let run_mtable ?(trace = Ovo_obs.Trace.null) ?(kind = Compact.Bdd) ?engine
+    ?metrics mt =
   let base = Compact.initial kind mt in
-  let st = Fs_star.complete ?engine ?metrics ~base (Compact.free base) in
-  of_state st
+  Ovo_obs.Trace.with_span trace ~cat:"fs"
+    ~args:(fun () ->
+      [ ("n", Ovo_obs.Json.Int (Ovo_boolfun.Mtable.arity mt)) ])
+    "fs.run"
+    (fun () ->
+      let st =
+        Fs_star.complete ~trace ?engine ?metrics ~base (Compact.free base)
+      in
+      of_state st)
 
-let run ?kind ?engine ?metrics tt =
-  run_mtable ?kind ?engine ?metrics (Ovo_boolfun.Mtable.of_truthtable tt)
+let run ?trace ?kind ?engine ?metrics tt =
+  run_mtable ?trace ?kind ?engine ?metrics (Ovo_boolfun.Mtable.of_truthtable tt)
 
-let all_mincosts ?(kind = Compact.Bdd) ?engine ?metrics tt =
+let all_mincosts ?(trace = Ovo_obs.Trace.null) ?(kind = Compact.Bdd) ?engine
+    ?metrics tt =
   let base = Compact.of_truthtable kind tt in
-  let ct = Fs_star.costs ?engine ?metrics ~base (Compact.free base) in
-  ct.Fs_star.cost_table
+  Ovo_obs.Trace.with_span trace ~cat:"fs" "fs.all_mincosts" (fun () ->
+      let ct =
+        Fs_star.costs ~trace ?engine ?metrics ~base (Compact.free base)
+      in
+      ct.Fs_star.cost_table)
 
 let read_first_order r =
   let n = Array.length r.order in

@@ -17,6 +17,7 @@ type result = {
 }
 
 val run :
+  ?trace:Ovo_obs.Trace.t ->
   ?kind:Compact.kind ->
   ?engine:Engine.t ->
   ?metrics:Metrics.t ->
@@ -25,9 +26,12 @@ val run :
 (** Minimum OBDD ([kind = Bdd], default) or ZDD ([kind = Zdd]) for a
     Boolean function.  [engine] (default {!Engine.Seq}) splits each DP
     layer across domains; [metrics] (default {!Metrics.ambient}) receives
-    the run's counters. *)
+    the run's counters; a recording [trace] (default
+    {!Ovo_obs.Trace.null}) gets one span per DP layer plus per-domain
+    child spans under {!Engine.Par}. *)
 
 val run_mtable :
+  ?trace:Ovo_obs.Trace.t ->
   ?kind:Compact.kind ->
   ?engine:Engine.t ->
   ?metrics:Metrics.t ->
@@ -36,6 +40,7 @@ val run_mtable :
 (** Multi-terminal variant (minimum MTBDD when [kind = Bdd]). *)
 
 val all_mincosts :
+  ?trace:Ovo_obs.Trace.t ->
   ?kind:Compact.kind ->
   ?engine:Engine.t ->
   ?metrics:Metrics.t ->

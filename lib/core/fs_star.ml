@@ -35,8 +35,8 @@ let rebrand f =
                               && String.sub m 0 9 = "Subset_dp" ->
     invalid_arg ("Fs_star" ^ String.sub m 9 (String.length m - 9))
 
-let run ?engine ?metrics ?upto ~(base : Compact.state) j_set =
-  let d = rebrand (fun () -> Dp.run ?engine ?metrics ?upto ~base j_set) in
+let run ?trace ?engine ?metrics ?upto ~(base : Compact.state) j_set =
+  let d = rebrand (fun () -> Dp.run ?trace ?engine ?metrics ?upto ~base j_set) in
   Log.debug (fun m ->
       m "FS* over %a from |I|=%d: %d subsets summarised, layer of %d states"
         Varset.pp j_set
@@ -51,15 +51,15 @@ let run ?engine ?metrics ?upto ~(base : Compact.state) j_set =
     layer = d.Dp.layer;
   }
 
-let costs ?engine ?metrics ?upto ~(base : Compact.state) j_set =
-  rebrand (fun () -> Dp.costs ?engine ?metrics ?upto ~base j_set)
+let costs ?trace ?engine ?metrics ?upto ~(base : Compact.state) j_set =
+  rebrand (fun () -> Dp.costs ?trace ?engine ?metrics ?upto ~base j_set)
 
-let reconstruct ?metrics ~base ct target =
-  rebrand (fun () -> Dp.reconstruct ?metrics ~base ct target)
+let reconstruct ?trace ?metrics ~base ct target =
+  rebrand (fun () -> Dp.reconstruct ?trace ?metrics ~base ct target)
 
 let state_of t ksub = Hashtbl.find t.layer ksub
 
 let mincost_of t ksub = Hashtbl.find t.mincosts ksub
 
-let complete ?engine ?metrics ~base j_set =
-  rebrand (fun () -> Dp.complete ?engine ?metrics ~base j_set)
+let complete ?trace ?engine ?metrics ~base j_set =
+  rebrand (fun () -> Dp.complete ?trace ?engine ?metrics ~base j_set)

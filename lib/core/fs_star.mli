@@ -37,6 +37,7 @@ type costs = Subset_dp.costs = {
 (** The cost-table result of {!costs} — see {!Subset_dp.costs}. *)
 
 val run :
+  ?trace:Ovo_obs.Trace.t ->
   ?engine:Engine.t ->
   ?metrics:Metrics.t ->
   ?upto:int ->
@@ -51,6 +52,7 @@ val run :
     aggregated across domains. *)
 
 val costs :
+  ?trace:Ovo_obs.Trace.t ->
   ?engine:Engine.t ->
   ?metrics:Metrics.t ->
   ?upto:int ->
@@ -62,7 +64,12 @@ val costs :
     integers per subset.  Same validation and defaults as {!run}. *)
 
 val reconstruct :
-  ?metrics:Metrics.t -> base:Compact.state -> costs -> Varset.t -> Compact.state
+  ?trace:Ovo_obs.Trace.t ->
+  ?metrics:Metrics.t ->
+  base:Compact.state ->
+  costs ->
+  Varset.t ->
+  Compact.state
 (** [reconstruct ~base ct k] materialises an optimal state for [K = k] by
     backtracking the tight transitions recorded in [ct] — [|k|]
     compactions over [base].  Requires [k ⊆ ct.cost_j_set] and
@@ -76,6 +83,7 @@ val mincost_of : t -> Varset.t -> int
 (** [MINCOST⟨I,K⟩]; raises [Not_found] when [K] was not computed. *)
 
 val complete :
+  ?trace:Ovo_obs.Trace.t ->
   ?engine:Engine.t ->
   ?metrics:Metrics.t ->
   base:Compact.state ->

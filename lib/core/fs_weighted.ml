@@ -29,7 +29,8 @@ end
 
 module Dp = Subset_dp.Make (Weighted_state)
 
-let run_mtable ?(kind = Compact.Bdd) ?engine ?metrics ~weights mt =
+let run_mtable ?(trace = Ovo_obs.Trace.null) ?(kind = Compact.Bdd) ?engine
+    ?metrics ~weights mt =
   let n = Ovo_boolfun.Mtable.arity mt in
   if Array.length weights <> n then invalid_arg "Fs_weighted.run: bad weights";
   Array.iter
@@ -43,8 +44,12 @@ let run_mtable ?(kind = Compact.Bdd) ?engine ?metrics ~weights mt =
     }
   in
   let st =
-    Dp.complete ?engine ?metrics ~base
-      (Compact.free base.Weighted_state.inner)
+    Ovo_obs.Trace.with_span trace ~cat:"fs"
+      ~args:(fun () -> [ ("n", Ovo_obs.Json.Int n) ])
+      "fs_weighted.run"
+      (fun () ->
+        Dp.complete ~trace ?engine ?metrics ~base
+          (Compact.free base.Weighted_state.inner))
   in
   let inner = st.Weighted_state.inner in
   {
@@ -54,6 +59,6 @@ let run_mtable ?(kind = Compact.Bdd) ?engine ?metrics ~weights mt =
     diagram = Diagram.of_state inner;
   }
 
-let run ?kind ?engine ?metrics ~weights tt =
-  run_mtable ?kind ?engine ?metrics ~weights
+let run ?trace ?kind ?engine ?metrics ~weights tt =
+  run_mtable ?trace ?kind ?engine ?metrics ~weights
     (Ovo_boolfun.Mtable.of_truthtable tt)

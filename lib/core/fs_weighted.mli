@@ -16,6 +16,7 @@ type result = {
 }
 
 val run :
+  ?trace:Ovo_obs.Trace.t ->
   ?kind:Compact.kind ->
   ?engine:Engine.t ->
   ?metrics:Metrics.t ->
@@ -26,6 +27,7 @@ val run :
     unweighted DP.  [engine]/[metrics] as in {!Fs.run}. *)
 
 val run_mtable :
+  ?trace:Ovo_obs.Trace.t ->
   ?kind:Compact.kind ->
   ?engine:Engine.t ->
   ?metrics:Metrics.t ->

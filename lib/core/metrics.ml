@@ -81,8 +81,50 @@ let pp ppf s =
     s.s_table_cells s.s_cost_probes s.s_compactions s.s_node_creations
     s.s_states_materialised s.s_node_table_copies
 
-let to_json s =
-  Printf.sprintf
-    "{\"table_cells\":%d,\"cost_probes\":%d,\"compactions\":%d,\"node_creations\":%d,\"states_materialised\":%d,\"node_table_copies\":%d}"
-    s.s_table_cells s.s_cost_probes s.s_compactions s.s_node_creations
-    s.s_states_materialised s.s_node_table_copies
+(* JSON goes through the shared ovo_obs emitter — the single source of
+   truth for formatting/escaping — so [--stats json], trace span
+   attributes and the bench files all agree on one schema. *)
+let to_args s =
+  Ovo_obs.Json.
+    [
+      ("table_cells", Int s.s_table_cells);
+      ("cost_probes", Int s.s_cost_probes);
+      ("compactions", Int s.s_compactions);
+      ("node_creations", Int s.s_node_creations);
+      ("states_materialised", Int s.s_states_materialised);
+      ("node_table_copies", Int s.s_node_table_copies);
+    ]
+
+let to_json_value s = Ovo_obs.Json.Obj (to_args s)
+let to_json s = Ovo_obs.Json.to_string (to_json_value s)
+
+let of_json_value j =
+  let field name =
+    match Ovo_obs.Json.member name j with
+    | Some (Ovo_obs.Json.Int i) -> Some i
+    | _ -> None
+  in
+  match
+    ( field "table_cells",
+      field "cost_probes",
+      field "compactions",
+      field "node_creations",
+      field "states_materialised",
+      field "node_table_copies" )
+  with
+  | Some c, Some p, Some k, Some n, Some s, Some y ->
+      Some
+        {
+          s_table_cells = c;
+          s_cost_probes = p;
+          s_compactions = k;
+          s_node_creations = n;
+          s_states_materialised = s;
+          s_node_table_copies = y;
+        }
+  | _ -> None
+
+let of_json text =
+  match Ovo_obs.Json.parse text with
+  | Ok j -> of_json_value j
+  | Error _ -> None

@@ -77,5 +77,19 @@ val ambient : t
 
 val pp : Format.formatter -> snapshot -> unit
 
+val to_args : snapshot -> (string * Ovo_obs.Json.t) list
+(** The counters as JSON fields — span attributes for the tracer, and
+    the body of {!to_json_value}. *)
+
+val to_json_value : snapshot -> Ovo_obs.Json.t
+
 val to_json : snapshot -> string
-(** One-line JSON object, for [--stats json] and the bench harness. *)
+(** One-line JSON object, for [--stats json] and the bench harness.
+    Emitted through the shared {!Ovo_obs.Json} emitter; inverse
+    {!of_json}. *)
+
+val of_json_value : Ovo_obs.Json.t -> snapshot option
+
+val of_json : string -> snapshot option
+(** Parse {!to_json} output back; [None] on malformed or incomplete
+    input. *)

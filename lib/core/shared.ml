@@ -245,12 +245,20 @@ let of_state st =
     state = st;
   }
 
-let minimize_mtables ?(kind = Compact.Bdd) ?engine ?metrics mts =
+let minimize_mtables ?(trace = Ovo_obs.Trace.null) ?(kind = Compact.Bdd)
+    ?engine ?metrics mts =
   let base = initial kind mts in
-  of_state (Dp.complete ?engine ?metrics ~base (free base))
+  Ovo_obs.Trace.with_span trace ~cat:"fs"
+    ~args:(fun () ->
+      [
+        ("n", Ovo_obs.Json.Int base.n);
+        ("roots", Ovo_obs.Json.Int (Array.length mts));
+      ])
+    "shared.minimize"
+    (fun () -> of_state (Dp.complete ~trace ?engine ?metrics ~base (free base)))
 
-let minimize ?kind ?engine ?metrics tts =
-  minimize_mtables ?kind ?engine ?metrics
+let minimize ?trace ?kind ?engine ?metrics tts =
+  minimize_mtables ?trace ?kind ?engine ?metrics
     (Array.map Ovo_boolfun.Mtable.of_truthtable tts)
 
 let to_dot st =

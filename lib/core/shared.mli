@@ -80,6 +80,7 @@ val of_state : state -> result
 (** Package a complete shared state (any provenance) as a result. *)
 
 val minimize :
+  ?trace:Ovo_obs.Trace.t ->
   ?kind:Compact.kind ->
   ?engine:Engine.t ->
   ?metrics:Metrics.t ->
@@ -90,6 +91,7 @@ val minimize :
     cells.  [engine]/[metrics] as in {!Fs.run}. *)
 
 val minimize_mtables :
+  ?trace:Ovo_obs.Trace.t ->
   ?kind:Compact.kind ->
   ?engine:Engine.t ->
   ?metrics:Metrics.t ->

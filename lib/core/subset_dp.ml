@@ -1,3 +1,5 @@
+module Trace = Ovo_obs.Trace
+
 module type COMPACTABLE = sig
   type state
 
@@ -69,52 +71,82 @@ module Make (S : COMPACTABLE) = struct
      cost-only callers skip them and backtrack instead.  Intermediate
      layers are always materialised (the next layer's probes need them)
      and dropped eagerly as soon as their successor layer is complete —
-     only the integer cost table outlives a layer. *)
-  let sweep ~engine ~metrics ~upto ~keep_last_states ~base j_set =
+     only the integer cost table outlives a layer.
+
+     With a recording tracer, every cardinality layer is one span
+     (category "dp") whose args carry the subset count and the layer's
+     metrics delta (merged across domains for Engine.Par; the per-domain
+     child spans come from Engine.map).  The whole sweep is a parent
+     span.  Probes stay untraced — the tracer's granularity floor is a
+     layer, so the disabled-tracer cost on the hot path is zero. *)
+  let sweep ~trace ~engine ~metrics ~upto ~keep_last_states ~base j_set =
     let mincosts = Hashtbl.create 64 in
     let choices = Hashtbl.create 64 in
     Hashtbl.replace mincosts Varset.empty (S.mincost base);
     let layer = ref (Hashtbl.create 1) in
     Hashtbl.replace !layer Varset.empty base;
-    for k = 1 to upto do
-      let prev = !layer in
-      let skip_state = k = upto && not keep_last_states in
-      let results =
-        Engine.map engine ~metrics
-          (eval_subset ~prev ~skip_state)
-          (subsets_of j_set ~size:k)
-      in
-      let next = Hashtbl.create (Array.length results * 2) in
-      Array.iter
-        (fun (ksub, h, c, st) ->
-          Hashtbl.replace mincosts ksub c;
-          Hashtbl.replace choices ksub h;
-          match st with Some st -> Hashtbl.replace next ksub st | None -> ())
-        results;
-      (* eager drop: only [mincosts]/[choices] survive a finished layer *)
-      Hashtbl.reset prev;
-      layer := next
-    done;
+    Trace.with_span trace ~cat:"dp"
+      ~args:(fun () ->
+        [
+          ("vars", Ovo_obs.Json.Int (Varset.cardinal j_set));
+          ("upto", Ovo_obs.Json.Int upto);
+          ("engine", Ovo_obs.Json.String (Engine.to_string engine));
+        ])
+      "dp.sweep"
+      (fun () ->
+        for k = 1 to upto do
+          let prev = !layer in
+          let skip_state = k = upto && not keep_last_states in
+          let subs = subsets_of j_set ~size:k in
+          let before = Metrics.snapshot metrics in
+          let results =
+            Trace.with_span trace ~cat:"dp"
+              ~args:(fun () ->
+                ("k", Ovo_obs.Json.Int k)
+                :: ("subsets", Ovo_obs.Json.Int (Array.length subs))
+                :: ("skip_state", Ovo_obs.Json.Bool skip_state)
+                :: Metrics.to_args
+                     (Metrics.diff (Metrics.snapshot metrics) before))
+              (Printf.sprintf "layer k=%d" k)
+              (fun () ->
+                Engine.map ~trace engine ~metrics
+                  (eval_subset ~prev ~skip_state)
+                  subs)
+          in
+          let next = Hashtbl.create (Array.length results * 2) in
+          Array.iter
+            (fun (ksub, h, c, st) ->
+              Hashtbl.replace mincosts ksub c;
+              Hashtbl.replace choices ksub h;
+              match st with
+              | Some st -> Hashtbl.replace next ksub st
+              | None -> ())
+            results;
+          (* eager drop: only [mincosts]/[choices] survive a layer *)
+          Hashtbl.reset prev;
+          layer := next
+        done);
     (mincosts, choices, !layer)
 
-  let run ?(engine = Engine.Seq) ?(metrics = Metrics.ambient) ?upto ~base j_set
-      =
+  let run ?(trace = Trace.null) ?(engine = Engine.Seq)
+      ?(metrics = Metrics.ambient) ?upto ~base j_set =
     let upto = validate ~base j_set upto in
     let mincosts, _, layer =
-      sweep ~engine ~metrics ~upto ~keep_last_states:true ~base j_set
+      sweep ~trace ~engine ~metrics ~upto ~keep_last_states:true ~base j_set
     in
     { j_set; upto; mincosts; layer }
 
-  let costs ?(engine = Engine.Seq) ?(metrics = Metrics.ambient) ?upto ~base
-      j_set =
+  let costs ?(trace = Trace.null) ?(engine = Engine.Seq)
+      ?(metrics = Metrics.ambient) ?upto ~base j_set =
     let upto = validate ~base j_set upto in
     let mincosts, choices, _ =
-      sweep ~engine ~metrics ~upto ~keep_last_states:false ~base j_set
+      sweep ~trace ~engine ~metrics ~upto ~keep_last_states:false ~base j_set
     in
     { cost_j_set = j_set; cost_upto = upto; cost_table = mincosts;
       cost_choice = choices }
 
-  let reconstruct ?(metrics = Metrics.ambient) ~base ct target =
+  let reconstruct ?(trace = Trace.null) ?(metrics = Metrics.ambient) ~base ct
+      target =
     if not (Varset.subset target ct.cost_j_set)
        || Varset.cardinal target > ct.cost_upto
     then invalid_arg "Subset_dp.reconstruct: target not covered";
@@ -129,10 +161,17 @@ module Make (S : COMPACTABLE) = struct
         let h = Hashtbl.find ct.cost_choice k in
         chain (Varset.remove h k) (h :: acc)
     in
+    let before = Metrics.snapshot metrics in
     let st =
-      List.fold_left
-        (fun st h -> S.materialise ~metrics st h)
-        base (chain target [])
+      Trace.with_span trace ~cat:"dp"
+        ~args:(fun () ->
+          ("placements", Ovo_obs.Json.Int (Varset.cardinal target))
+          :: Metrics.to_args (Metrics.diff (Metrics.snapshot metrics) before))
+        "dp.reconstruct"
+        (fun () ->
+          List.fold_left
+            (fun st h -> S.materialise ~metrics st h)
+            base (chain target []))
     in
     assert (S.mincost st = Hashtbl.find ct.cost_table target);
     st
@@ -140,8 +179,8 @@ module Make (S : COMPACTABLE) = struct
   let state_of t ksub = Hashtbl.find t.layer ksub
   let mincost_of t ksub = Hashtbl.find t.mincosts ksub
 
-  let complete ?(engine = Engine.Seq) ?(metrics = Metrics.ambient) ~base j_set
-      =
-    let ct = costs ~engine ~metrics ~base j_set in
-    reconstruct ~metrics ~base ct j_set
+  let complete ?(trace = Trace.null) ?(engine = Engine.Seq)
+      ?(metrics = Metrics.ambient) ~base j_set =
+    let ct = costs ~trace ~engine ~metrics ~base j_set in
+    reconstruct ~trace ~metrics ~base ct j_set
 end

@@ -68,6 +68,7 @@ module Make (S : COMPACTABLE) : sig
   }
 
   val run :
+    ?trace:Ovo_obs.Trace.t ->
     ?engine:Engine.t ->
     ?metrics:Metrics.t ->
     ?upto:int ->
@@ -81,6 +82,7 @@ module Make (S : COMPACTABLE) : sig
       during the sweep and one — the returned [upto] layer — after. *)
 
   val costs :
+    ?trace:Ovo_obs.Trace.t ->
     ?engine:Engine.t ->
     ?metrics:Metrics.t ->
     ?upto:int ->
@@ -92,7 +94,12 @@ module Make (S : COMPACTABLE) : sig
       Same validation and defaults as {!run}. *)
 
   val reconstruct :
-    ?metrics:Metrics.t -> base:S.state -> costs -> Varset.t -> S.state
+    ?trace:Ovo_obs.Trace.t ->
+    ?metrics:Metrics.t ->
+    base:S.state ->
+    costs ->
+    Varset.t ->
+    S.state
   (** [reconstruct ~base ct k] materialises an optimal state for [K = k]
       by backtracking [ct.cost_choice] from [k] to [∅] and replaying the
       resulting placement sequence over [base] — [|k|] compactions
@@ -102,7 +109,12 @@ module Make (S : COMPACTABLE) : sig
   val mincost_of : t -> Varset.t -> int
 
   val complete :
-    ?engine:Engine.t -> ?metrics:Metrics.t -> base:S.state -> Varset.t -> S.state
+    ?trace:Ovo_obs.Trace.t ->
+    ?engine:Engine.t ->
+    ?metrics:Metrics.t ->
+    base:S.state ->
+    Varset.t ->
+    S.state
   (** Full run; the optimal state for [K = J].  Implemented as {!costs}
       followed by {!reconstruct}, so it holds at most one layer of
       states at any time. *)

@@ -1,0 +1,38 @@
+(** A minimal, dependency-free JSON tree: the single source of truth for
+    every piece of JSON the project emits ({!Ovo_core.Metrics.to_json},
+    the [--stats json] CLI output, the trace exporters, the bench
+    harness).  Emission is escaping-safe — strings always pass through
+    {!escape} — and the bundled parser is sufficient to round-trip
+    everything this library can print. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val escape : string -> string
+(** The JSON-escaped contents of a string (no surrounding quotes). *)
+
+val to_buffer : Buffer.t -> t -> unit
+
+val to_string : t -> string
+(** Compact (single-line) rendering.  Non-finite floats print as
+    [null] — JSON has no spelling for them. *)
+
+val parse : string -> (t, string) result
+(** Inverse of {!to_string} (and a parser for any sane compact JSON):
+    numbers without a fraction or exponent come back as {!Int}. *)
+
+val member : string -> t -> t option
+(** Field lookup on an {!Obj}; [None] on other constructors. *)
+
+val to_int_opt : t -> int option
+val to_float_opt : t -> float option
+(** {!Int} widens to float. *)
+
+val to_string_opt : t -> string option
+val to_list_opt : t -> t list option

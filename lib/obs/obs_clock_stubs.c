@@ -1,0 +1,18 @@
+/* Monotonic clock for the ovo_obs tracer.  Returned as a tagged
+   immediate (nanoseconds fit in 62 bits for ~146 years of uptime), so
+   the probe never allocates on the OCaml heap. */
+
+#include <caml/mlvalues.h>
+#include <time.h>
+
+CAMLprim value ovo_obs_monotonic_ns(value unit)
+{
+  struct timespec ts;
+#ifdef CLOCK_MONOTONIC
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+#else
+  clock_gettime(CLOCK_REALTIME, &ts);
+#endif
+  (void)unit;
+  return Val_long((intnat)ts.tv_sec * 1000000000 + (intnat)ts.tv_nsec);
+}

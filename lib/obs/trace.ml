@@ -1,0 +1,147 @@
+external monotonic_ns : unit -> int = "ovo_obs_monotonic_ns" [@@noalloc]
+
+type clock = unit -> float
+
+let monotonic () = float_of_int (monotonic_ns ()) *. 1e-9
+
+type arg = string * Json.t
+
+type span = {
+  name : string;
+  cat : string;
+  tid : int;
+  start : float;
+  stop : float;
+  gc_minor_words : float;
+  gc_major_words : float;
+  args : arg list;
+}
+
+type mark = {
+  m_name : string;
+  m_cat : string;
+  m_tid : int;
+  m_at : float;
+  m_args : arg list;
+}
+
+type count = { c_name : string; c_tid : int; c_at : float; c_value : float }
+
+type event = Span of span | Instant of mark | Counter of count
+
+type t = {
+  on : bool;
+  clock : clock;
+  sample_gc : bool;
+  lock : Mutex.t;
+  mutable events : event list; (* reversed: most recently closed first *)
+  mutable n_events : int;
+  mutable hook : (event -> unit) option;
+  mutable epoch : float;
+}
+
+let null =
+  {
+    on = false;
+    clock = (fun () -> 0.);
+    sample_gc = false;
+    lock = Mutex.create ();
+    events = [];
+    n_events = 0;
+    hook = None;
+    epoch = 0.;
+  }
+
+let make ?(clock = monotonic) ?(sample_gc = true) () =
+  {
+    on = true;
+    clock;
+    sample_gc;
+    lock = Mutex.create ();
+    events = [];
+    n_events = 0;
+    hook = None;
+    epoch = clock ();
+  }
+
+let enabled t = t.on
+let now t = t.clock ()
+let epoch t = t.epoch
+let on_event t f = if t.on then t.hook <- Some f
+
+let record t ev =
+  Mutex.lock t.lock;
+  t.events <- ev :: t.events;
+  t.n_events <- t.n_events + 1;
+  let hook = t.hook in
+  Mutex.unlock t.lock;
+  match hook with None -> () | Some f -> f ev
+
+let tid () = (Domain.self () :> int)
+
+(* [args] is a thunk so callers can report end-of-span deltas (metrics
+   diffs, improvement counts); the disabled path is a single branch and
+   a tail call. *)
+let with_span t ?(cat = "") ?args name f =
+  if not t.on then f ()
+  else begin
+    let tid = tid () in
+    (* [Gc.minor_words] reads the domain's allocation pointer, so it is
+       exact even between minor collections; [quick_stat].minor_words is
+       only refreshed at collection time and would read 0 across short
+       spans.  Major words only move at promotion, where quick_stat is
+       accurate enough. *)
+    let minor0, major0 =
+      if t.sample_gc then
+        (Gc.minor_words (), (Gc.quick_stat ()).Gc.major_words)
+      else (0., 0.)
+    in
+    let start = t.clock () in
+    let close () =
+      let stop = t.clock () in
+      let gc_minor_words, gc_major_words =
+        if t.sample_gc then
+          ( Gc.minor_words () -. minor0,
+            (Gc.quick_stat ()).Gc.major_words -. major0 )
+        else (0., 0.)
+      in
+      let args = match args with None -> [] | Some f -> f () in
+      record t
+        (Span { name; cat; tid; start; stop; gc_minor_words; gc_major_words; args })
+    in
+    match f () with
+    | v ->
+        close ();
+        v
+    | exception e ->
+        close ();
+        raise e
+  end
+
+let instant t ?(cat = "") ?args name =
+  if t.on then
+    let m_args = match args with None -> [] | Some f -> f () in
+    record t
+      (Instant { m_name = name; m_cat = cat; m_tid = tid (); m_at = t.clock (); m_args })
+
+let counter t name value =
+  if t.on then
+    record t
+      (Counter { c_name = name; c_tid = tid (); c_at = t.clock (); c_value = value })
+
+let events t =
+  Mutex.lock t.lock;
+  let evs = t.events in
+  Mutex.unlock t.lock;
+  List.rev evs
+
+let spans t =
+  List.filter_map (function Span s -> Some s | _ -> None) (events t)
+
+let event_count t = t.n_events
+
+let clear t =
+  Mutex.lock t.lock;
+  t.events <- [];
+  t.n_events <- 0;
+  Mutex.unlock t.lock

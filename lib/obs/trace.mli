@@ -1,0 +1,86 @@
+(** Span/counter tracing with a null-sink fast path.
+
+    A {!t} is either the {!null} tracer — every probe is one branch and
+    no allocation, so instrumented paths cost nothing when tracing is
+    off — or a buffering tracer created with {!make}, which records
+    spans ({!with_span}), instants and counters with monotonic-clock
+    timestamps, per-domain attribution (the recording domain's id) and
+    {!Gc.quick_stat} deltas at span boundaries.
+
+    The buffer is mutex-protected: {!Ovo_core.Engine.Par} worker domains
+    record their per-chunk spans concurrently.  Events are kept in close
+    order (a child span closes — and is recorded — before its parent).
+
+    Exporters live in {!Export}: human text summary, JSON-lines, and
+    Chrome [trace_event] JSON loadable in [chrome://tracing]/Perfetto. *)
+
+type clock = unit -> float
+(** Seconds, from an arbitrary origin. *)
+
+val monotonic : clock
+(** [CLOCK_MONOTONIC] via a libc stub — never steps backwards. *)
+
+type arg = string * Json.t
+
+type span = {
+  name : string;
+  cat : string;
+  tid : int;  (** {!Domain.self} of the recording domain *)
+  start : float;
+  stop : float;
+  gc_minor_words : float;  (** minor words allocated inside the span *)
+  gc_major_words : float;
+  args : arg list;
+}
+
+type mark = {
+  m_name : string;
+  m_cat : string;
+  m_tid : int;
+  m_at : float;
+  m_args : arg list;
+}
+
+type count = { c_name : string; c_tid : int; c_at : float; c_value : float }
+
+type event = Span of span | Instant of mark | Counter of count
+
+type t
+
+val null : t
+(** The disabled tracer: every probe returns after one branch.  This is
+    the default everywhere a [?trace] parameter appears. *)
+
+val make : ?clock:clock -> ?sample_gc:bool -> unit -> t
+(** A recording tracer.  [clock] defaults to {!monotonic} (inject a fake
+    clock in tests); [sample_gc] (default [true]) samples
+    {!Gc.quick_stat} at span boundaries. *)
+
+val enabled : t -> bool
+val now : t -> float
+
+val epoch : t -> float
+(** Clock value at {!make} time — exporters subtract it. *)
+
+val on_event : t -> (event -> unit) -> unit
+(** Install a hook called (synchronously, possibly from a worker domain)
+    on every recorded event — the [--progress] ticker.  No-op on
+    {!null}. *)
+
+val with_span :
+  t -> ?cat:string -> ?args:(unit -> arg list) -> string -> (unit -> 'a) -> 'a
+(** [with_span t name f] runs [f] inside a span.  [args] is evaluated at
+    close, so it can report deltas accumulated by [f].  The span is
+    recorded even when [f] raises (the exception is re-raised). *)
+
+val instant : t -> ?cat:string -> ?args:(unit -> arg list) -> string -> unit
+val counter : t -> string -> float -> unit
+
+val events : t -> event list
+(** In close order. *)
+
+val spans : t -> span list
+(** Just the spans, in close order. *)
+
+val event_count : t -> int
+val clear : t -> unit

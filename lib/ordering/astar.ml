@@ -20,7 +20,7 @@ module Frontier = Set.Make (struct
   let compare = compare
 end)
 
-let run ?(kind = C.Bdd) tt =
+let run ?(trace = Ovo_obs.Trace.null) ?(kind = C.Bdd) tt =
   let n = Ovo_boolfun.Truthtable.arity tt in
   let support = V.of_list (Ovo_boolfun.Truthtable.support tt) in
   let h iset = V.cardinal (V.diff support iset) in
@@ -32,6 +32,7 @@ let run ?(kind = C.Bdd) tt =
   Hashtbl.replace best_g V.empty 0;
   let frontier = ref (Frontier.singleton (h V.empty, 0, V.empty)) in
   let expanded = ref 0 and generated = ref 0 in
+  let max_depth = ref (-1) in
   let goal = V.full n in
   let rec search () =
     match Frontier.min_elt_opt !frontier with
@@ -45,6 +46,20 @@ let run ?(kind = C.Bdd) tt =
         else begin
           Hashtbl.replace closed iset ();
           incr expanded;
+          (* progress event: first time the search reaches a new depth
+             (variables placed) — at most [n]+1 of these per run *)
+          let depth = V.cardinal iset in
+          if depth > !max_depth then begin
+            max_depth := depth;
+            Ovo_obs.Trace.instant trace ~cat:"heur"
+              ~args:(fun () ->
+                [
+                  ("depth", Ovo_obs.Json.Int depth);
+                  ("g", Ovo_obs.Json.Int g);
+                  ("expanded", Ovo_obs.Json.Int !expanded);
+                ])
+              "astar.depth"
+          end;
           let state = Hashtbl.find states iset in
           (* drop the table of a closed interior node only after its
              successors are built; successors keep their own tables *)
@@ -69,7 +84,16 @@ let run ?(kind = C.Bdd) tt =
           search ()
         end
   in
-  let final = search () in
+  let final =
+    Ovo_obs.Trace.with_span trace ~cat:"heur"
+      ~args:(fun () ->
+        [
+          ("n", Ovo_obs.Json.Int n);
+          ("expanded", Ovo_obs.Json.Int !expanded);
+          ("generated", Ovo_obs.Json.Int !generated);
+        ])
+      "astar.run" search
+  in
   {
     mincost = final.C.mincost;
     order = Array.of_list (C.order final);

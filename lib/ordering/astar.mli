@@ -27,6 +27,10 @@ type result = {
   subsets_total : int;  (** [2^n], for the pruning ratio *)
 }
 
-val run : ?kind:Ovo_core.Compact.kind -> Ovo_boolfun.Truthtable.t -> result
+val run :
+  ?trace:Ovo_obs.Trace.t ->
+  ?kind:Ovo_core.Compact.kind ->
+  Ovo_boolfun.Truthtable.t ->
+  result
 (** Exact minimisation; agrees with {!Ovo_core.Fs.run} by construction
     (the tests enforce it). *)

@@ -2,24 +2,51 @@ type entry = { method_name : string; mincost : int; order : int array }
 
 type result = { best : entry; entries : entry list }
 
-let run ?(kind = Ovo_core.Compact.Bdd) ?rng tt =
+let run ?(trace = Ovo_obs.Trace.null) ?(kind = Ovo_core.Compact.Bdd) ?rng tt =
   let rng = match rng with Some r -> r | None -> Random.State.make [| 0x0BDD |] in
+  (* each member gets its own span so the profile shows where portfolio
+     time goes; sifting and window additionally thread the tracer down
+     for their improvement instants *)
+  let member name f =
+    let entry = ref None in
+    Ovo_obs.Trace.with_span trace ~cat:"heur"
+      ~args:(fun () ->
+        match !entry with
+        | None -> [ ("method", Ovo_obs.Json.String name) ]
+        | Some e ->
+            [
+              ("method", Ovo_obs.Json.String name);
+              ("mincost", Ovo_obs.Json.Int e.mincost);
+            ])
+      (Printf.sprintf "portfolio.%s" name)
+      (fun () ->
+        let e = f () in
+        entry := Some e;
+        e)
+  in
   let members =
     [
-      (let r = Influence.run ~kind tt in
-       { method_name = "influence"; mincost = r.Influence.mincost; order = r.Influence.order });
-      (let r = Sifting.run ~kind tt in
-       { method_name = "sifting"; mincost = r.Sifting.mincost; order = r.Sifting.order });
-      (let r = Window.run ~kind tt in
-       { method_name = "window"; mincost = r.Window.mincost; order = r.Window.order });
-      (let r = Annealing.run ~kind ~rng tt in
-       { method_name = "annealing"; mincost = r.Annealing.mincost; order = r.Annealing.order });
-      (let r = Genetic.run ~kind ~rng tt in
-       { method_name = "genetic"; mincost = r.Genetic.mincost; order = r.Genetic.order });
-      (let r = Random_search.run ~kind ~rng tt in
-       { method_name = "random"; mincost = r.Random_search.mincost; order = r.Random_search.order });
-      (let r = Exact_block.run ~kind tt in
-       { method_name = "exact-block"; mincost = r.Exact_block.mincost; order = r.Exact_block.order });
+      member "influence" (fun () ->
+          let r = Influence.run ~kind tt in
+          { method_name = "influence"; mincost = r.Influence.mincost; order = r.Influence.order });
+      member "sifting" (fun () ->
+          let r = Sifting.run ~trace ~kind tt in
+          { method_name = "sifting"; mincost = r.Sifting.mincost; order = r.Sifting.order });
+      member "window" (fun () ->
+          let r = Window.run ~trace ~kind tt in
+          { method_name = "window"; mincost = r.Window.mincost; order = r.Window.order });
+      member "annealing" (fun () ->
+          let r = Annealing.run ~kind ~rng tt in
+          { method_name = "annealing"; mincost = r.Annealing.mincost; order = r.Annealing.order });
+      member "genetic" (fun () ->
+          let r = Genetic.run ~kind ~rng tt in
+          { method_name = "genetic"; mincost = r.Genetic.mincost; order = r.Genetic.order });
+      member "random" (fun () ->
+          let r = Random_search.run ~kind ~rng tt in
+          { method_name = "random"; mincost = r.Random_search.mincost; order = r.Random_search.order });
+      member "exact-block" (fun () ->
+          let r = Exact_block.run ~kind tt in
+          { method_name = "exact-block"; mincost = r.Exact_block.mincost; order = r.Exact_block.order });
     ]
   in
   let sorted =

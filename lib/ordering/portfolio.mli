@@ -16,6 +16,7 @@ type result = {
 }
 
 val run :
+  ?trace:Ovo_obs.Trace.t ->
   ?kind:Ovo_core.Compact.kind ->
   ?rng:Random.State.t ->
   Ovo_boolfun.Truthtable.t ->

@@ -1,6 +1,7 @@
 type result = { mincost : int; order : int array; passes : int; probes : int }
 
-let run_mtable ?(kind = Ovo_core.Compact.Bdd) ?(max_passes = 8) ?initial mt =
+let run_mtable ?(trace = Ovo_obs.Trace.null) ?(kind = Ovo_core.Compact.Bdd)
+    ?(max_passes = 8) ?initial mt =
   let n = Ovo_boolfun.Mtable.arity mt in
   let base = Ovo_core.Compact.initial kind mt in
   let cost_of order =
@@ -19,6 +20,16 @@ let run_mtable ?(kind = Ovo_core.Compact.Bdd) ?(max_passes = 8) ?initial mt =
   in
   let passes = ref 0 in
   let improved = ref true in
+  Ovo_obs.Trace.with_span trace ~cat:"heur"
+    ~args:(fun () ->
+      [
+        ("n", Ovo_obs.Json.Int n);
+        ("passes", Ovo_obs.Json.Int !passes);
+        ("probes", Ovo_obs.Json.Int !probes);
+        ("mincost", Ovo_obs.Json.Int !cost);
+      ])
+    "sift.run"
+  @@ fun () ->
   while !improved && !passes < max_passes do
     incr passes;
     improved := false;
@@ -46,6 +57,15 @@ let run_mtable ?(kind = Ovo_core.Compact.Bdd) ?(max_passes = 8) ?initial mt =
           end
         done;
         if !best_cost < !cost then begin
+          Ovo_obs.Trace.instant trace ~cat:"heur"
+            ~args:(fun () ->
+              [
+                ("pass", Ovo_obs.Json.Int !passes);
+                ("var", Ovo_obs.Json.Int v);
+                ("from", Ovo_obs.Json.Int !cost);
+                ("to", Ovo_obs.Json.Int !best_cost);
+              ])
+            "sift.improve";
           cost := !best_cost;
           order := !best_order;
           improved := true
@@ -54,5 +74,6 @@ let run_mtable ?(kind = Ovo_core.Compact.Bdd) ?(max_passes = 8) ?initial mt =
   done;
   { mincost = !cost; order = !order; passes = !passes; probes = !probes }
 
-let run ?kind ?max_passes ?initial tt =
-  run_mtable ?kind ?max_passes ?initial (Ovo_boolfun.Mtable.of_truthtable tt)
+let run ?trace ?kind ?max_passes ?initial tt =
+  run_mtable ?trace ?kind ?max_passes ?initial
+    (Ovo_boolfun.Mtable.of_truthtable tt)

@@ -23,6 +23,7 @@ type result = {
 }
 
 val run :
+  ?trace:Ovo_obs.Trace.t ->
   ?kind:Ovo_core.Compact.kind ->
   ?max_passes:int ->
   ?initial:int array ->
@@ -31,6 +32,7 @@ val run :
 (** Default [max_passes] 8, default initial ordering the identity. *)
 
 val run_mtable :
+  ?trace:Ovo_obs.Trace.t ->
   ?kind:Ovo_core.Compact.kind ->
   ?max_passes:int ->
   ?initial:int array ->

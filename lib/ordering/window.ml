@@ -1,7 +1,7 @@
 type result = { mincost : int; order : int array; sweeps : int; probes : int }
 
-let run_mtable ?(kind = Ovo_core.Compact.Bdd) ?(window = 3) ?(max_sweeps = 16)
-    ?initial mt =
+let run_mtable ?(trace = Ovo_obs.Trace.null) ?(kind = Ovo_core.Compact.Bdd)
+    ?(window = 3) ?(max_sweeps = 16) ?initial mt =
   let n = Ovo_boolfun.Mtable.arity mt in
   let w = max 2 (min window n) in
   let base = Ovo_core.Compact.initial kind mt in
@@ -14,6 +14,17 @@ let run_mtable ?(kind = Ovo_core.Compact.Bdd) ?(window = 3) ?(max_sweeps = 16)
   let cost = ref (cost_of !order) in
   let sweeps = ref 0 in
   let improved = ref true in
+  Ovo_obs.Trace.with_span trace ~cat:"heur"
+    ~args:(fun () ->
+      [
+        ("n", Ovo_obs.Json.Int n);
+        ("window", Ovo_obs.Json.Int w);
+        ("sweeps", Ovo_obs.Json.Int !sweeps);
+        ("probes", Ovo_obs.Json.Int !probes);
+        ("mincost", Ovo_obs.Json.Int !cost);
+      ])
+    "window.run"
+  @@ fun () ->
   while !improved && !sweeps < max_sweeps do
     incr sweeps;
     improved := false;
@@ -30,6 +41,15 @@ let run_mtable ?(kind = Ovo_core.Compact.Bdd) ?(window = 3) ?(max_sweeps = 16)
             best_order := cand
           end);
       if !best_cost < !cost then begin
+        Ovo_obs.Trace.instant trace ~cat:"heur"
+          ~args:(fun () ->
+            [
+              ("sweep", Ovo_obs.Json.Int !sweeps);
+              ("start", Ovo_obs.Json.Int start);
+              ("from", Ovo_obs.Json.Int !cost);
+              ("to", Ovo_obs.Json.Int !best_cost);
+            ])
+          "window.improve";
         cost := !best_cost;
         order := !best_order;
         improved := true
@@ -38,6 +58,6 @@ let run_mtable ?(kind = Ovo_core.Compact.Bdd) ?(window = 3) ?(max_sweeps = 16)
   done;
   { mincost = !cost; order = !order; sweeps = !sweeps; probes = !probes }
 
-let run ?kind ?window ?max_sweeps ?initial tt =
-  run_mtable ?kind ?window ?max_sweeps ?initial
+let run ?trace ?kind ?window ?max_sweeps ?initial tt =
+  run_mtable ?trace ?kind ?window ?max_sweeps ?initial
     (Ovo_boolfun.Mtable.of_truthtable tt)

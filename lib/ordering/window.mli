@@ -14,6 +14,7 @@ type result = {
 }
 
 val run :
+  ?trace:Ovo_obs.Trace.t ->
   ?kind:Ovo_core.Compact.kind ->
   ?window:int ->
   ?max_sweeps:int ->
@@ -23,6 +24,7 @@ val run :
 (** Default window 3 (clamped to [n]), default [max_sweeps] 16. *)
 
 val run_mtable :
+  ?trace:Ovo_obs.Trace.t ->
   ?kind:Ovo_core.Compact.kind ->
   ?window:int ->
   ?max_sweeps:int ->

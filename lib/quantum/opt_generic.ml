@@ -32,6 +32,27 @@ let division_points ~alpha n' =
   in
   dedup 0 (List.sort compare clamped)
 
+(* One span per Grover-style minimum search, carrying the recursion
+   level, the candidate-set size and the search's own deltas of the
+   context's {!Qsearch.stats} — oracle calls and modeled query depth.
+   The deltas are inclusive: an oracle at level [t] recurses into
+   level [t-1], whose searches nest as child spans. *)
+let with_search_span (ctx : Qctx.t) ~name ~level ~candidates f =
+  let s = ctx.Qctx.stats in
+  let evals0 = s.Qsearch.oracle_evaluations in
+  let queries0 = s.Qsearch.modeled_queries in
+  Ovo_obs.Trace.with_span ctx.Qctx.trace ~cat:"quantum"
+    ~args:(fun () ->
+      [
+        ("level", Ovo_obs.Json.Int level);
+        ("candidates", Ovo_obs.Json.Int candidates);
+        ( "oracle_evaluations",
+          Ovo_obs.Json.Int (s.Qsearch.oracle_evaluations - evals0) );
+        ( "modeled_queries",
+          Ovo_obs.Json.Float (s.Qsearch.modeled_queries -. queries0) );
+      ])
+    name f
+
 let log_src = Logs.Src.create "ovo.quantum" ~doc:"simulated quantum algorithms"
 
 module Log = (val Logs.src_log log_src : Logs.LOG)
@@ -54,9 +75,14 @@ module Make (S : STATE) = struct
         (fun (ctx : Qctx.t) base j_set ->
           if Varset.is_empty j_set then (base, 0.)
           else
-            measured_cells ctx (fun () ->
-                Dp.complete ~engine:ctx.Qctx.engine ~metrics:ctx.Qctx.metrics
-                  ~base j_set));
+            Ovo_obs.Trace.with_span ctx.Qctx.trace ~cat:"quantum"
+              ~args:(fun () ->
+                [ ("vars", Ovo_obs.Json.Int (Varset.cardinal j_set)) ])
+              "qdc.fs_star"
+              (fun () ->
+                measured_cells ctx (fun () ->
+                    Dp.complete ~trace:ctx.Qctx.trace ~engine:ctx.Qctx.engine
+                      ~metrics:ctx.Qctx.metrics ~base j_set)));
     }
 
   let subsets_of l ~size =
@@ -99,8 +125,10 @@ module Make (S : STATE) = struct
             (S.mincost st, cost_k +. cost_rest)
           in
           let outcome =
-            Qsearch.find_min ?rng:ctx.Qctx.rng ~epsilon:ctx.Qctx.epsilon
-              ~stats:ctx.Qctx.stats ~candidates ~oracle ()
+            with_search_span ctx ~name:"qsearch.simple_split" ~level:1
+              ~candidates:(Array.length candidates) (fun () ->
+                Qsearch.find_min ?rng:ctx.Qctx.rng ~epsilon:ctx.Qctx.epsilon
+                  ~stats:ctx.Qctx.stats ~candidates ~oracle ())
           in
           (Hashtbl.find memo outcome.Qsearch.argmin, outcome.Qsearch.modeled_cost)
         end
@@ -132,9 +160,17 @@ module Make (S : STATE) = struct
             let b = Array.of_list b in
             let m = Array.length b in
             let pre, pre_cost =
-              measured_cells ctx (fun () ->
-                  Dp.run ~engine:ctx.Qctx.engine ~metrics:ctx.Qctx.metrics
-                    ~upto:b.(0) ~base j_set)
+              Ovo_obs.Trace.with_span ctx.Qctx.trace ~cat:"quantum"
+                ~args:(fun () ->
+                  [
+                    ("vars", Ovo_obs.Json.Int n');
+                    ("upto", Ovo_obs.Json.Int b.(0));
+                  ])
+                "qdc.preprocess"
+                (fun () ->
+                  measured_cells ctx (fun () ->
+                      Dp.run ~trace:ctx.Qctx.trace ~engine:ctx.Qctx.engine
+                        ~metrics:ctx.Qctx.metrics ~upto:b.(0) ~base j_set))
             in
             let rec divide_and_conquer l t =
               if t = 1 then (Dp.state_of pre l, 0.)
@@ -150,8 +186,12 @@ module Make (S : STATE) = struct
                   (S.mincost st, cost_k +. cost_rest)
                 in
                 let outcome =
-                  Qsearch.find_min ?rng:ctx.Qctx.rng ~epsilon:ctx.Qctx.epsilon
-                    ~stats:ctx.Qctx.stats ~candidates ~oracle ()
+                  with_search_span ctx
+                    ~name:(Printf.sprintf "qsearch.level t=%d" t)
+                    ~level:t ~candidates:(Array.length candidates) (fun () ->
+                      Qsearch.find_min ?rng:ctx.Qctx.rng
+                        ~epsilon:ctx.Qctx.epsilon ~stats:ctx.Qctx.stats
+                        ~candidates ~oracle ())
                 in
                 ( Hashtbl.find memo outcome.Qsearch.argmin,
                   outcome.Qsearch.modeled_cost )

@@ -18,6 +18,7 @@ type ctx = Qctx.t = {
   stats : Qsearch.stats;
   engine : Ovo_core.Engine.t;
   metrics : Ovo_core.Metrics.t;
+  trace : Ovo_obs.Trace.t;
 }
 
 let make_ctx = Qctx.make

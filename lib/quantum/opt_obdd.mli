@@ -31,12 +31,16 @@ type ctx = Qctx.t = {
       (** engine for the classical [FS*] subroutines (default [Seq]) *)
   metrics : Ovo_core.Metrics.t;
       (** per-context counters backing the modeled-cost measurements *)
+  trace : Ovo_obs.Trace.t;
+      (** span tracer: the quantum recursion records one span per level
+          with oracle-call counts and modeled-query deltas *)
 }
 
 val make_ctx :
   ?rng:Random.State.t ->
   ?epsilon:float ->
   ?engine:Ovo_core.Engine.t ->
+  ?trace:Ovo_obs.Trace.t ->
   unit ->
   ctx
 (** Default [epsilon] is [2^(-20)]; no [rng] means deterministic, exact

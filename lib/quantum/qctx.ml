@@ -4,14 +4,16 @@ type t = {
   stats : Qsearch.stats;
   engine : Ovo_core.Engine.t;
   metrics : Ovo_core.Metrics.t;
+  trace : Ovo_obs.Trace.t;
 }
 
 let make ?rng ?(epsilon = Float.pow 2. (-20.)) ?(engine = Ovo_core.Engine.Seq)
-    () =
+    ?(trace = Ovo_obs.Trace.null) () =
   {
     rng;
     epsilon;
     stats = Qsearch.create_stats ();
     engine;
     metrics = Ovo_core.Metrics.create ();
+    trace;
   }

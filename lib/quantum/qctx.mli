@@ -13,9 +13,17 @@ type t = {
   metrics : Ovo_core.Metrics.t;
       (** per-context counters; modeled costs are measured against this,
           not against the process-global {!Ovo_core.Metrics.ambient} *)
+  trace : Ovo_obs.Trace.t;
+      (** span tracer threaded through the classical subroutines and the
+          quantum recursion (default {!Ovo_obs.Trace.null}) *)
 }
 
 val make :
-  ?rng:Random.State.t -> ?epsilon:float -> ?engine:Ovo_core.Engine.t -> unit -> t
+  ?rng:Random.State.t ->
+  ?epsilon:float ->
+  ?engine:Ovo_core.Engine.t ->
+  ?trace:Ovo_obs.Trace.t ->
+  unit ->
+  t
 (** Default [epsilon] is [2^(-20)]; no [rng] means deterministic, exact
     simulation.  A fresh {!Ovo_core.Metrics.t} is created per context. *)

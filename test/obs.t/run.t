@@ -1,0 +1,90 @@
+The counters of --stats json go through the shared JSON emitter; the
+field set and order are part of the documented schema
+(doc/observability.md) and must not drift:
+
+  $ ovo optimize --expr 'x0 & x1 | x2' --stats json
+  algorithm        : FS (exact)
+  minimum size     : 5 nodes (3 non-terminal)
+  order (root first): [0 1 2]
+  order (paper pi)  : [2 1 0]
+  level widths      : [1 1 1]
+  modeled cost      : 2.700e+01 table cells
+  {"table_cells":27,"cost_probes":12,"compactions":0,"node_creations":9,"states_materialised":9,"node_table_copies":9}
+
+A --trace file ending in .jsonl records one self-describing JSON
+object per event.  The Seq engine is deterministic, so the span set of
+an exact n=3 solve is exact: one span per DP layer, the sweep, the
+reconstruction, and the fs.run parent:
+
+  $ ovo optimize --expr 'x0 & x1 | x2' --trace t.jsonl > /dev/null
+  [ovo] trace written: t.jsonl (6 events)
+
+  $ grep -c '"kind":"span"' t.jsonl
+  6
+
+  $ grep -o '"name":"[^"]*"' t.jsonl | sort
+  "name":"dp.reconstruct"
+  "name":"dp.sweep"
+  "name":"fs.run"
+  "name":"layer k=1"
+  "name":"layer k=2"
+  "name":"layer k=3"
+
+Every span line carries timing and allocation fields:
+
+  $ grep -c '"start_s":' t.jsonl
+  6
+  $ grep -c '"dur_s":' t.jsonl
+  6
+  $ grep -c '"gc_minor_words":' t.jsonl
+  6
+
+Layer spans embed the layer's metrics delta as args — deterministic
+numbers, pinned here as the schema's worked example:
+
+  $ grep '"name":"layer k=1"' t.jsonl | grep -o '"args":{.*}'
+  "args":{"k":1,"subsets":3,"skip_state":false,"table_cells":12,"cost_probes":3,"compactions":0,"node_creations":3,"states_materialised":3,"node_table_copies":3}}
+
+  $ grep '"name":"layer k=3"' t.jsonl | grep -o '"skip_state":[a-z]*'
+  "skip_state":true
+
+Any other extension selects Chrome trace_event JSON (one document with
+a traceEvents array of complete events):
+
+  $ ovo optimize --expr 'x0 & x1 | x2' --trace t.json > /dev/null
+  [ovo] trace written: t.json (6 events)
+
+  $ grep -c '"displayTimeUnit":"ms"' t.json
+  1
+  $ grep -o '"ph":"X"' t.json | wc -l
+  6
+
+--progress ticks each completed DP phase on stderr (durations vary, so
+they are stripped here):
+
+  $ ovo optimize --expr 'x0 & x1 | x2' --progress 2>&1 >/dev/null | sed 's/ \{1,\}[0-9.]\{1,\} ms$//'
+  [ovo] layer k=1
+  [ovo] layer k=2
+  [ovo] layer k=3
+  [ovo] dp.sweep
+  [ovo] dp.reconstruct
+
+--profile prints a text summary to stderr; its header and the Gc line
+are stable:
+
+  $ ovo optimize --expr 'x0 & x1 | x2' --profile 2>&1 >/dev/null | sed -n '1p'
+  == ovo trace profile ==
+
+The sifting heuristic records one run span plus an instant for every
+accepted improvement (hwb-6 from the identity ordering improves once,
+23 -> 21 nodes):
+
+  $ ovo optimize --family hwb-6 --algo sifting --trace s.jsonl > /dev/null
+  [ovo] trace written: s.jsonl (2 events)
+
+  $ grep -o '"name":"sift[^"]*"' s.jsonl | sort
+  "name":"sift.improve"
+  "name":"sift.run"
+
+  $ grep '"name":"sift.improve"' s.jsonl | grep -o '"args":{[^}]*}'
+  "args":{"pass":1,"var":0,"from":23,"to":21}
