@@ -595,6 +595,115 @@ let obs_bench () =
   Printf.printf "written: BENCH_obs.json\n"
 
 (* ------------------------------------------------------------------ *)
+
+(* The ordering service: an in-process daemon on a temp Unix socket,
+   driven through the real client and wire protocol.  Cache-cold
+   requests (distinct random n=10 functions, plus hwb-10 once) pay the
+   full canonicalize + exact-DP price; cache-warm requests (hwb-10
+   repeated) are answered from the canonical result cache and must sit
+   orders of magnitude lower — CI gates warm p50 at >= 10x below cold.
+   Results go to BENCH_serve.json. *)
+let serve_bench () =
+  section "serve";
+  let sock = Filename.temp_file "ovo-bench-serve" ".sock" in
+  Sys.remove sock;
+  let module Sv = Ovo_serve.Server in
+  let module Cl = Ovo_serve.Client in
+  let module Pr = Ovo_serve.Protocol in
+  let cfg =
+    { (Sv.default_config ~listen:(Pr.Unix_sock sock)) with
+      Sv.workers = 2; queue_cap = 128; cache_cap = 512 }
+  in
+  let server = Sv.start cfg in
+  let waiter = Thread.create (fun () -> Sv.wait server) () in
+  let hwb10 = T.to_string (F.hidden_weighted_bit 10) in
+  let cold_ms, warm_ms, total_requests, wall_s, final_hits =
+    Cl.with_conn (Pr.Unix_sock sock) @@ fun c ->
+    let next_id = ref 0 in
+    let solve table =
+      incr next_id;
+      let t0 = Unix.gettimeofday () in
+      match
+        Cl.roundtrip c
+          { Pr.id = !next_id;
+            op =
+              Pr.Solve
+                { Pr.table; kind = C.Bdd; engine = Ovo_core.Engine.Seq;
+                  deadline_ms = None } }
+      with
+      | Ok { Pr.body = Pr.Ok_solve r; _ } ->
+          ((Unix.gettimeofday () -. t0) *. 1000., r.Pr.cached)
+      | Ok _ | Error _ -> failwith "serve bench: unexpected reply"
+    in
+    let t0 = Unix.gettimeofday () in
+    let cold =
+      List.init 20 (fun i ->
+          T.to_string (T.random (Random.State.make [| 9000 + i |]) 10))
+      @ [ hwb10 ]
+      |> List.map (fun table ->
+             let ms, cached = solve table in
+             assert (not cached);
+             ms)
+    in
+    let warm =
+      List.init 40 (fun _ ->
+          let ms, cached = solve hwb10 in
+          assert cached;
+          ms)
+    in
+    let wall_s = Unix.gettimeofday () -. t0 in
+    let hits =
+      match Cl.roundtrip c { Pr.id = 0; op = Pr.Stats } with
+      | Ok { Pr.body = Pr.Ok_stats s; _ } ->
+          Option.bind (Ovo_obs.Json.member "cache" s)
+            (Ovo_obs.Json.member "hits")
+          |> Fun.flip Option.bind Ovo_obs.Json.to_int_opt
+          |> Option.value ~default:0
+      | _ -> 0
+    in
+    (match Cl.roundtrip c { Pr.id = 0; op = Pr.Shutdown } with
+    | Ok { Pr.body = Pr.Bye; _ } -> ()
+    | _ -> failwith "serve bench: shutdown not acknowledged");
+    (cold, warm, List.length cold + List.length warm, wall_s, hits)
+  in
+  Thread.join waiter;
+  let pct q xs =
+    let a = Array.of_list xs in
+    Array.sort Float.compare a;
+    let n = Array.length a in
+    let rank = int_of_float (ceil (q *. float_of_int n)) in
+    a.(max 0 (min (n - 1) (rank - 1)))
+  in
+  let cold_p50 = pct 0.5 cold_ms and cold_p99 = pct 0.99 cold_ms in
+  let warm_p50 = pct 0.5 warm_ms and warm_p99 = pct 0.99 warm_ms in
+  let rps = float_of_int total_requests /. wall_s in
+  Printf.printf
+    "cache-cold (%d distinct solves): p50 %.3f ms, p99 %.3f ms\n\
+     cache-warm (%d hwb-10 repeats) : p50 %.3f ms, p99 %.3f ms\n\
+     warm speedup at p50: %.1fx; throughput %.0f requests/sec (%d cache hits)\n"
+    (List.length cold_ms) cold_p50 cold_p99 (List.length warm_ms) warm_p50
+    warm_p99 (cold_p50 /. warm_p50) rps final_hits;
+  let doc =
+    Ovo_obs.Json.Obj
+      [
+        ("cold_requests", Ovo_obs.Json.Int (List.length cold_ms));
+        ("warm_requests", Ovo_obs.Json.Int (List.length warm_ms));
+        ("cold_p50_ms", Ovo_obs.Json.Float cold_p50);
+        ("cold_p99_ms", Ovo_obs.Json.Float cold_p99);
+        ("warm_p50_ms", Ovo_obs.Json.Float warm_p50);
+        ("warm_p99_ms", Ovo_obs.Json.Float warm_p99);
+        ("warm_speedup_p50", Ovo_obs.Json.Float (cold_p50 /. warm_p50));
+        ("requests_per_sec", Ovo_obs.Json.Float rps);
+        ("cache_hits", Ovo_obs.Json.Int final_hits);
+      ]
+  in
+  let oc = open_out "BENCH_serve.json" in
+  output_string oc (Ovo_obs.Json.to_string doc);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "written: BENCH_serve.json\n"
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel wall-clock micro-benchmarks: one per table/figure.         *)
 
 let wallclock () =
@@ -687,5 +796,6 @@ let () =
   spectrum ();
   engine_bench ();
   obs_bench ();
+  serve_bench ();
   wallclock ();
   Printf.printf "\nAll sections completed.\n"

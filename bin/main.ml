@@ -661,6 +661,169 @@ let show_cmd =
     Term.(ret (const run $ path $ dot_arg))
 
 (* ------------------------------------------------------------------ *)
+(* serve / submit                                                      *)
+
+let addr_conv =
+  let parse s =
+    match Ovo_serve.Protocol.addr_of_string s with
+    | Ok a -> Ok a
+    | Error (`Msg m) -> Error (`Msg m)
+  in
+  Arg.conv (parse, fun ppf a ->
+      Format.pp_print_string ppf (Ovo_serve.Protocol.addr_to_string a))
+
+let listen_arg =
+  Arg.(
+    value
+    & opt addr_conv (Ovo_serve.Protocol.Unix_sock "ovo.sock")
+    & info [ "listen" ] ~docv:"ADDR"
+        ~doc:
+          "Address to serve on: a Unix-socket path ($(b,unix:/tmp/ovo.sock) \
+           or any string with a slash) or $(b,host:port) for TCP.  Default \
+           $(b,ovo.sock) in the current directory.")
+
+let serve_cmd =
+  let run listen workers queue_cap cache_cap max_arity idle_timeout trace_file =
+    Ovo_serve.Server.run
+      { Ovo_serve.Server.listen; workers; queue_cap; cache_cap; max_arity;
+        idle_timeout; trace_file };
+    `Ok ()
+  in
+  let workers =
+    Arg.(value & opt int 2
+         & info [ "workers" ] ~docv:"N" ~doc:"Worker pool size.")
+  in
+  let queue_cap =
+    Arg.(value & opt int 64
+         & info [ "queue-cap" ] ~docv:"N"
+             ~doc:"Job-queue depth before requests are rejected with \
+                   $(b,queue_full) + $(b,retry_after_ms).")
+  in
+  let cache_cap =
+    Arg.(value & opt int 256
+         & info [ "cache-cap" ] ~docv:"N"
+             ~doc:"Result-cache entries (LRU eviction).")
+  in
+  let max_arity =
+    Arg.(value & opt int 16
+         & info [ "max-arity" ] ~docv:"N"
+             ~doc:"Largest accepted arity; bigger requests get \
+                   $(b,too_large).")
+  in
+  let idle_timeout =
+    Arg.(value & opt (some float) None
+         & info [ "idle-timeout" ] ~docv:"SECS"
+             ~doc:"Shut down after this many seconds without a request \
+                   (safety net for scripted runs).")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the ordering service: a daemon with a bounded job queue, a \
+          worker pool on the exact DP engine, and a canonical result cache \
+          (protocol in doc/service.md)")
+    Term.(
+      ret
+        (const run $ listen_arg $ workers $ queue_cap $ cache_cap $ max_arity
+       $ idle_timeout $ trace_arg))
+
+let submit_cmd =
+  let module P = Ovo_serve.Protocol in
+  let run connect table expr pla pla_output blif signal family kind engine
+      domains deadline_ms json ping stats_req shutdown =
+    let fail m = `Error (false, m) in
+    let raw reply = print_endline (P.reply_to_line reply) in
+    let request op =
+      try
+        Ovo_serve.Client.with_conn connect @@ fun c ->
+        match Ovo_serve.Client.roundtrip c { P.id = 1; op } with
+        | Error (`Msg m) -> fail m
+        | Ok reply -> (
+            match reply.P.body with
+            | _ when json -> raw reply; `Ok ()
+            | P.Pong -> print_endline "pong"; `Ok ()
+            | P.Bye -> print_endline "bye"; `Ok ()
+            | P.Ok_stats s ->
+                print_endline (Ovo_obs.Json.to_string s); `Ok ()
+            | P.Ok_solve r ->
+                Format.printf "digest            : %s@." r.P.digest;
+                Format.printf "minimum size      : %d nodes (%d non-terminal)@."
+                  r.P.size r.P.mincost;
+                Format.printf "order (root first): %a@." pp_order r.P.order;
+                Format.printf "level widths      : %a@." pp_order r.P.widths;
+                Format.printf "cached            : %b@." r.P.cached;
+                `Ok ()
+            | P.Cancelled m ->
+                Printf.eprintf "ovo: request cancelled: %s\n%!" m;
+                exit 3
+            | P.Error e ->
+                fail
+                  (Printf.sprintf "server error (%s): %s%s"
+                     (P.error_code_to_string e.code) e.message
+                     (match e.retry_after_ms with
+                     | Some ms -> Printf.sprintf " (retry after %.0f ms)" ms
+                     | None -> "")))
+      with Unix.Unix_error (e, _, _) ->
+        fail
+          (Printf.sprintf "cannot reach server at %s: %s"
+             (P.addr_to_string connect) (Unix.error_message e))
+    in
+    if ping then request P.Ping
+    else if stats_req then request P.Stats
+    else if shutdown then request P.Shutdown
+    else
+      match load_function ~table ~expr ~pla ~pla_output ~blif ~signal ~family with
+      | Error m -> fail m
+      | Ok tt ->
+          request
+            (P.Solve
+               { P.table = Ovo_boolfun.Truthtable.to_string tt; kind;
+                 engine = resolve_engine engine domains; deadline_ms })
+  in
+  let connect =
+    Arg.(
+      value
+      & opt addr_conv (Ovo_serve.Protocol.Unix_sock "ovo.sock")
+      & info [ "connect" ] ~docv:"ADDR"
+          ~doc:"Server address (same forms as $(b,ovo serve --listen).)")
+  in
+  let deadline_ms =
+    Arg.(value & opt (some float) None
+         & info [ "deadline-ms" ] ~docv:"MS"
+             ~doc:"Per-job deadline; an expired job is aborted between DP \
+                   layers and answered with $(b,cancelled) (exit code 3).")
+  in
+  let json =
+    Arg.(value & flag
+         & info [ "json" ] ~doc:"Print the raw NDJSON reply line.")
+  in
+  let ping =
+    Arg.(value & flag & info [ "ping" ] ~doc:"Just check the server is up.")
+  in
+  let stats_req =
+    Arg.(value & flag
+         & info [ "stats" ]
+             ~doc:"Fetch the server's stats report (uptime, queue depth, \
+                   cache hit rate, per-endpoint latency percentiles).")
+  in
+  let shutdown =
+    Arg.(value & flag
+         & info [ "shutdown" ]
+             ~doc:"Ask the server to drain its queue and exit.")
+  in
+  Cmd.v
+    (Cmd.info "submit"
+       ~doc:"Submit a function to a running $(b,ovo serve) daemon"
+       ~exits:
+         (Cmd.Exit.info 3 ~doc:"the request was cancelled (deadline exceeded)"
+         :: Cmd.Exit.defaults))
+    Term.(
+      ret
+        (const run $ connect $ table_arg $ expr_arg $ pla_arg $ pla_output_arg
+       $ blif_arg $ signal_arg $ family_arg $ kind_arg $ engine_arg
+       $ domains_arg $ deadline_ms $ json $ ping $ stats_req $ shutdown))
+
+(* ------------------------------------------------------------------ *)
 (* families                                                            *)
 
 let families_cmd =
@@ -714,4 +877,6 @@ let () =
             spectrum_cmd;
             show_cmd;
             families_cmd;
+            serve_cmd;
+            submit_cmd;
           ]))

@@ -84,6 +84,37 @@ val permute_vars : t -> int array -> t
     permutation of [0 .. n-1].  In other words, variable [perm.(j)] of [f]
     becomes variable [j] of [g]. *)
 
+val canonicalize : ?max_enum:int -> t -> t * int array
+(** [canonicalize tt] is [(canon, perm)] — a canonical representative of
+    [tt] under variable relabeling, with [canon = permute_vars tt perm]
+    (so variable [j] of [canon] is variable [perm.(j)] of [tt]).
+
+    Variables are ranked by permutation-invariant fingerprints (per-pair
+    satisfying-assignment counts, refined to a fixpoint); residual ties
+    are resolved either by a symmetry check (interchangeable variables
+    need no choice) or by exhausting the tied orders and keeping the
+    lexicographically smallest table.  The search is capped at
+    [max_enum] (default 720) candidate orders: within the cap the result
+    is identical for every permutation-equivalent input; beyond it the
+    result is still deterministic per input, merely not guaranteed to
+    coincide across permutations.  An ordering optimal for [canon] maps
+    back to one for [tt] through [perm]. *)
+
+val digest_of_canonical : t -> string
+(** The digest of a table taken as already canonical:
+    [digest tt = digest_of_canonical (fst (canonicalize tt))].  For
+    callers that need both the canonicalizing permutation and the
+    digest, this avoids canonicalizing twice. *)
+
+val digest : t -> string
+(** A stable content digest of the {!canonicalize}d function: the
+    variable count and a 64-bit FNV-1a hash of the canonical bit-vector,
+    as ["<n>:<16 hex digits>"].  Equal functions always collide;
+    permutation-equivalent functions collide whenever canonicalization
+    stayed within its enumeration cap.  Intended as a cache key — pair
+    it with an equality check on the canonical table to rule out hash
+    collisions. *)
+
 val random : Random.State.t -> int -> t
 (** Uniformly random function of the given arity. *)
 

@@ -1,0 +1,28 @@
+exception Cancelled
+
+type t = {
+  fired : bool Atomic.t;
+  deadline : float;  (** absolute clock value; [infinity] = none *)
+  clock : unit -> float;
+}
+
+let never =
+  { fired = Atomic.make false; deadline = infinity; clock = (fun () -> 0.) }
+
+let make () =
+  { fired = Atomic.make false; deadline = infinity; clock = (fun () -> 0.) }
+
+let with_deadline ?(clock = Ovo_obs.Trace.monotonic) seconds =
+  { fired = Atomic.make false; deadline = clock () +. seconds; clock }
+
+(* [never] is a shared constant; firing it would cancel every default
+   run in the process, so [cancel] ignores it *)
+let cancel t = if t != never then Atomic.set t.fired true
+
+let is_cancelled t =
+  Atomic.get t.fired
+  || (t.deadline < infinity && t.clock () >= t.deadline)
+
+let check t = if is_cancelled t then raise Cancelled
+
+let protect _t f = try Ok (f ()) with Cancelled -> Error `Cancelled

@@ -1,0 +1,52 @@
+(** Cooperative cancellation tokens for the dynamic programs.
+
+    A {!t} is a cheap, domain-safe token polled by long-running sweeps —
+    the DP layer loop of {!Subset_dp} checks it between cardinality
+    layers, so a cancelled (or deadline-expired) run aborts after the
+    current layer instead of running the remaining [O*(3^n)] work to
+    completion.  Cancellation has two sources, combined in one token:
+
+    - an explicit {!cancel} call (e.g. a client disconnecting, a server
+      shutting down), observed through an [Atomic.t] so any domain or
+      thread may fire it;
+    - an optional monotonic-clock deadline, polled lazily — no timer
+      thread exists anywhere.
+
+    The polling side raises the {!Cancelled} exception from {!check};
+    callers that want a typed result wrap the computation in {!protect},
+    which converts the exception into [Error `Cancelled] without ever
+    letting it escape a worker. *)
+
+type t
+
+exception Cancelled
+(** Raised by {!check} on a fired token.  Never escapes {!protect}. *)
+
+val never : t
+(** The inert token: {!is_cancelled} is always [false].  This is the
+    default everywhere a [?cancel] parameter appears, so un-cancellable
+    runs pay one atomic load per layer and nothing else. *)
+
+val make : unit -> t
+(** A token fired only by an explicit {!cancel}. *)
+
+val with_deadline : ?clock:(unit -> float) -> float -> t
+(** [with_deadline seconds] fires once [clock ()] passes
+    [clock () + seconds] (evaluated now); [clock] defaults to
+    {!Ovo_obs.Trace.monotonic}.  Negative or zero [seconds] yields a
+    token that is already expired.  An explicit {!cancel} still works. *)
+
+val cancel : t -> unit
+(** Fire the token.  Idempotent; safe from any domain or thread. *)
+
+val is_cancelled : t -> bool
+(** [true] once the token has been fired or its deadline has passed. *)
+
+val check : t -> unit
+(** Raise {!Cancelled} iff {!is_cancelled}. *)
+
+val protect : t -> (unit -> 'a) -> ('a, [ `Cancelled ]) result
+(** [protect t f] runs [f], mapping a {!Cancelled} raised by [f] (from
+    any {!check} on any token) to [Error `Cancelled] — the typed result
+    a worker hands back instead of letting the exception cross its
+    boundary. *)

@@ -31,7 +31,11 @@ let of_string s =
 
 let pp ppf t = Format.pp_print_string ppf (to_string t)
 
-let map ?(trace = Ovo_obs.Trace.null) t ~metrics f xs =
+let map ?(trace = Ovo_obs.Trace.null) ?(cancel = Cancel.never) t ~metrics f xs =
+  (* the cooperative-cancellation granularity is one layer: a fired
+     token aborts before the fan-out, never mid-chunk, so workers always
+     run to completion and Par stays exception-free below this check *)
+  Cancel.check cancel;
   let len = Array.length xs in
   let seq_map () = Array.map (f metrics) xs in
   match t with

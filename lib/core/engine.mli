@@ -38,6 +38,7 @@ val pp : Format.formatter -> t -> unit
 
 val map :
   ?trace:Ovo_obs.Trace.t ->
+  ?cancel:Cancel.t ->
   t ->
   metrics:Metrics.t ->
   (Metrics.t -> 'a -> 'b) ->
@@ -55,4 +56,9 @@ val map :
     args carry the chunk bounds and that worker's own metrics — the
     per-domain attribution of a {!Par} layer.  The args of the domain
     spans of one layer sum to the layer's merged metrics delta; a layer
-    too small to split records one such span on the calling domain. *)
+    too small to split records one such span on the calling domain.
+
+    [cancel] (default {!Cancel.never}) is checked once on entry, before
+    any worker is spawned: a fired token raises {!Cancel.Cancelled} on
+    the calling domain, so a DP sweep aborts between layers and a {!Par}
+    fan-out is never torn down mid-chunk. *)

@@ -17,7 +17,7 @@ let of_state (st : Compact.state) =
   }
 
 let run_mtable ?(trace = Ovo_obs.Trace.null) ?(kind = Compact.Bdd) ?engine
-    ?metrics mt =
+    ?cancel ?metrics mt =
   let base = Compact.initial kind mt in
   Ovo_obs.Trace.with_span trace ~cat:"fs"
     ~args:(fun () ->
@@ -25,19 +25,21 @@ let run_mtable ?(trace = Ovo_obs.Trace.null) ?(kind = Compact.Bdd) ?engine
     "fs.run"
     (fun () ->
       let st =
-        Fs_star.complete ~trace ?engine ?metrics ~base (Compact.free base)
+        Fs_star.complete ~trace ?engine ?cancel ?metrics ~base
+          (Compact.free base)
       in
       of_state st)
 
-let run ?trace ?kind ?engine ?metrics tt =
-  run_mtable ?trace ?kind ?engine ?metrics (Ovo_boolfun.Mtable.of_truthtable tt)
+let run ?trace ?kind ?engine ?cancel ?metrics tt =
+  run_mtable ?trace ?kind ?engine ?cancel ?metrics
+    (Ovo_boolfun.Mtable.of_truthtable tt)
 
 let all_mincosts ?(trace = Ovo_obs.Trace.null) ?(kind = Compact.Bdd) ?engine
-    ?metrics tt =
+    ?cancel ?metrics tt =
   let base = Compact.of_truthtable kind tt in
   Ovo_obs.Trace.with_span trace ~cat:"fs" "fs.all_mincosts" (fun () ->
       let ct =
-        Fs_star.costs ~trace ?engine ?metrics ~base (Compact.free base)
+        Fs_star.costs ~trace ?engine ?cancel ?metrics ~base (Compact.free base)
       in
       ct.Fs_star.cost_table)
 

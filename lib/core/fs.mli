@@ -20,6 +20,7 @@ val run :
   ?trace:Ovo_obs.Trace.t ->
   ?kind:Compact.kind ->
   ?engine:Engine.t ->
+  ?cancel:Cancel.t ->
   ?metrics:Metrics.t ->
   Ovo_boolfun.Truthtable.t ->
   result
@@ -28,12 +29,17 @@ val run :
     layer across domains; [metrics] (default {!Metrics.ambient}) receives
     the run's counters; a recording [trace] (default
     {!Ovo_obs.Trace.null}) gets one span per DP layer plus per-domain
-    child spans under {!Engine.Par}. *)
+    child spans under {!Engine.Par}.  [cancel] (default {!Cancel.never})
+    is polled between DP layers: a fired token (explicit or
+    deadline-expired, see {!Cancel}) aborts the run with
+    {!Cancel.Cancelled} — wrap in {!Cancel.protect} for a typed
+    [Error `Cancelled]. *)
 
 val run_mtable :
   ?trace:Ovo_obs.Trace.t ->
   ?kind:Compact.kind ->
   ?engine:Engine.t ->
+  ?cancel:Cancel.t ->
   ?metrics:Metrics.t ->
   Ovo_boolfun.Mtable.t ->
   result
@@ -43,6 +49,7 @@ val all_mincosts :
   ?trace:Ovo_obs.Trace.t ->
   ?kind:Compact.kind ->
   ?engine:Engine.t ->
+  ?cancel:Cancel.t ->
   ?metrics:Metrics.t ->
   Ovo_boolfun.Truthtable.t ->
   (Varset.t, int) Hashtbl.t

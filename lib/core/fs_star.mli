@@ -39,6 +39,7 @@ type costs = Subset_dp.costs = {
 val run :
   ?trace:Ovo_obs.Trace.t ->
   ?engine:Engine.t ->
+  ?cancel:Cancel.t ->
   ?metrics:Metrics.t ->
   ?upto:int ->
   base:Compact.state ->
@@ -49,11 +50,13 @@ val run :
     Raises [Invalid_argument] on violations.  [engine] (default
     {!Engine.Seq}) splits each cardinality layer across domains;
     [metrics] (default {!Metrics.ambient}) receives the run's counters,
-    aggregated across domains. *)
+    aggregated across domains; [cancel] (default {!Cancel.never}) is
+    polled between layers — see {!Subset_dp.Make.run}. *)
 
 val costs :
   ?trace:Ovo_obs.Trace.t ->
   ?engine:Engine.t ->
+  ?cancel:Cancel.t ->
   ?metrics:Metrics.t ->
   ?upto:int ->
   base:Compact.state ->
@@ -85,6 +88,7 @@ val mincost_of : t -> Varset.t -> int
 val complete :
   ?trace:Ovo_obs.Trace.t ->
   ?engine:Engine.t ->
+  ?cancel:Cancel.t ->
   ?metrics:Metrics.t ->
   base:Compact.state ->
   Varset.t ->

@@ -19,17 +19,19 @@ val run :
   ?trace:Ovo_obs.Trace.t ->
   ?kind:Compact.kind ->
   ?engine:Engine.t ->
+  ?cancel:Cancel.t ->
   ?metrics:Metrics.t ->
   weights:int array ->
   Ovo_boolfun.Truthtable.t ->
   result
 (** Weights must be non-negative, one per variable.  [O*(3^n)] like the
-    unweighted DP.  [engine]/[metrics] as in {!Fs.run}. *)
+    unweighted DP.  [engine]/[cancel]/[metrics] as in {!Fs.run}. *)
 
 val run_mtable :
   ?trace:Ovo_obs.Trace.t ->
   ?kind:Compact.kind ->
   ?engine:Engine.t ->
+  ?cancel:Cancel.t ->
   ?metrics:Metrics.t ->
   weights:int array ->
   Ovo_boolfun.Mtable.t ->

@@ -246,7 +246,7 @@ let of_state st =
   }
 
 let minimize_mtables ?(trace = Ovo_obs.Trace.null) ?(kind = Compact.Bdd)
-    ?engine ?metrics mts =
+    ?engine ?cancel ?metrics mts =
   let base = initial kind mts in
   Ovo_obs.Trace.with_span trace ~cat:"fs"
     ~args:(fun () ->
@@ -255,10 +255,11 @@ let minimize_mtables ?(trace = Ovo_obs.Trace.null) ?(kind = Compact.Bdd)
         ("roots", Ovo_obs.Json.Int (Array.length mts));
       ])
     "shared.minimize"
-    (fun () -> of_state (Dp.complete ~trace ?engine ?metrics ~base (free base)))
+    (fun () ->
+      of_state (Dp.complete ~trace ?engine ?cancel ?metrics ~base (free base)))
 
-let minimize ?trace ?kind ?engine ?metrics tts =
-  minimize_mtables ?trace ?kind ?engine ?metrics
+let minimize ?trace ?kind ?engine ?cancel ?metrics tts =
+  minimize_mtables ?trace ?kind ?engine ?cancel ?metrics
     (Array.map Ovo_boolfun.Mtable.of_truthtable tts)
 
 let to_dot st =

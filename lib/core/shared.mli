@@ -83,17 +83,19 @@ val minimize :
   ?trace:Ovo_obs.Trace.t ->
   ?kind:Compact.kind ->
   ?engine:Engine.t ->
+  ?cancel:Cancel.t ->
   ?metrics:Metrics.t ->
   Ovo_boolfun.Truthtable.t array ->
   result
 (** Exact optimal ordering for the shared diagram (the FS dynamic
     program over shared states): visits all [2^n] subsets, [O*(m·3^n)]
-    cells.  [engine]/[metrics] as in {!Fs.run}. *)
+    cells.  [engine]/[cancel]/[metrics] as in {!Fs.run}. *)
 
 val minimize_mtables :
   ?trace:Ovo_obs.Trace.t ->
   ?kind:Compact.kind ->
   ?engine:Engine.t ->
+  ?cancel:Cancel.t ->
   ?metrics:Metrics.t ->
   Ovo_boolfun.Mtable.t array ->
   result

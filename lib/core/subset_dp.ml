@@ -79,7 +79,8 @@ module Make (S : COMPACTABLE) = struct
      child spans come from Engine.map).  The whole sweep is a parent
      span.  Probes stay untraced — the tracer's granularity floor is a
      layer, so the disabled-tracer cost on the hot path is zero. *)
-  let sweep ~trace ~engine ~metrics ~upto ~keep_last_states ~base j_set =
+  let sweep ~trace ~engine ~cancel ~metrics ~upto ~keep_last_states ~base
+      j_set =
     let mincosts = Hashtbl.create 64 in
     let choices = Hashtbl.create 64 in
     Hashtbl.replace mincosts Varset.empty (S.mincost base);
@@ -95,6 +96,11 @@ module Make (S : COMPACTABLE) = struct
       "dp.sweep"
       (fun () ->
         for k = 1 to upto do
+          (* cooperative cancellation: a fired token (deadline or explicit)
+             aborts the sweep between layers — the finished layers' work
+             is discarded and Cancelled propagates to the caller's
+             [Cancel.protect] *)
+          Cancel.check cancel;
           let prev = !layer in
           let skip_state = k = upto && not keep_last_states in
           let subs = subsets_of j_set ~size:k in
@@ -109,7 +115,7 @@ module Make (S : COMPACTABLE) = struct
                      (Metrics.diff (Metrics.snapshot metrics) before))
               (Printf.sprintf "layer k=%d" k)
               (fun () ->
-                Engine.map ~trace engine ~metrics
+                Engine.map ~trace ~cancel engine ~metrics
                   (eval_subset ~prev ~skip_state)
                   subs)
           in
@@ -129,18 +135,22 @@ module Make (S : COMPACTABLE) = struct
     (mincosts, choices, !layer)
 
   let run ?(trace = Trace.null) ?(engine = Engine.Seq)
-      ?(metrics = Metrics.ambient) ?upto ~base j_set =
+      ?(cancel = Cancel.never) ?(metrics = Metrics.ambient) ?upto ~base j_set
+      =
     let upto = validate ~base j_set upto in
     let mincosts, _, layer =
-      sweep ~trace ~engine ~metrics ~upto ~keep_last_states:true ~base j_set
+      sweep ~trace ~engine ~cancel ~metrics ~upto ~keep_last_states:true ~base
+        j_set
     in
     { j_set; upto; mincosts; layer }
 
   let costs ?(trace = Trace.null) ?(engine = Engine.Seq)
-      ?(metrics = Metrics.ambient) ?upto ~base j_set =
+      ?(cancel = Cancel.never) ?(metrics = Metrics.ambient) ?upto ~base j_set
+      =
     let upto = validate ~base j_set upto in
     let mincosts, choices, _ =
-      sweep ~trace ~engine ~metrics ~upto ~keep_last_states:false ~base j_set
+      sweep ~trace ~engine ~cancel ~metrics ~upto ~keep_last_states:false
+        ~base j_set
     in
     { cost_j_set = j_set; cost_upto = upto; cost_table = mincosts;
       cost_choice = choices }
@@ -180,7 +190,7 @@ module Make (S : COMPACTABLE) = struct
   let mincost_of t ksub = Hashtbl.find t.mincosts ksub
 
   let complete ?(trace = Trace.null) ?(engine = Engine.Seq)
-      ?(metrics = Metrics.ambient) ~base j_set =
-    let ct = costs ~trace ~engine ~metrics ~base j_set in
+      ?(cancel = Cancel.never) ?(metrics = Metrics.ambient) ~base j_set =
+    let ct = costs ~trace ~engine ~cancel ~metrics ~base j_set in
     reconstruct ~trace ~metrics ~base ct j_set
 end

@@ -70,6 +70,7 @@ module Make (S : COMPACTABLE) : sig
   val run :
     ?trace:Ovo_obs.Trace.t ->
     ?engine:Engine.t ->
+    ?cancel:Cancel.t ->
     ?metrics:Metrics.t ->
     ?upto:int ->
     base:S.state ->
@@ -79,11 +80,18 @@ module Make (S : COMPACTABLE) : sig
       to [|j_set|].  Engine defaults to {!Engine.Seq}; metrics to
       {!Metrics.ambient}.  Intermediate layers are dropped eagerly (only
       [mincosts] survives), so peak state memory is two adjacent layers
-      during the sweep and one — the returned [upto] layer — after. *)
+      during the sweep and one — the returned [upto] layer — after.
+
+      [cancel] (default {!Cancel.never}) is polled between cardinality
+      layers: a fired token makes the sweep raise {!Cancel.Cancelled}
+      instead of starting the next layer, so a deadline-expired run
+      stops within one layer's work.  Wrap the call in {!Cancel.protect}
+      for a typed [Error `Cancelled] instead of the exception. *)
 
   val costs :
     ?trace:Ovo_obs.Trace.t ->
     ?engine:Engine.t ->
+    ?cancel:Cancel.t ->
     ?metrics:Metrics.t ->
     ?upto:int ->
     base:S.state ->
@@ -111,6 +119,7 @@ module Make (S : COMPACTABLE) : sig
   val complete :
     ?trace:Ovo_obs.Trace.t ->
     ?engine:Engine.t ->
+    ?cancel:Cancel.t ->
     ?metrics:Metrics.t ->
     base:S.state ->
     Varset.t ->

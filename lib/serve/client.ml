@@ -1,0 +1,38 @@
+module P = Protocol
+
+type t = { fd : Unix.file_descr; ic : in_channel; oc : out_channel }
+
+let connect addr =
+  let domain, sockaddr =
+    match addr with
+    | P.Unix_sock path -> (Unix.PF_UNIX, Unix.ADDR_UNIX path)
+    | P.Tcp (host, port) ->
+        let ip =
+          try Unix.inet_addr_of_string host
+          with Failure _ -> (Unix.gethostbyname host).h_addr_list.(0)
+        in
+        (Unix.PF_INET, Unix.ADDR_INET (ip, port))
+  in
+  let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd sockaddr
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  { fd; ic = Unix.in_channel_of_descr fd; oc = Unix.out_channel_of_descr fd }
+
+let roundtrip t req =
+  match
+    output_string t.oc (P.request_to_line req);
+    output_char t.oc '\n';
+    flush t.oc;
+    input_line t.ic
+  with
+  | exception End_of_file -> Error (`Msg "connection closed by server")
+  | exception Sys_error m -> Error (`Msg m)
+  | line -> P.reply_of_line line
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+let with_conn addr f =
+  let t = connect addr in
+  Fun.protect ~finally:(fun () -> close t) (fun () -> f t)

@@ -1,0 +1,16 @@
+(** A minimal blocking client for the ordering service — the engine
+    behind [ovo submit] and the test suites. *)
+
+type t
+
+val connect : Protocol.addr -> t
+(** Raises [Unix.Unix_error] if the server is not reachable. *)
+
+val roundtrip : t -> Protocol.request -> (Protocol.reply, [ `Msg of string ]) result
+(** Send one request, block for one reply line.  [Error] covers a
+    dropped connection or an undecodable reply. *)
+
+val close : t -> unit
+
+val with_conn : Protocol.addr -> (t -> 'a) -> 'a
+(** Connect, run, close (also on exceptions). *)

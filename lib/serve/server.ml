@@ -1,0 +1,323 @@
+module Truthtable = Ovo_boolfun.Truthtable
+module Cancel = Ovo_core.Cancel
+module Trace = Ovo_obs.Trace
+module Json = Ovo_obs.Json
+module P = Protocol
+
+type config = {
+  listen : P.addr;
+  workers : int;
+  queue_cap : int;
+  cache_cap : int;
+  max_arity : int;
+  idle_timeout : float option;
+  trace_file : string option;
+}
+
+let default_config ~listen =
+  { listen; workers = 2; queue_cap = 64; cache_cap = 256; max_arity = 16;
+    idle_timeout = None; trace_file = None }
+
+type job = {
+  tt : Truthtable.t;
+  j_kind : Ovo_core.Compact.kind;
+  j_engine : Ovo_core.Engine.t;
+  cancel : Cancel.t;
+  enq_at : float;
+  reply : P.response Ivar.t;
+}
+
+type t = {
+  cfg : config;
+  lsock : Unix.file_descr;
+  queue : job Bqueue.t;
+  cache : Cache.t;
+  stats : Stats.t;
+  trace : Trace.t;
+  stop : bool Atomic.t;
+  pending : int Atomic.t;  (* jobs admitted whose reply is not yet written *)
+  last_activity : float Atomic.t;
+  mutable acceptor : Thread.t option;
+  mutable worker_threads : Thread.t list;
+}
+
+let now = Trace.monotonic
+
+(* ---------- per-connection request handling ---------- *)
+
+let write_reply oc reply =
+  output_string oc (P.reply_to_line reply);
+  output_char oc '\n';
+  flush oc
+
+let retry_after_ms t =
+  (* suggest waiting for roughly one queued job to clear; floor at 10ms *)
+  Float.max 10. (Stats.avg_ms t.stats ~endpoint:"solve")
+
+(* Returns the response body plus whether the job was admitted to the
+   queue ([t.pending] was raised and must drop once the reply is out). *)
+let handle_solve t (p : P.solve_params) =
+  if Atomic.get t.stop then
+    ( P.Error
+        { code = P.Shutting_down; message = "server is draining";
+          retry_after_ms = None },
+      false )
+  else
+    match Solver.parse_table ~max_arity:t.cfg.max_arity p.table with
+    | Error (`Bad m) ->
+        Stats.record_outcome t.stats `Error;
+        ( P.Error { code = P.Bad_request; message = m; retry_after_ms = None },
+          false )
+    | Error (`Too_large m) ->
+        Stats.record_outcome t.stats `Error;
+        ( P.Error { code = P.Too_large; message = m; retry_after_ms = None },
+          false )
+    | Ok tt -> (
+        (* the deadline clock starts at admission: queue wait counts *)
+        let cancel =
+          match p.deadline_ms with
+          | None -> Cancel.make ()
+          | Some ms -> Cancel.with_deadline (ms /. 1000.)
+        in
+        let job =
+          { tt; j_kind = p.kind; j_engine = p.engine; cancel; enq_at = now ();
+            reply = Ivar.create () }
+        in
+        match Bqueue.try_push t.queue job with
+        | exception Bqueue.Closed ->
+            ( P.Error
+                { code = P.Shutting_down; message = "server is draining";
+                  retry_after_ms = None },
+              false )
+        | `Full ->
+            Stats.record_outcome t.stats `Rejected;
+            ( P.Error
+                { code = P.Queue_full;
+                  message =
+                    Printf.sprintf "queue is at capacity (%d jobs)"
+                      (Bqueue.capacity t.queue);
+                  retry_after_ms = Some (retry_after_ms t) },
+              false )
+        | `Pushed ->
+            (* [pending] stays raised until the reply has been written —
+               the shutdown drain in [wait] keys off it *)
+            Atomic.incr t.pending;
+            (Ivar.read job.reply, true))
+
+let stats_json t =
+  Stats.to_json t.stats ~queue_depth:(Bqueue.length t.queue)
+    ~queue_cap:(Bqueue.capacity t.queue) ~workers:t.cfg.workers
+    ~cache:(Cache.to_json t.cache)
+
+let shutdown t = Atomic.set t.stop true
+
+let handle_request t oc ({ id; op } : P.request) =
+  Atomic.set t.last_activity (now ());
+  let started = now () in
+  let endpoint, body, admitted =
+    match op with
+    | P.Ping -> ("ping", P.Pong, false)
+    | P.Stats -> ("stats", P.Ok_stats (stats_json t), false)
+    | P.Shutdown -> ("shutdown", P.Bye, false)
+    | P.Solve p ->
+        let body, admitted = handle_solve t p in
+        ("solve", body, admitted)
+  in
+  Fun.protect
+    ~finally:(fun () -> if admitted then Atomic.decr t.pending)
+    (fun () ->
+      Trace.with_span t.trace ~cat:"serve"
+        ~args:(fun () ->
+          [ ("id", Json.Int id); ("endpoint", Json.String endpoint) ])
+        "serve.reply"
+        (fun () -> write_reply oc { P.r_id = id; body }));
+  Stats.record t.stats ~endpoint ~ms:((now () -. started) *. 1000.);
+  (* reply to a shutdown request before acting on it *)
+  if op = P.Shutdown then shutdown t
+
+let conn_loop t fd =
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  let finally () = try Unix.close fd with Unix.Unix_error _ -> () in
+  Fun.protect ~finally (fun () ->
+      let rec loop () =
+        match input_line ic with
+        | exception End_of_file -> ()
+        | exception Sys_error _ -> ()
+        | line ->
+            if String.trim line <> "" then begin
+              (match P.request_of_line line with
+              | Ok req ->
+                  Trace.with_span t.trace ~cat:"serve"
+                    ~args:(fun () -> [ ("id", Json.Int req.P.id) ])
+                    "serve.request"
+                    (fun () -> handle_request t oc req)
+              | Error (`Msg m) ->
+                  Stats.record_outcome t.stats `Error;
+                  write_reply oc
+                    { P.r_id = 0;
+                      body =
+                        P.Error
+                          { code = P.Bad_request; message = m;
+                            retry_after_ms = None } })
+            end;
+            loop ()
+      in
+      try loop () with Sys_error _ -> ())
+
+(* ---------- worker pool ---------- *)
+
+let worker_loop t =
+  let rec loop () =
+    match Bqueue.pop t.queue with
+    | None -> ()  (* queue closed and drained *)
+    | Some job ->
+        let queue_ms = (now () -. job.enq_at) *. 1000. in
+        Trace.instant t.trace ~cat:"serve"
+          ~args:(fun () -> [ ("ms", Json.Float queue_ms) ])
+          "serve.queue_wait";
+        let solve_start = now () in
+        let body =
+          match
+            Solver.solve ~trace:t.trace ~cache:t.cache ~cancel:job.cancel
+              ~engine:job.j_engine ~kind:job.j_kind job.tt
+          with
+          | Ok s ->
+              Stats.record_outcome t.stats (if s.cached then `Cached else `Ok);
+              P.Ok_solve
+                { digest = s.digest; mincost = s.mincost; size = s.size;
+                  order = s.order; widths = s.widths; cached = s.cached;
+                  queue_ms; solve_ms = (now () -. solve_start) *. 1000. }
+          | Error `Cancelled ->
+              Stats.record_outcome t.stats `Cancelled;
+              P.Cancelled "deadline exceeded"
+          | exception e ->
+              Stats.record_outcome t.stats `Error;
+              P.Error
+                { code = P.Internal; message = Printexc.to_string e;
+                  retry_after_ms = None }
+        in
+        Ivar.fill job.reply body;
+        loop ()
+  in
+  loop ()
+
+(* ---------- listener ---------- *)
+
+let bind_listen addr =
+  let domain, sockaddr =
+    match addr with
+    | P.Unix_sock path ->
+        (* a previous unclean exit leaves the socket file around; a live
+           daemon on the same path will still fail the bind below *)
+        (try Unix.unlink path with Unix.Unix_error _ -> ());
+        (Unix.PF_UNIX, Unix.ADDR_UNIX path)
+    | P.Tcp (host, port) ->
+        let ip =
+          try Unix.inet_addr_of_string host
+          with Failure _ -> (Unix.gethostbyname host).h_addr_list.(0)
+        in
+        (Unix.PF_INET, Unix.ADDR_INET (ip, port))
+  in
+  let sock = Unix.socket domain Unix.SOCK_STREAM 0 in
+  (match addr with
+  | P.Tcp _ -> Unix.setsockopt sock Unix.SO_REUSEADDR true
+  | P.Unix_sock _ -> ());
+  Unix.bind sock sockaddr;
+  Unix.listen sock 64;
+  sock
+
+let acceptor_loop t =
+  let rec loop () =
+    if Atomic.get t.stop then ()
+    else begin
+      (match t.cfg.idle_timeout with
+      | Some limit when now () -. Atomic.get t.last_activity > limit ->
+          shutdown t
+      | _ -> ());
+      if Atomic.get t.stop then ()
+      else
+        match Unix.select [ t.lsock ] [] [] 0.25 with
+        | [], _, _ -> loop ()
+        | _ :: _, _, _ ->
+            (match Unix.accept t.lsock with
+            | exception Unix.Unix_error _ -> ()
+            | fd, _ ->
+                Atomic.set t.last_activity (now ());
+                ignore (Thread.create (fun () -> conn_loop t fd) ()));
+            loop ()
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+    end
+  in
+  loop ()
+
+(* ---------- lifecycle ---------- *)
+
+let start cfg =
+  let cfg = { cfg with workers = max 1 cfg.workers } in
+  (* a client vanishing mid-reply must surface as EPIPE, not kill us *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Sys_error _ | Invalid_argument _ -> ());
+  let lsock = bind_listen cfg.listen in
+  let trace =
+    if cfg.trace_file = None then Trace.null else Trace.make ()
+  in
+  let t =
+    { cfg; lsock; queue = Bqueue.create ~cap:(max 1 cfg.queue_cap);
+      cache = Cache.create ~cap:(max 1 cfg.cache_cap);
+      stats = Stats.create (); trace; stop = Atomic.make false;
+      pending = Atomic.make 0; last_activity = Atomic.make (now ());
+      acceptor = None; worker_threads = [] }
+  in
+  t.worker_threads <-
+    List.init cfg.workers (fun _ -> Thread.create worker_loop t);
+  t.acceptor <- Some (Thread.create acceptor_loop t);
+  t
+
+let wait t =
+  (* phase 1: sit until someone initiates shutdown *)
+  while not (Atomic.get t.stop) do
+    Thread.delay 0.05
+  done;
+  (* phase 2: stop intake, drain, tear down *)
+  Option.iter Thread.join t.acceptor;
+  (try Unix.close t.lsock with Unix.Unix_error _ -> ());
+  let drained = Bqueue.length t.queue in
+  Bqueue.close t.queue;
+  List.iter Thread.join t.worker_threads;
+  (* workers have filled every ivar; give connection threads (which we
+     never join — they may be parked on idle clients) a bounded window
+     to write the drained replies *)
+  let deadline = now () +. 5. in
+  while Atomic.get t.pending > 0 && now () < deadline do
+    Thread.delay 0.01
+  done;
+  (match t.cfg.listen with
+  | P.Unix_sock path -> (
+      try Unix.unlink path with Unix.Unix_error _ -> ())
+  | P.Tcp _ -> ());
+  (match t.cfg.trace_file with
+  | None -> ()
+  | Some path ->
+      let oc = open_out path in
+      (if Filename.check_suffix path ".jsonl" then
+         Ovo_obs.Export.write_jsonl oc t.trace
+       else Ovo_obs.Export.write_chrome oc t.trace);
+      close_out oc;
+      Printf.eprintf "[ovo-serve] trace written: %s (%d events)\n%!" path
+        (Trace.event_count t.trace));
+  Printf.eprintf "[ovo-serve] shutdown: drained %d queued job%s\n%!" drained
+    (if drained = 1 then "" else "s");
+  Printf.eprintf "[ovo-serve] final stats: %s\n%!" (Json.to_string (stats_json t))
+
+let run cfg =
+  let t = start cfg in
+  let stop_signal _ = shutdown t in
+  (try Sys.set_signal Sys.sigint (Sys.Signal_handle stop_signal)
+   with Sys_error _ | Invalid_argument _ -> ());
+  (try Sys.set_signal Sys.sigterm (Sys.Signal_handle stop_signal)
+   with Sys_error _ | Invalid_argument _ -> ());
+  Printf.eprintf "[ovo-serve] listening on %s (%d workers, queue %d, cache %d)\n%!"
+    (P.addr_to_string cfg.listen) (max 1 cfg.workers) cfg.queue_cap
+    cfg.cache_cap;
+  wait t

@@ -1,0 +1,60 @@
+(** The ordering daemon: socket listener, connection threads, bounded
+    job queue, worker pool, result cache, and graceful shutdown.
+
+    Thread topology: one acceptor thread multiplexes the listening
+    socket with a [select] timeout so it can notice the stop flag; each
+    accepted connection gets its own thread that parses NDJSON requests,
+    admits solve jobs to the {!Bqueue} (rejecting with [queue_full] +
+    [retry_after_ms] under backpressure) and blocks on the job's
+    {!Ivar} for the reply; [workers] pool threads pop jobs and run
+    {!Solver.solve} on the configured engine, honouring each job's
+    deadline via {!Ovo_core.Cancel}.
+
+    Shutdown (a [shutdown] request, {!shutdown}, or — under {!run} —
+    SIGINT/SIGTERM) is graceful: the acceptor stops, the queue closes
+    (late solves get [shutting_down]), already-accepted jobs drain
+    through the workers, their replies are flushed, and a final stats
+    report (plus the trace file, if recording) is written. *)
+
+type config = {
+  listen : Protocol.addr;
+  workers : int;  (** worker pool size; [<= 0] means 1 *)
+  queue_cap : int;  (** bounded queue depth before backpressure *)
+  cache_cap : int;  (** LRU result-cache entries *)
+  max_arity : int;  (** solve requests above this get [too_large] *)
+  idle_timeout : float option;
+      (** seconds without any request before the server shuts itself
+          down — a safety net for scripted runs *)
+  trace_file : string option;
+      (** record every request's spans; written at shutdown
+          ([.jsonl] → JSON-lines, else Chrome trace_event — the same
+          rule as the CLI [--trace]) *)
+}
+
+val default_config : listen:Protocol.addr -> config
+(** 2 workers, queue 64, cache 256, max arity 16, no idle timeout, no
+    trace. *)
+
+type t
+
+val start : config -> t
+(** Bind, listen, spawn acceptor and workers, return immediately.
+    Raises [Unix.Unix_error] if the address cannot be bound (a stale
+    Unix-socket file from a previous run is removed first). *)
+
+val stats_json : t -> Ovo_obs.Json.t
+(** Live snapshot — what the [stats] endpoint returns. *)
+
+val shutdown : t -> unit
+(** Initiate graceful shutdown (idempotent, non-blocking); {!wait}
+    performs the actual drain. *)
+
+val wait : t -> unit
+(** Block until shutdown is initiated, then drain and tear down: join
+    the acceptor and workers, flush pending replies, close the listener
+    (unlinking a Unix-socket path), write the trace file, and print the
+    final stats line to stderr. *)
+
+val run : config -> unit
+(** [start], install SIGINT/SIGTERM handlers that {!shutdown}, print a
+    ready line to stderr, and {!wait}. *)

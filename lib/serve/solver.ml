@@ -1,0 +1,77 @@
+module Truthtable = Ovo_boolfun.Truthtable
+module Cancel = Ovo_core.Cancel
+module Fs = Ovo_core.Fs
+module Trace = Ovo_obs.Trace
+module Json = Ovo_obs.Json
+
+type solved = {
+  digest : string;
+  mincost : int;
+  size : int;
+  order : int array;
+  widths : int array;
+  cached : bool;
+}
+
+let is_pow2 k = k > 0 && k land (k - 1) = 0
+
+let parse_table ~max_arity s =
+  let len = String.length s in
+  if not (is_pow2 len) then
+    Error (`Bad (Printf.sprintf "table length %d is not a power of two" len))
+  else if String.exists (fun c -> c <> '0' && c <> '1') s then
+    Error (`Bad "table must contain only '0' and '1'")
+  else
+    let n = ref 0 in
+    while 1 lsl !n < len do incr n done;
+    if !n > max_arity then
+      Error
+        (`Too_large
+           (Printf.sprintf "arity %d exceeds the server limit of %d" !n
+              max_arity))
+    else Ok (Truthtable.of_string s)
+
+(* Fs results are read-last-first ([order.(0)] at the bottom); the wire
+   carries root-first.  [perm] maps canonical variables back to the
+   request's: canon variable [j] is request variable [perm.(j)]. *)
+let reply_of_entry ~digest ~perm ~cached (e : Cache.entry) =
+  let m = Array.length e.canon_order in
+  let order = Array.make m 0 and widths = Array.make m 0 in
+  for j = 0 to m - 1 do
+    order.(j) <- perm.(e.canon_order.(m - 1 - j));
+    widths.(j) <- e.widths.(m - 1 - j)
+  done;
+  { digest; mincost = e.mincost; size = e.size; order; widths; cached }
+
+let solve ?(trace = Trace.null) ~cache ~cancel ~engine ~kind tt =
+  match
+    Cancel.protect cancel (fun () ->
+        Cancel.check cancel;
+        let canon, perm =
+          Trace.with_span trace ~cat:"serve" "serve.canon" (fun () ->
+              Truthtable.canonicalize tt)
+        in
+        let digest = Truthtable.digest_of_canonical canon in
+        let probe =
+          Trace.with_span trace ~cat:"serve"
+            ~args:(fun () -> [ ("digest", Json.String digest) ])
+            "serve.cache_probe"
+            (fun () -> Cache.find cache ~digest ~kind ~canon)
+        in
+        match probe with
+        | Some entry -> reply_of_entry ~digest ~perm ~cached:true entry
+        | None ->
+            Cancel.check cancel;
+            let r =
+              Trace.with_span trace ~cat:"serve" "serve.solve" (fun () ->
+                  Fs.run ~trace ~kind ~engine ~cancel canon)
+            in
+            let entry =
+              { Cache.canon; mincost = r.mincost; size = r.size;
+                canon_order = r.order; widths = r.widths }
+            in
+            Cache.add cache ~digest ~kind entry;
+            reply_of_entry ~digest ~perm ~cached:false entry)
+  with
+  | Ok s -> Ok s
+  | Error `Cancelled -> Error `Cancelled

@@ -1,0 +1,42 @@
+(** The per-job solve pipeline: canonicalize → digest → cache probe →
+    (on miss) exact DP on the canonical table → map the ordering back to
+    the request's variable numbering.
+
+    Solving the {e canonical} table — never the raw request — is what
+    makes cache hits exact: a hit replays the stored canonical result
+    through the request's own permutation, so hit and miss produce
+    identical orderings, widths and costs for equal (or
+    permutation-equivalent) inputs. *)
+
+type solved = {
+  digest : string;
+  mincost : int;
+  size : int;
+  order : int array;
+      (** optimal ordering, root-first, in the request's variable
+          numbering *)
+  widths : int array;  (** [widths.(j)] = nodes labeled [order.(j)] *)
+  cached : bool;  (** answered from the cache (no DP run) *)
+}
+
+val parse_table :
+  max_arity:int ->
+  string ->
+  (Ovo_boolfun.Truthtable.t, [ `Bad of string | `Too_large of string ]) result
+(** Validate a wire table: characters ['0'|'1'], length a power of two,
+    arity at most [max_arity].  Runs at admission, before any queueing. *)
+
+val solve :
+  ?trace:Ovo_obs.Trace.t ->
+  cache:Cache.t ->
+  cancel:Ovo_core.Cancel.t ->
+  engine:Ovo_core.Engine.t ->
+  kind:Ovo_core.Compact.kind ->
+  Ovo_boolfun.Truthtable.t ->
+  (solved, [ `Cancelled ]) result
+(** [cancel] is checked before canonicalization and polled between DP
+    layers inside {!Ovo_core.Fs.run}; a fired token yields
+    [Error `Cancelled] — no exception escapes.  With a recording
+    [trace], the pipeline records spans [serve.canon],
+    [serve.cache_probe] and (on a miss) [serve.solve], category
+    ["serve"]. *)

@@ -1,0 +1,127 @@
+module Json = Ovo_obs.Json
+
+let sample_cap = 4096
+
+type ring = {
+  samples : float array;  (* ms; valid slots are [0 .. min count cap - 1] *)
+  mutable count : int;  (* total recorded; ring index = count mod cap *)
+  mutable sum : float;
+}
+
+type t = {
+  m : Mutex.t;
+  clock : unit -> float;
+  started : float;
+  endpoints : (string, ring) Hashtbl.t;
+  mutable ok : int;
+  mutable cached : int;
+  mutable cancelled : int;
+  mutable rejected : int;
+  mutable errors : int;
+}
+
+let create ?(clock = Ovo_obs.Trace.monotonic) () =
+  { m = Mutex.create (); clock; started = clock ();
+    endpoints = Hashtbl.create 8; ok = 0; cached = 0; cancelled = 0;
+    rejected = 0; errors = 0 }
+
+let with_lock t f =
+  Mutex.lock t.m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.m) f
+
+let ring_of t endpoint =
+  match Hashtbl.find_opt t.endpoints endpoint with
+  | Some r -> r
+  | None ->
+      let r = { samples = Array.make sample_cap 0.; count = 0; sum = 0. } in
+      Hashtbl.add t.endpoints endpoint r;
+      r
+
+let record t ~endpoint ~ms =
+  with_lock t (fun () ->
+      let r = ring_of t endpoint in
+      let i = r.count mod sample_cap in
+      if r.count >= sample_cap then r.sum <- r.sum -. r.samples.(i);
+      r.samples.(i) <- ms;
+      r.sum <- r.sum +. ms;
+      r.count <- r.count + 1)
+
+let record_outcome t outcome =
+  with_lock t (fun () ->
+      match outcome with
+      | `Ok -> t.ok <- t.ok + 1
+      | `Cached ->
+          t.ok <- t.ok + 1;
+          t.cached <- t.cached + 1
+      | `Cancelled -> t.cancelled <- t.cancelled + 1
+      | `Rejected -> t.rejected <- t.rejected + 1
+      | `Error -> t.errors <- t.errors + 1)
+
+let uptime_s t = t.clock () -. t.started
+
+let live r = min r.count sample_cap
+
+let avg_ms t ~endpoint =
+  with_lock t (fun () ->
+      match Hashtbl.find_opt t.endpoints endpoint with
+      | None -> 0.
+      | Some r ->
+          let n = live r in
+          if n = 0 then 0. else r.sum /. float_of_int n)
+
+let percentile_of_sorted sorted q =
+  let n = Array.length sorted in
+  (* nearest-rank: smallest sample with rank >= q*n *)
+  let rank = int_of_float (ceil (q *. float_of_int n)) in
+  sorted.(max 0 (min (n - 1) (rank - 1)))
+
+let sorted_live r =
+  let n = live r in
+  let a = Array.sub r.samples 0 n in
+  Array.sort Float.compare a;
+  a
+
+let percentile t ~endpoint q =
+  with_lock t (fun () ->
+      match Hashtbl.find_opt t.endpoints endpoint with
+      | None -> None
+      | Some r ->
+          if live r = 0 then None
+          else Some (percentile_of_sorted (sorted_live r) q))
+
+let to_json t ~queue_depth ~queue_cap ~workers ~cache =
+  with_lock t (fun () ->
+      let endpoints =
+        Hashtbl.fold (fun name r acc -> (name, r) :: acc) t.endpoints []
+        |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+        |> List.map (fun (name, r) ->
+               let n = live r in
+               let sorted = sorted_live r in
+               let pct q =
+                 if n = 0 then Json.Null
+                 else Json.Float (percentile_of_sorted sorted q)
+               in
+               ( name,
+                 Json.Obj
+                   [ ("count", Json.Int r.count);
+                     ( "avg_ms",
+                       if n = 0 then Json.Null
+                       else Json.Float (r.sum /. float_of_int n) );
+                     ("p50_ms", pct 0.5);
+                     ("p90_ms", pct 0.9);
+                     ("p99_ms", pct 0.99) ] ))
+      in
+      Json.Obj
+        [ ("uptime_s", Json.Float (t.clock () -. t.started));
+          ( "queue",
+            Json.Obj [ ("depth", Json.Int queue_depth); ("cap", Json.Int queue_cap) ] );
+          ("workers", Json.Int workers);
+          ( "outcomes",
+            Json.Obj
+              [ ("ok", Json.Int t.ok);
+                ("cached", Json.Int t.cached);
+                ("cancelled", Json.Int t.cancelled);
+                ("rejected", Json.Int t.rejected);
+                ("errors", Json.Int t.errors) ] );
+          ("cache", cache);
+          ("endpoints", Json.Obj endpoints) ])

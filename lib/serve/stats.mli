@@ -1,0 +1,48 @@
+(** Server-side request accounting: per-endpoint counters and latency
+    percentiles, uptime, and outcome tallies — everything behind the
+    [stats] endpoint and the final report printed at shutdown.
+
+    Latencies are kept in a bounded ring per endpoint (the most recent
+    {!val:sample_cap} observations), from which p50/p90/p99 are computed
+    on demand by nearest-rank.  All operations are mutex-serialised:
+    connection threads and workers record concurrently. *)
+
+type t
+
+val sample_cap : int
+(** Ring size per endpoint (4096). *)
+
+val create : ?clock:(unit -> float) -> unit -> t
+(** [clock] defaults to {!Ovo_obs.Trace.monotonic}; inject a fake clock
+    in tests. *)
+
+val record : t -> endpoint:string -> ms:float -> unit
+(** One completed request on [endpoint] ("solve", "stats", "ping", …)
+    with end-to-end latency [ms]. *)
+
+val record_outcome :
+  t -> [ `Ok | `Cached | `Cancelled | `Rejected | `Error ] -> unit
+(** Outcome tally for solve requests.  [`Cached] implies [`Ok] —
+    record exactly one outcome per request. *)
+
+val uptime_s : t -> float
+
+val avg_ms : t -> endpoint:string -> float
+(** Mean latency over the ring; [0.] with no samples.  The server uses
+    the solve average to suggest [retry_after_ms] on backpressure. *)
+
+val percentile : t -> endpoint:string -> float -> float option
+(** [percentile t ~endpoint 0.99] by nearest-rank over the ring; [None]
+    with no samples. *)
+
+val to_json :
+  t ->
+  queue_depth:int ->
+  queue_cap:int ->
+  workers:int ->
+  cache:Ovo_obs.Json.t ->
+  Ovo_obs.Json.t
+(** The [stats] reply body.  Deterministic field order: uptime_s,
+    queue {depth, cap}, workers, outcomes {ok, cached, cancelled,
+    rejected, errors}, cache (as given), endpoints (sorted by name, each
+    with count, avg_ms, p50_ms, p90_ms, p99_ms). *)

@@ -1,0 +1,67 @@
+The ordering service end to end: daemon up, a fresh solve, the same
+request answered from the canonical result cache, a deadline-expired
+job cancelled between DP layers, and a graceful shutdown that drains
+the queue and removes the socket.
+
+The socket lives in /tmp (sun_path is too short for the sandbox cwd);
+--idle-timeout is a safety net so a wedged daemon cannot hang the
+suite.  The ready poll below tolerates slow daemon start-up.
+
+  $ SOCK=/tmp/ovo-serve-cram-$$.sock
+  $ ovo serve --listen "$SOCK" --idle-timeout 60 > serve.log 2>&1 &
+  $ for i in $(seq 50); do
+  >   ovo submit --connect "$SOCK" --ping > /dev/null 2>&1 && break
+  >   sleep 0.2
+  > done
+  $ ovo submit --connect "$SOCK" --ping
+  pong
+
+A first request is a cache-cold exact solve.  The digest is the
+canonical content hash of the function, so it is stable across runs:
+
+  $ ovo submit --connect "$SOCK" --family hwb-6
+  digest            : 6:4fa2c3ee100b867a
+  minimum size      : 23 nodes (21 non-terminal)
+  order (root first): [5 0 4 1 3 2]
+  level widths      : [1 2 4 6 6 2]
+  cached            : false
+
+The identical request comes back from the cache — same digest, same
+ordering, same widths, only the cached flag flips:
+
+  $ ovo submit --connect "$SOCK" --family hwb-6
+  digest            : 6:4fa2c3ee100b867a
+  minimum size      : 23 nodes (21 non-terminal)
+  order (root first): [5 0 4 1 3 2]
+  level widths      : [1 2 4 6 6 2]
+  cached            : true
+
+The hit is visible in the server's stats report:
+
+  $ ovo submit --connect "$SOCK" --stats | grep -o '"hits":[0-9]*'
+  "hits":1
+
+A job whose deadline has already expired is aborted cooperatively
+(between DP layers) and answered as cancelled, exit code 3:
+
+  $ ovo submit --connect "$SOCK" --family hwb-6 --deadline-ms 0
+  ovo: request cancelled: deadline exceeded
+  [3]
+
+Malformed input never reaches the wire — the client validates first
+(the server applies the same check at admission; test_serve covers it):
+
+  $ ovo submit --connect "$SOCK" --table 011
+  ovo: Truthtable: length not a power of two
+  [124]
+
+Graceful shutdown: the daemon acknowledges, drains, reports, and
+removes its socket file:
+
+  $ ovo submit --connect "$SOCK" --shutdown
+  bye
+  $ for i in $(seq 50); do test -e "$SOCK" || break; sleep 0.2; done
+  $ test ! -e "$SOCK"
+  $ sed 's|unix:[^ ]*|unix:SOCK|' serve.log | grep -v 'final stats'
+  [ovo-serve] listening on unix:SOCK (2 workers, queue 64, cache 256)
+  [ovo-serve] shutdown: drained 0 queued jobs

@@ -1,0 +1,371 @@
+(* The ordering service: LRU and bounded-queue semantics, cooperative
+   cancellation through the DP, protocol codecs, the canonical result
+   cache (including permutation-equivalent hits), and an in-process
+   end-to-end run over a temp Unix socket.  The load-bearing property is
+   qcheck'd: a cache hit returns exactly what a fresh solve would. *)
+
+module T = Ovo_boolfun.Truthtable
+module Cancel = Ovo_core.Cancel
+module Fs = Ovo_core.Fs
+module P = Ovo_serve.Protocol
+module Lru = Ovo_serve.Lru
+module Bqueue = Ovo_serve.Bqueue
+module Cache = Ovo_serve.Cache
+module Solver = Ovo_serve.Solver
+module Server = Ovo_serve.Server
+module Client = Ovo_serve.Client
+
+let lru_tests =
+  [
+    Helpers.case "evicts least-recently-used at capacity" (fun () ->
+        let l = Lru.create ~cap:2 in
+        Lru.add l "a" 1;
+        Lru.add l "b" 2;
+        Lru.add l "c" 3;
+        (* a was LRU *)
+        Helpers.check_bool "a gone" false (Lru.mem l "a");
+        Helpers.check_bool "b kept" true (Lru.mem l "b");
+        Helpers.check_bool "c kept" true (Lru.mem l "c");
+        Helpers.check_int "evictions" 1 (Lru.evictions l));
+    Helpers.case "find refreshes recency" (fun () ->
+        let l = Lru.create ~cap:2 in
+        Lru.add l "a" 1;
+        Lru.add l "b" 2;
+        Helpers.check_bool "hit" true (Lru.find l "a" = Some 1);
+        Lru.add l "c" 3;
+        (* b, not a, was LRU after the find *)
+        Helpers.check_bool "a kept" true (Lru.mem l "a");
+        Helpers.check_bool "b gone" false (Lru.mem l "b"));
+    Helpers.case "add on an existing key replaces in place" (fun () ->
+        let l = Lru.create ~cap:2 in
+        Lru.add l "a" 1;
+        Lru.add l "b" 2;
+        Lru.add l "a" 10;
+        Helpers.check_int "length" 2 (Lru.length l);
+        Helpers.check_bool "updated" true (Lru.find l "a" = Some 10);
+        Helpers.check_int "no eviction" 0 (Lru.evictions l));
+    Helpers.case "mem does not touch recency" (fun () ->
+        let l = Lru.create ~cap:2 in
+        Lru.add l "a" 1;
+        Lru.add l "b" 2;
+        ignore (Lru.mem l "a");
+        Lru.add l "c" 3;
+        Helpers.check_bool "a still evicted" false (Lru.mem l "a"));
+  ]
+
+let bqueue_tests =
+  [
+    Helpers.case "try_push reports Full at capacity" (fun () ->
+        let q = Bqueue.create ~cap:2 in
+        Helpers.check_bool "1st" true (Bqueue.try_push q 1 = `Pushed);
+        Helpers.check_bool "2nd" true (Bqueue.try_push q 2 = `Pushed);
+        Helpers.check_bool "3rd rejected" true (Bqueue.try_push q 3 = `Full);
+        Helpers.check_int "depth" 2 (Bqueue.length q));
+    Helpers.case "close drains queued items then yields None" (fun () ->
+        let q = Bqueue.create ~cap:4 in
+        ignore (Bqueue.try_push q 1);
+        ignore (Bqueue.try_push q 2);
+        Bqueue.close q;
+        Helpers.check_bool "push after close" true
+          (match Bqueue.try_push q 3 with
+          | exception Bqueue.Closed -> true
+          | _ -> false);
+        Helpers.check_bool "drain 1" true (Bqueue.pop q = Some 1);
+        Helpers.check_bool "drain 2" true (Bqueue.pop q = Some 2);
+        Helpers.check_bool "then None" true (Bqueue.pop q = None));
+    Helpers.case "pop blocks until a producer arrives" (fun () ->
+        let q = Bqueue.create ~cap:1 in
+        let got = ref None in
+        let consumer = Thread.create (fun () -> got := Bqueue.pop q) () in
+        Thread.delay 0.02;
+        ignore (Bqueue.try_push q 42);
+        Thread.join consumer;
+        Helpers.check_bool "received" true (!got = Some 42));
+    Helpers.case "close wakes a parked consumer" (fun () ->
+        let q = Bqueue.create ~cap:1 in
+        let got = ref (Some 0) in
+        let consumer = Thread.create (fun () -> got := Bqueue.pop q) () in
+        Thread.delay 0.02;
+        Bqueue.close q;
+        Thread.join consumer;
+        Helpers.check_bool "None on close" true (!got = None));
+  ]
+
+let cancel_tests =
+  [
+    Helpers.case "explicit cancel fires the token" (fun () ->
+        let c = Cancel.make () in
+        Helpers.check_bool "fresh" false (Cancel.is_cancelled c);
+        Cancel.cancel c;
+        Helpers.check_bool "fired" true (Cancel.is_cancelled c));
+    Helpers.case "deadline fires on the injected clock" (fun () ->
+        let now = ref 0. in
+        let c = Cancel.with_deadline ~clock:(fun () -> !now) 5. in
+        Helpers.check_bool "before" false (Cancel.is_cancelled c);
+        now := 5.;
+        Helpers.check_bool "at deadline" true (Cancel.is_cancelled c));
+    Helpers.case "a fired token aborts Fs.run as Error `Cancelled" (fun () ->
+        let c = Cancel.make () in
+        Cancel.cancel c;
+        let tt = T.of_string "01101001" in
+        Helpers.check_bool "cancelled" true
+          (Cancel.protect c (fun () -> Fs.run ~cancel:c tt) = Error `Cancelled));
+    Helpers.case "an unfired token leaves Fs.run untouched" (fun () ->
+        let c = Cancel.make () in
+        let tt = T.of_string "01101001" in
+        match Cancel.protect c (fun () -> Fs.run ~cancel:c tt) with
+        | Error `Cancelled -> Alcotest.fail "spurious cancellation"
+        | Ok r ->
+            Helpers.check_int "same mincost" (Fs.run tt).Fs.mincost r.Fs.mincost);
+  ]
+
+let roundtrip_request req =
+  match P.request_of_line (P.request_to_line req) with
+  | Ok r -> r
+  | Error (`Msg m) -> Alcotest.fail m
+
+let roundtrip_reply rep =
+  match P.reply_of_line (P.reply_to_line rep) with
+  | Ok r -> r
+  | Error (`Msg m) -> Alcotest.fail m
+
+let protocol_tests =
+  [
+    Helpers.case "solve request round-trips" (fun () ->
+        let req =
+          { P.id = 7;
+            op =
+              P.Solve
+                { P.table = "01101001"; kind = Ovo_core.Compact.Zdd;
+                  engine = Ovo_core.Engine.Par { domains = 3 };
+                  deadline_ms = Some 250. } }
+        in
+        Helpers.check_bool "equal" true (roundtrip_request req = req));
+    Helpers.case "control requests round-trip" (fun () ->
+        List.iter
+          (fun op ->
+            let req = { P.id = 1; op } in
+            Helpers.check_bool "equal" true (roundtrip_request req = req))
+          [ P.Stats; P.Ping; P.Shutdown ]);
+    Helpers.case "replies round-trip" (fun () ->
+        List.iter
+          (fun body ->
+            let rep = { P.r_id = 9; body } in
+            Helpers.check_bool "equal" true (roundtrip_reply rep = rep))
+          [ P.Ok_solve
+              { P.digest = "3:0123456789abcdef"; mincost = 3; size = 5;
+                order = [| 2; 0; 1 |]; widths = [| 1; 2; 1 |]; cached = true;
+                queue_ms = 0.5; solve_ms = 1.25 };
+            P.Pong;
+            P.Bye;
+            P.Cancelled "deadline exceeded";
+            P.Error
+              { code = P.Queue_full; message = "full";
+                retry_after_ms = Some 12.5 };
+            P.Error
+              { code = P.Bad_request; message = "nope"; retry_after_ms = None };
+          ]);
+    Helpers.case "malformed lines decode to errors" (fun () ->
+        List.iter
+          (fun line ->
+            Helpers.check_bool line true
+              (match P.request_of_line line with Error (`Msg _) -> true | Ok _ -> false))
+          [ "not json"; "[1,2]"; "{\"id\":1}"; "{\"id\":1,\"op\":\"nope\"}";
+            "{\"op\":\"ping\"}" ]);
+    Helpers.case "addresses parse both ways" (fun () ->
+        let ok s a =
+          Helpers.check_bool s true (P.addr_of_string s = Ok a)
+        in
+        ok "unix:/tmp/x.sock" (P.Unix_sock "/tmp/x.sock");
+        ok "/tmp/x.sock" (P.Unix_sock "/tmp/x.sock");
+        ok "ovo.sock" (P.Unix_sock "ovo.sock");
+        ok "127.0.0.1:7421" (P.Tcp ("127.0.0.1", 7421));
+        ok "tcp:localhost:80" (P.Tcp ("localhost", 80));
+        Helpers.check_bool "bad port" true
+          (match P.addr_of_string "host:99999999" with
+          | Error (`Msg _) -> true
+          | Ok _ -> false));
+  ]
+
+let solve_fresh ?(kind = Ovo_core.Compact.Bdd) cache tt =
+  match
+    Solver.solve ~cache ~cancel:Cancel.never ~engine:Ovo_core.Engine.Seq ~kind
+      tt
+  with
+  | Ok s -> s
+  | Error `Cancelled -> Alcotest.fail "unexpected cancellation"
+
+let cache_tests =
+  [
+    Helpers.case "repeat request is a hit with identical payload" (fun () ->
+        let cache = Cache.create ~cap:8 in
+        let tt = T.of_string "0110100110010110" in
+        let a = solve_fresh cache tt in
+        let b = solve_fresh cache tt in
+        Helpers.check_bool "first cold" false a.Solver.cached;
+        Helpers.check_bool "second warm" true b.Solver.cached;
+        Helpers.check_bool "same payload" true
+          ({ a with Solver.cached = false } = { b with Solver.cached = false });
+        Helpers.check_int "one hit" 1 (Cache.hits cache));
+    Helpers.case "permutation-equivalent request hits the same entry"
+      (fun () ->
+        let cache = Cache.create ~cap:8 in
+        let tt = T.of_string "0111011000000001" in
+        let perm = [| 2; 0; 3; 1 |] in
+        let a = solve_fresh cache tt in
+        let b = solve_fresh cache (T.permute_vars tt perm) in
+        Helpers.check_bool "second warm" true b.Solver.cached;
+        Helpers.check_bool "same digest" true
+          (String.equal a.Solver.digest b.Solver.digest);
+        Helpers.check_int "same mincost" a.Solver.mincost b.Solver.mincost;
+        Helpers.check_int "one DP run" 1 (Cache.misses cache));
+    Helpers.case "bdd and zdd results do not alias" (fun () ->
+        let cache = Cache.create ~cap:8 in
+        let tt = T.of_string "01101001" in
+        let _ = solve_fresh cache tt in
+        let z = solve_fresh ~kind:Ovo_core.Compact.Zdd cache tt in
+        Helpers.check_bool "zdd is its own miss" false z.Solver.cached);
+    Helpers.case "parse_table rejects junk and over-arity input" (fun () ->
+        let bad s =
+          match Solver.parse_table ~max_arity:16 s with
+          | Error (`Bad _) -> true
+          | _ -> false
+        in
+        Helpers.check_bool "not a power of two" true (bad "011");
+        Helpers.check_bool "bad character" true (bad "01x0");
+        Helpers.check_bool "empty" true (bad "");
+        Helpers.check_bool "too large" true
+          (match
+             Solver.parse_table ~max_arity:2 "0110100110010110"
+           with
+          | Error (`Too_large _) -> true
+          | _ -> false);
+        Helpers.check_bool "good" true
+          (match Solver.parse_table ~max_arity:16 "0110" with
+          | Ok _ -> true
+          | _ -> false));
+  ]
+
+(* The solved order must actually achieve the reported mincost on the
+   *request's* table — this is what "mapping the canonical result back
+   through the permutation" has to preserve. *)
+let order_achieves_mincost tt (s : Solver.solved) =
+  let pi = Ovo_core.Eval_order.read_first s.Solver.order in
+  Ovo_core.Eval_order.mincost tt pi = s.Solver.mincost
+
+let props =
+  [
+    QCheck.Test.make ~name:"cache hit result == fresh solve result"
+      ~count:150
+      (QCheck.pair (Helpers.arb_truthtable ~lo:1 ~hi:5 ()) QCheck.small_int)
+      (fun (tt, seed) ->
+        let perm = Helpers.perm_of_seed seed (T.arity tt) in
+        let ptt = T.permute_vars tt perm in
+        (* fresh solves in an empty cache *)
+        let fresh_tt = solve_fresh (Cache.create ~cap:4) tt in
+        let fresh_ptt = solve_fresh (Cache.create ~cap:4) ptt in
+        (* same requests against a shared, warm cache *)
+        let cache = Cache.create ~cap:4 in
+        let _warmup = solve_fresh cache tt in
+        let hit_tt = solve_fresh cache tt in
+        let hit_ptt = solve_fresh cache ptt in
+        hit_tt.Solver.cached
+        && { hit_tt with Solver.cached = false } = fresh_tt
+        && { hit_ptt with Solver.cached = false } = fresh_ptt
+        && fresh_tt.Solver.mincost = fresh_ptt.Solver.mincost
+        && order_achieves_mincost tt hit_tt
+        && order_achieves_mincost ptt hit_ptt);
+    QCheck.Test.make ~name:"solver agrees with Fs.run on the raw table"
+      ~count:100
+      (Helpers.arb_truthtable ~lo:1 ~hi:5 ())
+      (fun tt ->
+        let s = solve_fresh (Cache.create ~cap:4) tt in
+        let r = Fs.run tt in
+        s.Solver.mincost = r.Fs.mincost && s.Solver.size = r.Fs.size);
+  ]
+
+(* --- in-process end-to-end over a temp Unix socket -------------------- *)
+
+let temp_sock () =
+  let path = Filename.temp_file "ovo-serve-test" ".sock" in
+  Sys.remove path;
+  path
+
+let expect_ok = function
+  | Ok (r : P.reply) -> r.P.body
+  | Error (`Msg m) -> Alcotest.fail m
+
+let e2e_tests =
+  [
+    Helpers.case "daemon: solve, cache hit, cancel, stats, shutdown"
+      (fun () ->
+        let sock = temp_sock () in
+        let cfg =
+          { (Server.default_config ~listen:(P.Unix_sock sock)) with
+            Server.workers = 2; queue_cap = 4; cache_cap = 16 }
+        in
+        let server = Server.start cfg in
+        let waiter = Thread.create (fun () -> Server.wait server) () in
+        Fun.protect
+          ~finally:(fun () ->
+            Server.shutdown server;
+            Thread.join waiter)
+          (fun () ->
+            Client.with_conn (P.Unix_sock sock) @@ fun c ->
+            let solve ?deadline_ms table =
+              expect_ok
+                (Client.roundtrip c
+                   { P.id = 1;
+                     op =
+                       P.Solve
+                         { P.table; kind = Ovo_core.Compact.Bdd;
+                           engine = Ovo_core.Engine.Seq; deadline_ms } })
+            in
+            Helpers.check_bool "ping" true
+              (expect_ok (Client.roundtrip c { P.id = 0; op = P.Ping })
+              = P.Pong);
+            (let a = solve "0110100110010110" in
+             let b = solve "0110100110010110" in
+             match (a, b) with
+             | P.Ok_solve a, P.Ok_solve b ->
+                 Helpers.check_bool "cold" false a.P.cached;
+                 Helpers.check_bool "warm" true b.P.cached;
+                 Helpers.check_bool "same answer" true
+                   (a.P.mincost = b.P.mincost && a.P.order = b.P.order
+                  && a.P.widths = b.P.widths)
+             | _ -> Alcotest.fail "expected two solve replies");
+            (match solve ~deadline_ms:0. "0110100110010110" with
+            | P.Cancelled _ -> ()
+            | _ -> Alcotest.fail "expected cancellation");
+            (match solve "011" with
+            | P.Error { code = P.Bad_request; _ } -> ()
+            | _ -> Alcotest.fail "expected bad_request");
+            (match
+               expect_ok (Client.roundtrip c { P.id = 2; op = P.Stats })
+             with
+            | P.Ok_stats s ->
+                let open Ovo_obs.Json in
+                let hits =
+                  Option.bind (member "cache" s) (member "hits")
+                  |> Fun.flip Option.bind to_int_opt
+                in
+                Helpers.check_bool "hits counted" true (hits = Some 1)
+            | _ -> Alcotest.fail "expected stats");
+            Helpers.check_bool "bye" true
+              (expect_ok (Client.roundtrip c { P.id = 3; op = P.Shutdown })
+              = P.Bye));
+        (* after graceful shutdown the socket file is gone *)
+        Helpers.check_bool "socket unlinked" false (Sys.file_exists sock));
+  ]
+
+let () =
+  Alcotest.run "serve"
+    [
+      ("lru", lru_tests);
+      ("bqueue", bqueue_tests);
+      ("cancel", cancel_tests);
+      ("protocol", protocol_tests);
+      ("cache", cache_tests);
+      ("props", Helpers.qtests props);
+      ("e2e", e2e_tests);
+    ]

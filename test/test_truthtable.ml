@@ -129,6 +129,29 @@ let props =
           if T.eval tt code <> expect then ok := false
         done;
         !ok);
+    QCheck.Test.make ~name:"canonicalize returns its own permutation" ~count:300
+      (Helpers.arb_truthtable ~lo:1 ~hi:6 ())
+      (fun tt ->
+        let canon, perm = T.canonicalize tt in
+        T.equal canon (T.permute_vars tt perm));
+    QCheck.Test.make ~name:"canonicalize is idempotent" ~count:200
+      (Helpers.arb_truthtable ~lo:1 ~hi:6 ())
+      (fun tt ->
+        let canon, _ = T.canonicalize tt in
+        let canon2, _ = T.canonicalize canon in
+        T.equal canon canon2);
+    QCheck.Test.make
+      ~name:"digest is invariant under variable permutation" ~count:300
+      (QCheck.pair (Helpers.arb_truthtable ~lo:1 ~hi:6 ()) QCheck.small_int)
+      (fun (tt, seed) ->
+        let perm = Helpers.perm_of_seed seed (T.arity tt) in
+        String.equal (T.digest tt) (T.digest (T.permute_vars tt perm)));
+    QCheck.Test.make
+      ~name:"digest agrees with digest_of_canonical" ~count:200
+      (Helpers.arb_truthtable ~lo:1 ~hi:6 ())
+      (fun tt ->
+        let canon, _ = T.canonicalize tt in
+        String.equal (T.digest tt) (T.digest_of_canonical canon));
   ]
 
 let () =
