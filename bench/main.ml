@@ -704,6 +704,152 @@ let serve_bench () =
   Printf.printf "written: BENCH_serve.json\n"
 
 (* ------------------------------------------------------------------ *)
+
+(* Persistence layer: what durability costs and what it buys.  The
+   checkpoint hook fires once per cardinality layer (n records for an
+   n-variable run), so its overhead over a plain run must stay small —
+   CI gates the median ratio at <= 1.25x.  A killed-and-resumed run
+   must reproduce the uninterrupted answer bit for bit, and a restarted
+   result store must warm-load every entry it was sent before the
+   "crash" (close without compaction stands in for kill -9: the WAL is
+   written with Unix.write, so the records are already in the file).
+   Results go to BENCH_store.json. *)
+let store_bench () =
+  section "store";
+  let module Rs = Ovo_store.Result_store in
+  let module Ck = Ovo_store.Checkpoint in
+  let wall f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let median xs =
+    let a = Array.of_list xs in
+    Array.sort compare a;
+    a.(Array.length a / 2)
+  in
+  let reps = 5 in
+  let n = 12 in
+  let tt = T.random (Random.State.make [| 2121 |]) n in
+  let ck_path = Filename.temp_file "ovo-bench-ck" ".bin" in
+  let meta = Ck.meta_of ~kind:C.Bdd tt in
+  let plain_r = ref None in
+  let plain_s =
+    median
+      (List.init reps (fun _ ->
+           let r, s = wall (fun () -> Fs.run tt) in
+           plain_r := Some r;
+           s))
+  in
+  let ck_s =
+    median
+      (List.init reps (fun _ ->
+           let _, s =
+             wall (fun () ->
+                 let w = Ck.create ~path:ck_path meta in
+                 let r =
+                   Fs.run ~on_layer:(Ck.append_layer w) tt
+                 in
+                 Ck.close w;
+                 r)
+           in
+           s))
+  in
+  let overhead = ck_s /. Float.max 1e-9 plain_s in
+  Printf.printf
+    "FS on a random n=%d function: plain %.4fs, with checkpoint %.4fs -> %.3fx\n"
+    n plain_s ck_s overhead;
+  (* Kill the run after layer n/2 (exception at the on_layer boundary,
+     where the CLI's --crash-after-layer exits), then resume. *)
+  let exception Crash in
+  let stop_after = n / 2 in
+  (let w = Ck.create ~path:ck_path meta in
+   (try
+      ignore
+        (Fs.run
+           ~on_layer:(fun p ->
+             Ck.append_layer w p;
+             if p.Ovo_core.Subset_dp.p_layer = stop_after then raise Crash)
+           tt)
+    with Crash -> ());
+   Ck.close w);
+  let w, layers = Ck.open_resume ~path:ck_path meta in
+  let resumed, resume_s =
+    wall (fun () ->
+        let r =
+          Fs.run ~on_layer:(Ck.append_layer w) ~resume:layers tt
+        in
+        Ck.close w;
+        r)
+  in
+  let plain = Option.get !plain_r in
+  let identical =
+    resumed.Fs.mincost = plain.Fs.mincost
+    && resumed.Fs.size = plain.Fs.size
+    && resumed.Fs.order = plain.Fs.order
+    && resumed.Fs.widths = plain.Fs.widths
+  in
+  Printf.printf
+    "killed after layer %d/%d, resumed %d layers in %.4fs (%.0f%% of a full run): identical=%b\n"
+    stop_after n (List.length layers) resume_s
+    (100. *. resume_s /. Float.max 1e-9 plain_s)
+    identical;
+  Sys.remove ck_path;
+  (* Warm restart of the result store: append, drop the handle, reopen. *)
+  let dir = Filename.temp_file "ovo-bench-store" "" in
+  Sys.remove dir;
+  let entry_of seed =
+    let canon, _ = T.canonicalize (T.random (Random.State.make [| seed |]) 8) in
+    let r = Fs.run canon in
+    {
+      Rs.digest = T.digest_of_canonical canon;
+      kind = C.Bdd;
+      canon;
+      mincost = r.Fs.mincost;
+      size = r.Fs.size;
+      canon_order = r.Fs.order;
+      widths = r.Fs.widths;
+    }
+  in
+  let sent = 32 in
+  let entries = List.init sent (fun i -> entry_of (4000 + i)) in
+  let s = Rs.open_dir dir in
+  List.iter (Rs.append s) entries;
+  Rs.close s;
+  let reopened, load_s = wall (fun () -> Rs.open_dir dir) in
+  Rs.close reopened;
+  let s = Rs.open_dir dir in
+  let st = Rs.stats s in
+  let hit_rate =
+    float_of_int st.Rs.st_warm_loaded /. float_of_int sent
+  in
+  Printf.printf
+    "result store restart: %d/%d entries warm-loaded in %.4fs (%d discarded) -> hit rate %.2f\n"
+    st.Rs.st_warm_loaded sent load_s st.Rs.st_discarded_records hit_rate;
+  Rs.close s;
+  let doc =
+    Ovo_obs.Json.Obj
+      [
+        ("n", Ovo_obs.Json.Int n);
+        ("reps", Ovo_obs.Json.Int reps);
+        ("plain_seconds", Ovo_obs.Json.Float plain_s);
+        ("checkpoint_seconds", Ovo_obs.Json.Float ck_s);
+        ("checkpoint_overhead_ratio", Ovo_obs.Json.Float overhead);
+        ("resume_identical", Ovo_obs.Json.Bool identical);
+        ("resume_seconds", Ovo_obs.Json.Float resume_s);
+        ("store_entries_sent", Ovo_obs.Json.Int sent);
+        ("store_warm_loaded", Ovo_obs.Json.Int st.Rs.st_warm_loaded);
+        ("store_discarded", Ovo_obs.Json.Int st.Rs.st_discarded_records);
+        ("warm_hit_rate", Ovo_obs.Json.Float hit_rate);
+      ]
+  in
+  let oc = open_out "BENCH_store.json" in
+  output_string oc (Ovo_obs.Json.to_string doc);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "written: BENCH_store.json\n"
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel wall-clock micro-benchmarks: one per table/figure.         *)
 
 let wallclock () =
@@ -797,5 +943,6 @@ let () =
   engine_bench ();
   obs_bench ();
   serve_bench ();
+  store_bench ();
   wallclock ();
   Printf.printf "\nAll sections completed.\n"

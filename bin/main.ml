@@ -224,6 +224,63 @@ let save_arg =
     & info [ "save" ] ~docv:"FILE"
         ~doc:"Write the resulting diagram in the ovo exchange format.")
 
+(* ------------------------------------------------------------------ *)
+(* persistence flags (doc/persistence.md)                              *)
+
+let fsync_conv =
+  let parse s =
+    match Ovo_store.Rlog.fsync_of_string s with
+    | Ok f -> Ok f
+    | Error m -> Error (`Msg m)
+  in
+  Arg.conv
+    ( parse,
+      fun ppf f ->
+        Format.pp_print_string ppf (Ovo_store.Rlog.fsync_to_string f) )
+
+let fsync_arg =
+  Arg.(
+    value
+    & opt fsync_conv Ovo_store.Rlog.Never
+    & info [ "fsync" ] ~docv:"MODE"
+        ~doc:
+          "Durability policy for store and checkpoint writes: $(b,always), \
+           $(b,never) (default; appends still survive process death — this \
+           only matters for machine crashes), $(b,interval) (1s) or \
+           $(b,interval:SECS).")
+
+let checkpoint_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "checkpoint" ] ~docv:"FILE"
+        ~doc:
+          "($(b,--algo fs) only)  Write a checkpoint record after every \
+           completed DP layer, starting fresh.  A killed run continues \
+           with $(b,--resume) $(i,FILE).")
+
+let resume_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "resume" ] ~docv:"FILE"
+        ~doc:
+          "($(b,--algo fs) only)  Resume from a checkpoint file written by \
+           $(b,--checkpoint), and keep checkpointing to it.  The solution \
+           is bit-identical to an uninterrupted run.  A missing file \
+           degrades to a fresh checkpointed run; a file from a different \
+           input or kind is an error.")
+
+let crash_after_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "crash-after-layer" ] ~docv:"K"
+        ~doc:
+          "Testing hook: exit with status 42 right after the layer-$(i,K) \
+           checkpoint record is written — a deterministic stand-in for \
+           kill -9.")
+
 let dot_arg =
   Arg.(
     value
@@ -289,7 +346,8 @@ let seed_arg =
 
 let optimize_cmd =
   let run table expr pla pla_output blif signal family kind algo dot save
-      weights seed engine domains stats trace_file profile progress =
+      weights seed engine domains stats trace_file profile progress checkpoint
+      resume crash_after fsync =
     let engine = resolve_engine engine domains in
     with_obs ~trace_file ~profile ~progress @@ fun trace ->
     match load_function ~table ~expr ~pla ~pla_output ~blif ~signal ~family with
@@ -323,10 +381,52 @@ let optimize_cmd =
           `Ok ()
         in
         try
+          if
+            (checkpoint <> None || resume <> None || crash_after <> None)
+            && algo <> "fs"
+          then failwith "--checkpoint/--resume/--crash-after-layer need --algo fs";
           match String.split_on_char ':' algo with
           | [ "fs" ] ->
               let metrics = Ovo_core.Metrics.create () in
-              let r = Ovo_core.Fs.run ~trace ~kind ~engine ~metrics tt in
+              let meta = Ovo_store.Checkpoint.meta_of ~kind tt in
+              let writer, resume_layers =
+                match (checkpoint, resume) with
+                | Some _, Some _ ->
+                    failwith
+                      "pass --checkpoint (start fresh) or --resume \
+                       (continue), not both"
+                | Some path, None ->
+                    (Some (Ovo_store.Checkpoint.create ~fsync ~path meta), [])
+                | None, Some path ->
+                    let w, layers =
+                      Ovo_store.Checkpoint.open_resume ~fsync ~path meta
+                    in
+                    if layers <> [] then
+                      Printf.eprintf
+                        "[ovo] resuming %s: layers 1..%d already done\n%!"
+                        path (List.length layers);
+                    (Some w, layers)
+                | None, None -> (None, [])
+              in
+              let on_layer (p : Ovo_core.Subset_dp.progress) =
+                match writer with
+                | None -> ()
+                | Some w ->
+                    Ovo_store.Checkpoint.append_layer w p;
+                    if crash_after = Some p.Ovo_core.Subset_dp.p_layer
+                    then begin
+                      Ovo_store.Checkpoint.close w;
+                      Printf.eprintf
+                        "[ovo] --crash-after-layer %d: exiting 42\n%!"
+                        p.Ovo_core.Subset_dp.p_layer;
+                      exit 42
+                    end
+              in
+              let r =
+                Ovo_core.Fs.run ~trace ~kind ~engine ~metrics ~on_layer
+                  ~resume:resume_layers tt
+              in
+              Option.iter Ovo_store.Checkpoint.close writer;
               print_result ~save ~algo:"FS (exact)"
                 ~modeled:
                   (Some
@@ -423,7 +523,8 @@ let optimize_cmd =
         (const run $ table_arg $ expr_arg $ pla_arg $ pla_output_arg
        $ blif_arg $ signal_arg $ family_arg $ kind_arg $ algo_arg $ dot_arg
        $ save_arg $ weights_arg $ seed_arg $ engine_arg $ domains_arg
-       $ stats_arg $ trace_arg $ profile_arg $ progress_arg))
+       $ stats_arg $ trace_arg $ profile_arg $ progress_arg $ checkpoint_arg
+       $ resume_arg $ crash_after_arg $ fsync_arg))
   in
   Cmd.v
     (Cmd.info "optimize"
@@ -683,10 +784,12 @@ let listen_arg =
            $(b,ovo.sock) in the current directory.")
 
 let serve_cmd =
-  let run listen workers queue_cap cache_cap max_arity idle_timeout trace_file =
+  let run listen workers queue_cap cache_cap max_arity idle_timeout trace_file
+      store no_store fsync =
+    let store_dir = if no_store then None else store in
     Ovo_serve.Server.run
       { Ovo_serve.Server.listen; workers; queue_cap; cache_cap; max_arity;
-        idle_timeout; trace_file };
+        idle_timeout; trace_file; store_dir; store_fsync = fsync };
     `Ok ()
   in
   let workers =
@@ -716,16 +819,29 @@ let serve_cmd =
              ~doc:"Shut down after this many seconds without a request \
                    (safety net for scripted runs).")
   in
+  let store =
+    Arg.(value & opt (some string) None
+         & info [ "store" ] ~docv:"DIR"
+             ~doc:"Durable result store: recover and warm-load the cache \
+                   from $(i,DIR) at startup, persist every solved result \
+                   to its write-ahead log (doc/persistence.md).")
+  in
+  let no_store =
+    Arg.(value & flag
+         & info [ "no-store" ]
+             ~doc:"Run purely in memory even when $(b,--store) is given \
+                   (the flag wins).")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
          "Run the ordering service: a daemon with a bounded job queue, a \
-          worker pool on the exact DP engine, and a canonical result cache \
-          (protocol in doc/service.md)")
+          worker pool on the exact DP engine, a canonical result cache, \
+          and an optional durable store (protocol in doc/service.md)")
     Term.(
       ret
         (const run $ listen_arg $ workers $ queue_cap $ cache_cap $ max_arity
-       $ idle_timeout $ trace_arg))
+       $ idle_timeout $ trace_arg $ store $ no_store $ fsync_arg))
 
 let submit_cmd =
   let module P = Ovo_serve.Protocol in

@@ -22,6 +22,8 @@ val run :
   ?engine:Engine.t ->
   ?cancel:Cancel.t ->
   ?metrics:Metrics.t ->
+  ?on_layer:(Subset_dp.progress -> unit) ->
+  ?resume:Subset_dp.progress list ->
   Ovo_boolfun.Truthtable.t ->
   result
 (** Minimum OBDD ([kind = Bdd], default) or ZDD ([kind = Zdd]) for a
@@ -33,7 +35,15 @@ val run :
     is polled between DP layers: a fired token (explicit or
     deadline-expired, see {!Cancel}) aborts the run with
     {!Cancel.Cancelled} — wrap in {!Cancel.protect} for a typed
-    [Error `Cancelled]. *)
+    [Error `Cancelled].
+
+    [on_layer] (default a no-op) fires once per completed cardinality
+    layer with that layer's [(subset, cost, choice)] triples — the
+    checkpoint-emission hook ({!Ovo_store.Checkpoint} in the store
+    library persists them).  [resume] (default [[]]) preloads previously
+    completed layers so the sweep continues where a checkpointed run
+    stopped; the final solution is bit-identical to an uninterrupted
+    run under both engines.  See {!Subset_dp.Make.run}. *)
 
 val run_mtable :
   ?trace:Ovo_obs.Trace.t ->
@@ -41,6 +51,8 @@ val run_mtable :
   ?engine:Engine.t ->
   ?cancel:Cancel.t ->
   ?metrics:Metrics.t ->
+  ?on_layer:(Subset_dp.progress -> unit) ->
+  ?resume:Subset_dp.progress list ->
   Ovo_boolfun.Mtable.t ->
   result
 (** Multi-terminal variant (minimum MTBDD when [kind = Bdd]). *)

@@ -41,6 +41,8 @@ val run :
   ?engine:Engine.t ->
   ?cancel:Cancel.t ->
   ?metrics:Metrics.t ->
+  ?on_layer:(Subset_dp.progress -> unit) ->
+  ?resume:Subset_dp.progress list ->
   ?upto:int ->
   base:Compact.state ->
   Varset.t ->
@@ -51,13 +53,16 @@ val run :
     {!Engine.Seq}) splits each cardinality layer across domains;
     [metrics] (default {!Metrics.ambient}) receives the run's counters,
     aggregated across domains; [cancel] (default {!Cancel.never}) is
-    polled between layers — see {!Subset_dp.Make.run}. *)
+    polled between layers; [on_layer]/[resume] checkpoint and resume the
+    sweep at those same boundaries — see {!Subset_dp.Make.run}. *)
 
 val costs :
   ?trace:Ovo_obs.Trace.t ->
   ?engine:Engine.t ->
   ?cancel:Cancel.t ->
   ?metrics:Metrics.t ->
+  ?on_layer:(Subset_dp.progress -> unit) ->
+  ?resume:Subset_dp.progress list ->
   ?upto:int ->
   base:Compact.state ->
   Varset.t ->
@@ -90,6 +95,8 @@ val complete :
   ?engine:Engine.t ->
   ?cancel:Cancel.t ->
   ?metrics:Metrics.t ->
+  ?on_layer:(Subset_dp.progress -> unit) ->
+  ?resume:Subset_dp.progress list ->
   base:Compact.state ->
   Varset.t ->
   Compact.state

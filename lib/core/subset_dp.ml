@@ -16,6 +16,22 @@ type costs = {
   cost_choice : (Varset.t, int) Hashtbl.t;
 }
 
+type progress = {
+  p_layer : int;
+  p_entries : (Varset.t * int * int) array;
+}
+
+let binomial n k =
+  if k < 0 || k > n then 0
+  else begin
+    let k = min k (n - k) in
+    let r = ref 1 in
+    for i = 1 to k do
+      r := !r * (n - k + i) / i
+    done;
+    !r
+  end
+
 module Make (S : COMPACTABLE) = struct
   type t = {
     j_set : Varset.t;
@@ -66,6 +82,44 @@ module Make (S : COMPACTABLE) = struct
     in
     (ksub, !best_h, !best_c, st)
 
+  (* Replaying a subset's recorded choice chain over the base yields a
+     state bit-identical to the one the original sweep materialised for
+     it: node ids are assigned in scan order, which is a deterministic
+     function of the placement sequence alone. *)
+  let chain_of choices ksub =
+    let rec go k acc =
+      if Varset.is_empty k then acc
+      else
+        let h = Hashtbl.find choices k in
+        go (Varset.remove h k) (h :: acc)
+    in
+    go ksub []
+
+  (* A resume must be a consecutive, complete prefix of layers 1..m with
+     every entry a |layer|-subset of J; anything else means the
+     checkpoint belongs to a different run.  Returns m (0 when empty). *)
+  let validate_resume ~upto j_set resume =
+    let j_size = Varset.cardinal j_set in
+    let expect = ref 1 in
+    List.iter
+      (fun p ->
+        if p.p_layer <> !expect || p.p_layer > upto then
+          invalid_arg
+            "Subset_dp.run: resume layers must be consecutive from 1";
+        if Array.length p.p_entries <> binomial j_size p.p_layer then
+          invalid_arg "Subset_dp.run: resume layer is incomplete";
+        Array.iter
+          (fun (ksub, _, h) ->
+            if
+              (not (Varset.subset ksub j_set))
+              || Varset.cardinal ksub <> p.p_layer
+              || not (Varset.mem h ksub)
+            then invalid_arg "Subset_dp.run: resume entry does not match J")
+          p.p_entries;
+        incr expect)
+      resume;
+    !expect - 1
+
   (* One full DP sweep.  [keep_last_states]: materialise and keep the
      states of the final cardinality layer (algorithm FS* proper);
      cost-only callers skip them and backtrack instead.  Intermediate
@@ -73,29 +127,73 @@ module Make (S : COMPACTABLE) = struct
      and dropped eagerly as soon as their successor layer is complete —
      only the integer cost table outlives a layer.
 
+     [on_layer] fires once per completed cardinality layer with that
+     layer's (subset, cost, tight choice) triples — the checkpoint hook;
+     the same boundaries [cancel] is polled at.  [resume] preloads the
+     cost/choice tables from previously completed layers and rebuilds
+     the last layer's states by replaying each recorded choice chain, so
+     the sweep continues exactly where the checkpointed run stopped and
+     stays bit-identical to an uninterrupted one under both engines.
+
      With a recording tracer, every cardinality layer is one span
      (category "dp") whose args carry the subset count and the layer's
      metrics delta (merged across domains for Engine.Par; the per-domain
      child spans come from Engine.map).  The whole sweep is a parent
      span.  Probes stay untraced — the tracer's granularity floor is a
      layer, so the disabled-tracer cost on the hot path is zero. *)
-  let sweep ~trace ~engine ~cancel ~metrics ~upto ~keep_last_states ~base
-      j_set =
+  let sweep ~trace ~engine ~cancel ~metrics ~upto ~keep_last_states ~on_layer
+      ~resume ~base j_set =
     let mincosts = Hashtbl.create 64 in
     let choices = Hashtbl.create 64 in
     Hashtbl.replace mincosts Varset.empty (S.mincost base);
+    let start_k = validate_resume ~upto j_set resume + 1 in
+    List.iter
+      (fun p ->
+        Array.iter
+          (fun (ksub, c, h) ->
+            Hashtbl.replace mincosts ksub c;
+            Hashtbl.replace choices ksub h)
+          p.p_entries)
+      resume;
     let layer = ref (Hashtbl.create 1) in
-    Hashtbl.replace !layer Varset.empty base;
+    if start_k = 1 then Hashtbl.replace !layer Varset.empty base
+    else begin
+      let m = start_k - 1 in
+      (* the resumed layer's states are only needed when the sweep will
+         read them: either another layer follows, or the caller keeps
+         the final layer (FS* proper) *)
+      if m < upto || keep_last_states then
+        Trace.with_span trace ~cat:"dp"
+          ~args:(fun () ->
+            [
+              ("k", Ovo_obs.Json.Int m);
+              ( "subsets",
+                Ovo_obs.Json.Int (binomial (Varset.cardinal j_set) m) );
+            ])
+          "dp.rebuild"
+          (fun () ->
+            let tbl = Hashtbl.create 64 in
+            Varset.iter_subsets_of j_set ~size:m (fun ksub ->
+                let st =
+                  List.fold_left
+                    (fun st h -> S.materialise ~metrics st h)
+                    base (chain_of choices ksub)
+                in
+                assert (S.mincost st = Hashtbl.find mincosts ksub);
+                Hashtbl.replace tbl ksub st);
+            layer := tbl)
+    end;
     Trace.with_span trace ~cat:"dp"
       ~args:(fun () ->
         [
           ("vars", Ovo_obs.Json.Int (Varset.cardinal j_set));
           ("upto", Ovo_obs.Json.Int upto);
+          ("resumed_from", Ovo_obs.Json.Int (start_k - 1));
           ("engine", Ovo_obs.Json.String (Engine.to_string engine));
         ])
       "dp.sweep"
       (fun () ->
-        for k = 1 to upto do
+        for k = start_k to upto do
           (* cooperative cancellation: a fired token (deadline or explicit)
              aborts the sweep between layers — the finished layers' work
              is discarded and Cancelled propagates to the caller's
@@ -130,27 +228,33 @@ module Make (S : COMPACTABLE) = struct
             results;
           (* eager drop: only [mincosts]/[choices] survive a layer *)
           Hashtbl.reset prev;
-          layer := next
+          layer := next;
+          on_layer
+            {
+              p_layer = k;
+              p_entries =
+                Array.map (fun (ksub, h, c, _) -> (ksub, c, h)) results;
+            }
         done);
     (mincosts, choices, !layer)
 
   let run ?(trace = Trace.null) ?(engine = Engine.Seq)
-      ?(cancel = Cancel.never) ?(metrics = Metrics.ambient) ?upto ~base j_set
-      =
+      ?(cancel = Cancel.never) ?(metrics = Metrics.ambient)
+      ?(on_layer = fun _ -> ()) ?(resume = []) ?upto ~base j_set =
     let upto = validate ~base j_set upto in
     let mincosts, _, layer =
-      sweep ~trace ~engine ~cancel ~metrics ~upto ~keep_last_states:true ~base
-        j_set
+      sweep ~trace ~engine ~cancel ~metrics ~upto ~keep_last_states:true
+        ~on_layer ~resume ~base j_set
     in
     { j_set; upto; mincosts; layer }
 
   let costs ?(trace = Trace.null) ?(engine = Engine.Seq)
-      ?(cancel = Cancel.never) ?(metrics = Metrics.ambient) ?upto ~base j_set
-      =
+      ?(cancel = Cancel.never) ?(metrics = Metrics.ambient)
+      ?(on_layer = fun _ -> ()) ?(resume = []) ?upto ~base j_set =
     let upto = validate ~base j_set upto in
     let mincosts, choices, _ =
       sweep ~trace ~engine ~cancel ~metrics ~upto ~keep_last_states:false
-        ~base j_set
+        ~on_layer ~resume ~base j_set
     in
     { cost_j_set = j_set; cost_upto = upto; cost_table = mincosts;
       cost_choice = choices }
@@ -165,12 +269,6 @@ module Make (S : COMPACTABLE) = struct
        it from [target] down to the empty set yields the placement
        sequence; replaying it over [base] materialises the optimal state
        in |target| compactions. *)
-    let rec chain k acc =
-      if Varset.is_empty k then acc
-      else
-        let h = Hashtbl.find ct.cost_choice k in
-        chain (Varset.remove h k) (h :: acc)
-    in
     let before = Metrics.snapshot metrics in
     let st =
       Trace.with_span trace ~cat:"dp"
@@ -181,7 +279,8 @@ module Make (S : COMPACTABLE) = struct
         (fun () ->
           List.fold_left
             (fun st h -> S.materialise ~metrics st h)
-            base (chain target []))
+            base
+            (chain_of ct.cost_choice target))
     in
     assert (S.mincost st = Hashtbl.find ct.cost_table target);
     st
@@ -190,7 +289,8 @@ module Make (S : COMPACTABLE) = struct
   let mincost_of t ksub = Hashtbl.find t.mincosts ksub
 
   let complete ?(trace = Trace.null) ?(engine = Engine.Seq)
-      ?(cancel = Cancel.never) ?(metrics = Metrics.ambient) ~base j_set =
-    let ct = costs ~trace ~engine ~cancel ~metrics ~base j_set in
+      ?(cancel = Cancel.never) ?(metrics = Metrics.ambient)
+      ?(on_layer = fun _ -> ()) ?(resume = []) ~base j_set =
+    let ct = costs ~trace ~engine ~cancel ~metrics ~on_layer ~resume ~base j_set in
     reconstruct ~trace ~metrics ~base ct j_set
 end

@@ -57,6 +57,23 @@ type costs = {
     state-independent, so it lives outside the functor and can be shared
     by every instance. *)
 
+type progress = {
+  p_layer : int;  (** the cardinality layer that just completed *)
+  p_entries : (Varset.t * int * int) array;
+      (** one [(K, MINCOST⟨K⟩, tight last-placed h)] triple per subset
+          of the layer, in enumeration (Gosper) order *)
+}
+(** One completed cardinality layer of a sweep — everything a checkpoint
+    needs to persist, and everything a resumed sweep needs back.  Like
+    {!costs} it is state-independent: rebuilding the layer's states is a
+    deterministic replay of the recorded choice chains, so a resumed run
+    is bit-identical to an uninterrupted one under both engines. *)
+
+val binomial : int -> int -> int
+(** [binomial n k] = C(n,k); [0] outside [0 <= k <= n].  Exposed for
+    resume validation (a complete layer [k] over [J] has [C(|J|,k)]
+    entries). *)
+
 module Make (S : COMPACTABLE) : sig
   type t = {
     j_set : Varset.t;
@@ -72,6 +89,8 @@ module Make (S : COMPACTABLE) : sig
     ?engine:Engine.t ->
     ?cancel:Cancel.t ->
     ?metrics:Metrics.t ->
+    ?on_layer:(progress -> unit) ->
+    ?resume:progress list ->
     ?upto:int ->
     base:S.state ->
     Varset.t ->
@@ -86,20 +105,33 @@ module Make (S : COMPACTABLE) : sig
       layers: a fired token makes the sweep raise {!Cancel.Cancelled}
       instead of starting the next layer, so a deadline-expired run
       stops within one layer's work.  Wrap the call in {!Cancel.protect}
-      for a typed [Error `Cancelled] instead of the exception. *)
+      for a typed [Error `Cancelled] instead of the exception.
+
+      [on_layer] (default a no-op) fires at the same layer boundaries
+      [cancel] is polled at, once per {e newly computed} layer — the
+      checkpoint-emission hook.  An exception it raises aborts the sweep
+      and propagates.  [resume] (default [[]]) replays previously
+      completed layers [1..m] (consecutive, complete, validated): their
+      triples preload the cost/choice tables, layer [m]'s states are
+      rebuilt by replaying each subset's recorded chain over [base], and
+      the sweep continues at [m+1] — bit-identical to an uninterrupted
+      run under {!Engine.Seq} and {!Engine.Par} alike. *)
 
   val costs :
     ?trace:Ovo_obs.Trace.t ->
     ?engine:Engine.t ->
     ?cancel:Cancel.t ->
     ?metrics:Metrics.t ->
+    ?on_layer:(progress -> unit) ->
+    ?resume:progress list ->
     ?upto:int ->
     base:S.state ->
     Varset.t ->
     costs
   (** Pure cost-table mode: same sweep, but the final layer's states are
       never materialised and nothing but the integer tables is returned.
-      Same validation and defaults as {!run}. *)
+      Same validation and defaults as {!run}, including [on_layer] and
+      [resume]. *)
 
   val reconstruct :
     ?trace:Ovo_obs.Trace.t ->
@@ -121,6 +153,8 @@ module Make (S : COMPACTABLE) : sig
     ?engine:Engine.t ->
     ?cancel:Cancel.t ->
     ?metrics:Metrics.t ->
+    ?on_layer:(progress -> unit) ->
+    ?resume:progress list ->
     base:S.state ->
     Varset.t ->
     S.state

@@ -259,6 +259,7 @@ let member key = function
   | _ -> None
 
 let to_int_opt = function Int i -> Some i | _ -> None
+let to_bool_opt = function Bool b -> Some b | _ -> None
 
 let to_float_opt = function
   | Float f -> Some f

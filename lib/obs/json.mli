@@ -31,6 +31,7 @@ val member : string -> t -> t option
 (** Field lookup on an {!Obj}; [None] on other constructors. *)
 
 val to_int_opt : t -> int option
+val to_bool_opt : t -> bool option
 val to_float_opt : t -> float option
 (** {!Int} widens to float. *)
 

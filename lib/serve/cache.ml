@@ -1,6 +1,7 @@
 module Truthtable = Ovo_boolfun.Truthtable
 module Compact = Ovo_core.Compact
 module Json = Ovo_obs.Json
+module Trace = Ovo_obs.Trace
 
 type entry = {
   canon : Truthtable.t;
@@ -17,11 +18,16 @@ type key = string * Compact.kind
 type t = {
   m : Mutex.t;
   lru : (key, entry) Lru.t;
+  trace : Trace.t;
+  persist : (digest:string -> kind:Compact.kind -> entry -> unit) option;
   mutable hits : int;
   mutable misses : int;
+  mutable collisions : int;
 }
 
-let create ~cap = { m = Mutex.create (); lru = Lru.create ~cap; hits = 0; misses = 0 }
+let create ?(trace = Trace.null) ?persist ~cap () =
+  { m = Mutex.create (); lru = Lru.create ~cap; trace; persist; hits = 0;
+    misses = 0; collisions = 0 }
 
 let with_lock t f =
   Mutex.lock t.m;
@@ -33,17 +39,34 @@ let find t ~digest ~kind ~canon =
       | Some e when Truthtable.equal e.canon canon ->
           t.hits <- t.hits + 1;
           Some e
-      | Some _ | None ->
+      | Some _ ->
+          (* same digest, different table: a hash collision (or a
+             corrupt warm-loaded record).  Count it — and degrade to a
+             miss, never a wrong answer. *)
+          t.collisions <- t.collisions + 1;
+          t.misses <- t.misses + 1;
+          Trace.counter t.trace "cache.collision"
+            (float_of_int t.collisions);
+          None
+      | None ->
           t.misses <- t.misses + 1;
           None)
 
 let add t ~digest ~kind entry =
+  with_lock t (fun () -> Lru.add t.lru (digest, kind) entry);
+  (* outside the lock: the persist hook does file I/O *)
+  match t.persist with
+  | None -> ()
+  | Some persist -> persist ~digest ~kind entry
+
+let warm t ~digest ~kind entry =
   with_lock t (fun () -> Lru.add t.lru (digest, kind) entry)
 
 let capacity t = Lru.capacity t.lru
 let length t = with_lock t (fun () -> Lru.length t.lru)
 let hits t = with_lock t (fun () -> t.hits)
 let misses t = with_lock t (fun () -> t.misses)
+let collisions t = with_lock t (fun () -> t.collisions)
 let evictions t = with_lock t (fun () -> Lru.evictions t.lru)
 
 let hit_rate t =
@@ -62,5 +85,6 @@ let to_json t =
           ("length", Json.Int (Lru.length t.lru));
           ("hits", Json.Int t.hits);
           ("misses", Json.Int t.misses);
+          ("collisions", Json.Int t.collisions);
           ("evictions", Json.Int (Lru.evictions t.lru));
           ("hit_rate", Json.Float rate) ])

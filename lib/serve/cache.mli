@@ -28,8 +28,19 @@ type entry = {
 
 type t
 
-val create : cap:int -> t
-(** LRU capacity in entries; [cap] must be positive. *)
+val create :
+  ?trace:Ovo_obs.Trace.t ->
+  ?persist:
+    (digest:string -> kind:Ovo_core.Compact.kind -> entry -> unit) ->
+  cap:int ->
+  unit ->
+  t
+(** LRU capacity in entries; [cap] must be positive.  A recording
+    [trace] (default {!Ovo_obs.Trace.null}) receives a
+    [cache.collision] counter each time equality verification rejects a
+    digest match.  [persist] is called — outside the cache lock — after
+    every {!add}; the server points it at
+    {!Ovo_store.Result_store.append} when a [--store] is configured. *)
 
 val find :
   t ->
@@ -39,15 +50,25 @@ val find :
   entry option
 (** Probe (and touch) the cache.  Returns the entry only when the stored
     canonical table equals [canon]; a digest collision counts as a
-    miss. *)
+    miss (and a collision). *)
 
 val add :
   t -> digest:string -> kind:Ovo_core.Compact.kind -> entry -> unit
+(** Insert and, when configured, persist. *)
+
+val warm :
+  t -> digest:string -> kind:Ovo_core.Compact.kind -> entry -> unit
+(** Insert {e without} persisting — for warm-loading entries that came
+    from the store in the first place. *)
 
 val capacity : t -> int
 val length : t -> int
 val hits : t -> int
 val misses : t -> int
+
+val collisions : t -> int
+(** Digest matches rejected by the equality check. *)
+
 val evictions : t -> int
 
 val hit_rate : t -> float
@@ -55,4 +76,4 @@ val hit_rate : t -> float
 
 val to_json : t -> Ovo_obs.Json.t
 (** Deterministic field order: capacity, length, hits, misses,
-    evictions, hit_rate. *)
+    collisions, evictions, hit_rate. *)

@@ -255,9 +255,9 @@ let reply_of_line line =
           let* widths = int_array_field "widths" j in
           let* cached =
             let* v = req_field "cached" j in
-            match v with
-            | Json.Bool b -> Ok b
-            | _ -> err "field \"cached\": expected a boolean"
+            match Json.to_bool_opt v with
+            | Some b -> Ok b
+            | None -> err "field \"cached\": expected a boolean"
           in
           let* queue_ms =
             let* v = opt_float_field "queue_ms" j in

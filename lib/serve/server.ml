@@ -12,11 +12,14 @@ type config = {
   max_arity : int;
   idle_timeout : float option;
   trace_file : string option;
+  store_dir : string option;
+  store_fsync : Ovo_store.Rlog.fsync;
 }
 
 let default_config ~listen =
   { listen; workers = 2; queue_cap = 64; cache_cap = 256; max_arity = 16;
-    idle_timeout = None; trace_file = None }
+    idle_timeout = None; trace_file = None; store_dir = None;
+    store_fsync = Ovo_store.Rlog.Never }
 
 type job = {
   tt : Truthtable.t;
@@ -32,6 +35,8 @@ type t = {
   lsock : Unix.file_descr;
   queue : job Bqueue.t;
   cache : Cache.t;
+  store : Ovo_store.Result_store.t option;
+  store_m : Mutex.t;  (* serialises WAL appends across workers *)
   stats : Stats.t;
   trace : Trace.t;
   stop : bool Atomic.t;
@@ -50,9 +55,18 @@ let write_reply oc reply =
   output_char oc '\n';
   flush oc
 
+(* Suggested backoff before the first solve has completed: with no
+   latency observed there is nothing to extrapolate from, so fall back
+   to a fixed default instead of the old behaviour (the 10ms floor
+   applied to a meaningless 0 average). *)
+let default_retry_after_ms = 50.
+
+(* Suggest waiting for roughly one queued job to clear; floor at 10ms.
+   [`Default] marks the no-data fallback so the reply can say so. *)
 let retry_after_ms t =
-  (* suggest waiting for roughly one queued job to clear; floor at 10ms *)
-  Float.max 10. (Stats.avg_ms t.stats ~endpoint:"solve")
+  match Stats.avg_ms_opt t.stats ~endpoint:"solve" with
+  | Some avg -> (Float.max 10. avg, `Observed)
+  | None -> (default_retry_after_ms, `Default)
 
 (* Returns the response body plus whether the job was admitted to the
    queue ([t.pending] was raised and must drop once the reply is out). *)
@@ -91,12 +105,18 @@ let handle_solve t (p : P.solve_params) =
               false )
         | `Full ->
             Stats.record_outcome t.stats `Rejected;
+            let retry, basis = retry_after_ms t in
             ( P.Error
                 { code = P.Queue_full;
                   message =
-                    Printf.sprintf "queue is at capacity (%d jobs)"
-                      (Bqueue.capacity t.queue);
-                  retry_after_ms = Some (retry_after_ms t) },
+                    Printf.sprintf "queue is at capacity (%d jobs)%s"
+                      (Bqueue.capacity t.queue)
+                      (match basis with
+                      | `Observed -> ""
+                      | `Default ->
+                          "; retry_after_ms is a fixed default (no solve \
+                           latency observed yet)");
+                  retry_after_ms = Some retry },
               false )
         | `Pushed ->
             (* [pending] stays raised until the reply has been written —
@@ -105,7 +125,16 @@ let handle_solve t (p : P.solve_params) =
             (Ivar.read job.reply, true))
 
 let stats_json t =
-  Stats.to_json t.stats ~queue_depth:(Bqueue.length t.queue)
+  let store =
+    Option.map
+      (fun s ->
+        Mutex.lock t.store_m;
+        Fun.protect
+          ~finally:(fun () -> Mutex.unlock t.store_m)
+          (fun () -> Ovo_store.Result_store.stats_json s))
+      t.store
+  in
+  Stats.to_json ?store t.stats ~queue_depth:(Bqueue.length t.queue)
     ~queue_cap:(Bqueue.capacity t.queue) ~workers:t.cfg.workers
     ~cache:(Cache.to_json t.cache)
 
@@ -262,9 +291,53 @@ let start cfg =
   let trace =
     if cfg.trace_file = None then Trace.null else Trace.make ()
   in
+  let store =
+    Option.map
+      (fun dir ->
+        Ovo_store.Result_store.open_dir ~trace ~fsync:cfg.store_fsync dir)
+      cfg.store_dir
+  in
+  let store_m = Mutex.create () in
+  let persist =
+    Option.map
+      (fun s ~digest ~kind (e : Cache.entry) ->
+        Mutex.lock store_m;
+        Fun.protect
+          ~finally:(fun () -> Mutex.unlock store_m)
+          (fun () ->
+            Ovo_store.Result_store.append s
+              { Ovo_store.Result_store.digest; kind; canon = e.Cache.canon;
+                mincost = e.Cache.mincost; size = e.Cache.size;
+                canon_order = e.Cache.canon_order;
+                widths = e.Cache.widths }))
+      store
+  in
+  let cache = Cache.create ~trace ?persist ~cap:(max 1 cfg.cache_cap) () in
+  (* Warm-load persisted results.  [Cache.warm] skips the persist hook —
+     these entries came from the store — and the normal digest-plus-
+     equality probe still guards every later hit, so a record the store
+     failed to catch degrades to a miss, not a wrong answer. *)
+  let warm_loaded =
+    match store with
+    | None -> 0
+    | Some s ->
+        let entries = Ovo_store.Result_store.entries s in
+        List.iter
+          (fun (e : Ovo_store.Result_store.entry) ->
+            Cache.warm cache ~digest:e.digest ~kind:e.kind
+              { Cache.canon = e.canon; mincost = e.mincost; size = e.size;
+                canon_order = e.canon_order; widths = e.widths })
+          entries;
+        List.length entries
+  in
+  if warm_loaded > 0 then
+    Printf.eprintf "[ovo-serve] warm-loaded %d cached result%s from %s\n%!"
+      warm_loaded
+      (if warm_loaded = 1 then "" else "s")
+      (Option.value cfg.store_dir ~default:"");
   let t =
     { cfg; lsock; queue = Bqueue.create ~cap:(max 1 cfg.queue_cap);
-      cache = Cache.create ~cap:(max 1 cfg.cache_cap);
+      cache; store; store_m;
       stats = Stats.create (); trace; stop = Atomic.make false;
       pending = Atomic.make 0; last_activity = Atomic.make (now ());
       acceptor = None; worker_threads = [] }
@@ -292,6 +365,8 @@ let wait t =
   while Atomic.get t.pending > 0 && now () < deadline do
     Thread.delay 0.01
   done;
+  (* workers are done: no more appends — sync and close the store *)
+  Option.iter Ovo_store.Result_store.close t.store;
   (match t.cfg.listen with
   | P.Unix_sock path -> (
       try Unix.unlink path with Unix.Unix_error _ -> ())

@@ -29,11 +29,21 @@ type config = {
       (** record every request's spans; written at shutdown
           ([.jsonl] → JSON-lines, else Chrome trace_event — the same
           rule as the CLI [--trace]) *)
+  store_dir : string option;
+      (** durable result store directory ({!Ovo_store.Result_store}):
+          opened and recovered at {!start}, its surviving entries
+          warm-loaded into the cache, every cache insert appended to its
+          WAL, synced and closed at shutdown.  [None] (the default) runs
+          purely in memory. *)
+  store_fsync : Ovo_store.Rlog.fsync;
+      (** fsync policy for the store's WAL (default
+          {!Ovo_store.Rlog.Never}; appends survive process death
+          regardless — this only matters for machine crashes) *)
 }
 
 val default_config : listen:Protocol.addr -> config
 (** 2 workers, queue 64, cache 256, max arity 16, no idle timeout, no
-    trace. *)
+    trace, no store. *)
 
 type t
 

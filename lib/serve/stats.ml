@@ -61,13 +61,16 @@ let uptime_s t = t.clock () -. t.started
 
 let live r = min r.count sample_cap
 
-let avg_ms t ~endpoint =
+let avg_ms_opt t ~endpoint =
   with_lock t (fun () ->
       match Hashtbl.find_opt t.endpoints endpoint with
-      | None -> 0.
+      | None -> None
       | Some r ->
           let n = live r in
-          if n = 0 then 0. else r.sum /. float_of_int n)
+          if n = 0 then None else Some (r.sum /. float_of_int n))
+
+let avg_ms t ~endpoint =
+  Option.value (avg_ms_opt t ~endpoint) ~default:0.
 
 let percentile_of_sorted sorted q =
   let n = Array.length sorted in
@@ -89,7 +92,7 @@ let percentile t ~endpoint q =
           if live r = 0 then None
           else Some (percentile_of_sorted (sorted_live r) q))
 
-let to_json t ~queue_depth ~queue_cap ~workers ~cache =
+let to_json ?store t ~queue_depth ~queue_cap ~workers ~cache =
   with_lock t (fun () ->
       let endpoints =
         Hashtbl.fold (fun name r acc -> (name, r) :: acc) t.endpoints []
@@ -124,4 +127,6 @@ let to_json t ~queue_depth ~queue_cap ~workers ~cache =
                 ("rejected", Json.Int t.rejected);
                 ("errors", Json.Int t.errors) ] );
           ("cache", cache);
+          ( "store",
+            match store with None -> Json.Null | Some j -> j );
           ("endpoints", Json.Obj endpoints) ])

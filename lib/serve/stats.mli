@@ -28,14 +28,20 @@ val record_outcome :
 val uptime_s : t -> float
 
 val avg_ms : t -> endpoint:string -> float
-(** Mean latency over the ring; [0.] with no samples.  The server uses
-    the solve average to suggest [retry_after_ms] on backpressure. *)
+(** Mean latency over the ring; [0.] with no samples. *)
+
+val avg_ms_opt : t -> endpoint:string -> float option
+(** As {!avg_ms} but [None] with no samples — so a caller can tell "no
+    data yet" from "instantaneous".  The server uses the solve average
+    to suggest [retry_after_ms] on backpressure, falling back to a fixed
+    default before the first solve completes. *)
 
 val percentile : t -> endpoint:string -> float -> float option
 (** [percentile t ~endpoint 0.99] by nearest-rank over the ring; [None]
     with no samples. *)
 
 val to_json :
+  ?store:Ovo_obs.Json.t ->
   t ->
   queue_depth:int ->
   queue_cap:int ->
@@ -44,5 +50,7 @@ val to_json :
   Ovo_obs.Json.t
 (** The [stats] reply body.  Deterministic field order: uptime_s,
     queue {depth, cap}, workers, outcomes {ok, cached, cancelled,
-    rejected, errors}, cache (as given), endpoints (sorted by name, each
-    with count, avg_ms, p50_ms, p90_ms, p99_ms). *)
+    rejected, errors}, cache (as given), store ([null] when the daemon
+    runs without persistence, else the
+    {!Ovo_store.Result_store.stats_json} object), endpoints (sorted by
+    name, each with count, avg_ms, p50_ms, p90_ms, p99_ms). *)

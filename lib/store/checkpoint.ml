@@ -1,0 +1,125 @@
+let log_src = Logs.Src.create "ovo.store.checkpoint" ~doc:"DP checkpoints"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+module Sdp = Ovo_core.Subset_dp
+
+type meta = { ck_digest : string; ck_kind : Ovo_core.Compact.kind }
+
+let rtype_meta = 0
+let rtype_layer = 1
+
+let kind_code = function Ovo_core.Compact.Bdd -> 0 | Ovo_core.Compact.Zdd -> 1
+
+let kind_of_code = function
+  | 0 -> Ovo_core.Compact.Bdd
+  | 1 -> Ovo_core.Compact.Zdd
+  | _ -> raise (Codec.Corrupt "kind")
+
+let meta_of ~kind tt =
+  {
+    ck_digest = Ovo_boolfun.Truthtable.digest_of_canonical tt;
+    ck_kind = kind;
+  }
+
+let encode_meta m =
+  let b = Buffer.create 32 in
+  Codec.str b m.ck_digest;
+  Codec.u8 b (kind_code m.ck_kind);
+  Buffer.contents b
+
+let decode_meta payload =
+  let r = Codec.reader payload in
+  let ck_digest = Codec.r_str r in
+  let ck_kind = kind_of_code (Codec.r_u8 r) in
+  Codec.expect_end r;
+  { ck_digest; ck_kind }
+
+let encode_layer (p : Sdp.progress) =
+  let b = Buffer.create (16 + (17 * Array.length p.Sdp.p_entries)) in
+  Codec.u32 b p.Sdp.p_layer;
+  Codec.u32 b (Array.length p.Sdp.p_entries);
+  Array.iter
+    (fun (ksub, cost, choice) ->
+      Codec.u64 b ksub;
+      Codec.u64 b cost;
+      Codec.u8 b choice)
+    p.Sdp.p_entries;
+  Buffer.contents b
+
+let decode_layer payload =
+  let r = Codec.reader payload in
+  let p_layer = Codec.r_u32 r in
+  let count = Codec.r_u32 r in
+  (* bound before allocating on a corrupt count *)
+  if count * 17 > String.length payload then raise (Codec.Corrupt "count");
+  let p_entries =
+    Array.init count (fun _ ->
+        let ksub = Codec.r_u64 r in
+        let cost = Codec.r_u64 r in
+        let choice = Codec.r_u8 r in
+        (ksub, cost, choice))
+  in
+  Codec.expect_end r;
+  { Sdp.p_layer; p_entries }
+
+type t = { rlog : Rlog.t }
+
+let create ?fsync ~path m =
+  let rlog = Rlog.create ?fsync path in
+  Rlog.append rlog ~rtype:rtype_meta (encode_meta m);
+  { rlog }
+
+let append_layer t p =
+  Rlog.append t.rlog ~rtype:rtype_layer (encode_layer p)
+
+let close t =
+  Rlog.sync t.rlog;
+  Rlog.close t.rlog
+
+(* The longest consecutive prefix of layers 1..m that decodes cleanly.
+   Append order guarantees consecutiveness in an untampered file; a
+   corrupt middle record ends the usable prefix even when later records
+   are intact — resuming past a hole would change the result. *)
+let layers_prefix records =
+  let rec go expect acc = function
+    | [] -> List.rev acc
+    | { Rlog.rtype; payload } :: rest when rtype = rtype_layer -> (
+        match decode_layer payload with
+        | p when p.Sdp.p_layer = expect -> go (expect + 1) (p :: acc) rest
+        | _ | (exception Codec.Corrupt _) -> List.rev acc)
+    | _ :: _ -> List.rev acc
+  in
+  go 1 [] records
+
+let load path =
+  match Rlog.read path with
+  | Error _ as e -> e
+  | Ok ([], _) -> Error (path ^ ": no meta record")
+  | Ok ({ Rlog.rtype; payload } :: rest, _) ->
+      if rtype <> rtype_meta then Error (path ^ ": first record is not meta")
+      else (
+        match decode_meta payload with
+        | m -> Ok (m, layers_prefix rest)
+        | exception Codec.Corrupt _ -> Error (path ^ ": corrupt meta record"))
+
+let open_resume ?fsync ~path m =
+  match load path with
+  | Error _ ->
+      (* missing or unusable: start fresh *)
+      (create ?fsync ~path m, [])
+  | Ok (m', _) when m' <> m ->
+      failwith
+        (Printf.sprintf
+           "Checkpoint.open_resume: %s records a different run (digest %s)"
+           path m'.ck_digest)
+  | Ok (_, layers) ->
+      (* compact back to the valid prefix, atomically, then append past
+         it — a resumed run can itself be killed and resumed *)
+      Rlog.write_atomic ?fsync path
+        ((rtype_meta, encode_meta m)
+        :: List.map (fun p -> (rtype_layer, encode_layer p)) layers);
+      let rlog, records, _ = Rlog.open_append ?fsync path in
+      assert (List.length records = 1 + List.length layers);
+      Log.info (fun m ->
+          m "%s: resuming past layer %d" path (List.length layers));
+      ({ rlog }, layers)

@@ -1,0 +1,236 @@
+let log_src = Logs.Src.create "ovo.store.results" ~doc:"durable result store"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+module Tt = Ovo_boolfun.Truthtable
+
+type entry = {
+  digest : string;
+  kind : Ovo_core.Compact.kind;
+  canon : Tt.t;
+  mincost : int;
+  size : int;
+  canon_order : int array;
+  widths : int array;
+}
+
+type stats = {
+  st_dir : string;
+  st_entries : int;
+  st_warm_loaded : int;
+  st_recovered_records : int;
+  st_discarded_records : int;
+  st_discarded_bytes : int;
+  st_appends : int;
+  st_compactions : int;
+  st_wal_bytes : int;
+  st_snap_bytes : int;
+}
+
+let rtype_entry = 1
+
+let kind_code = function Ovo_core.Compact.Bdd -> 0 | Ovo_core.Compact.Zdd -> 1
+
+let kind_of_code = function
+  | 0 -> Ovo_core.Compact.Bdd
+  | 1 -> Ovo_core.Compact.Zdd
+  | _ -> raise (Codec.Corrupt "kind")
+
+let encode e =
+  let b = Buffer.create 256 in
+  Codec.str b e.digest;
+  Codec.u8 b (kind_code e.kind);
+  Codec.u32 b (Tt.arity e.canon);
+  Codec.str b (Tt.to_string e.canon);
+  Codec.u32 b e.mincost;
+  Codec.u32 b e.size;
+  Codec.int_array b e.canon_order;
+  Codec.int_array b e.widths;
+  Buffer.contents b
+
+(* Decode and validate one record.  Anything wrong — malformed payload,
+   table that does not parse, or a stored digest the table no longer
+   hashes to (bit rot inside a CRC-sized blind spot, or a record written
+   by other code) — yields [None]; the caller counts it discarded. *)
+let decode payload =
+  match
+    let r = Codec.reader payload in
+    let digest = Codec.r_str r in
+    let kind = kind_of_code (Codec.r_u8 r) in
+    let arity = Codec.r_u32 r in
+    let table = Codec.r_str r in
+    let mincost = Codec.r_u32 r in
+    let size = Codec.r_u32 r in
+    let canon_order = Codec.r_int_array r in
+    let widths = Codec.r_int_array r in
+    Codec.expect_end r;
+    if String.length table <> 1 lsl arity then raise (Codec.Corrupt "table");
+    let canon = Tt.of_string table in
+    if Tt.arity canon <> arity then raise (Codec.Corrupt "arity");
+    if Tt.digest_of_canonical canon <> digest then
+      raise (Codec.Corrupt "digest mismatch");
+    { digest; kind; canon; mincost; size; canon_order; widths }
+  with
+  | e -> Some e
+  | exception Codec.Corrupt _ -> None
+  | exception Invalid_argument _ -> None
+
+type key = string * int
+
+type t = {
+  dir : string;
+  trace : Ovo_obs.Trace.t;
+  fsync : Rlog.fsync;
+  compact_threshold : int;
+  tbl : (key, entry) Hashtbl.t;
+  mutable key_order : key list;  (** reversed first-insertion order *)
+  mutable wal : Rlog.t;
+  mutable snap_bytes : int;
+  mutable warm_loaded : int;
+  mutable recovered_records : int;
+  mutable discarded_records : int;
+  mutable discarded_bytes : int;
+  mutable appends : int;
+  mutable compactions : int;
+}
+
+let snap_path dir = Filename.concat dir "results.snap"
+let wal_path dir = Filename.concat dir "results.wal"
+
+let key_of e = (e.digest, kind_code e.kind)
+
+let insert t e =
+  let k = key_of e in
+  if not (Hashtbl.mem t.tbl k) then t.key_order <- k :: t.key_order;
+  Hashtbl.replace t.tbl k e
+
+let load_records t records =
+  List.iter
+    (fun { Rlog.rtype; payload } ->
+      t.recovered_records <- t.recovered_records + 1;
+      if rtype <> rtype_entry then begin
+        t.discarded_records <- t.discarded_records + 1;
+        Log.warn (fun m -> m "%s: unknown record type %d" t.dir rtype)
+      end
+      else
+        match decode payload with
+        | Some e ->
+            insert t e;
+            t.warm_loaded <- t.warm_loaded + 1
+        | None ->
+            t.discarded_records <- t.discarded_records + 1;
+            Log.warn (fun m -> m "%s: discarding invalid entry record" t.dir))
+    records
+
+let open_dir ?(trace = Ovo_obs.Trace.null) ?(fsync = Rlog.Never)
+    ?(compact_threshold = 1 lsl 20) dir =
+  if compact_threshold <= 0 then invalid_arg "Result_store.open_dir";
+  if not (Sys.file_exists dir) then Unix.mkdir dir 0o755
+  else if not (Sys.is_directory dir) then
+    invalid_arg "Result_store.open_dir: not a directory";
+  Ovo_obs.Trace.with_span trace ~cat:"store" ~args:(fun () ->
+      [ ("dir", Ovo_obs.Json.String dir) ])
+    "store.open"
+    (fun () ->
+      let wal, wal_records, wal_rc = Rlog.open_append ~fsync (wal_path dir) in
+      let t =
+        {
+          dir;
+          trace;
+          fsync;
+          compact_threshold;
+          tbl = Hashtbl.create 64;
+          key_order = [];
+          wal;
+          snap_bytes = 0;
+          warm_loaded = 0;
+          recovered_records = 0;
+          discarded_records = 0;
+          discarded_bytes = wal_rc.Rlog.rec_discarded_bytes;
+          appends = 0;
+          compactions = 0;
+        }
+      in
+      (* snapshot first (read-only here; only compaction rewrites it),
+         then the WAL on top — last write wins *)
+      (match Rlog.read (snap_path dir) with
+      | Ok (records, rc) ->
+          t.discarded_bytes <- t.discarded_bytes + rc.Rlog.rec_discarded_bytes;
+          load_records t records;
+          t.snap_bytes <-
+            (try (Unix.stat (snap_path dir)).Unix.st_size with _ -> 0)
+      | Error _ -> t.snap_bytes <- 0);
+      load_records t wal_records;
+      if t.discarded_records > 0 then
+        Ovo_obs.Trace.counter trace "store.discarded"
+          (float_of_int t.discarded_records);
+      Log.info (fun m ->
+          m "%s: warm-loaded %d entries (%d records, %d discarded, %d torn \
+             bytes truncated)"
+            dir t.warm_loaded t.recovered_records t.discarded_records
+            t.discarded_bytes);
+      t)
+
+let entries t =
+  List.rev t.key_order
+  |> List.filter_map (fun k -> Hashtbl.find_opt t.tbl k)
+
+let compact t =
+  Ovo_obs.Trace.with_span t.trace ~cat:"store" ~args:(fun () ->
+      [
+        ("entries", Ovo_obs.Json.Int (Hashtbl.length t.tbl));
+        ("wal_bytes", Ovo_obs.Json.Int (Rlog.size t.wal));
+      ])
+    "store.compact"
+    (fun () ->
+      Rlog.write_atomic ~fsync:Rlog.Always (snap_path t.dir)
+        (List.map (fun e -> (rtype_entry, encode e)) (entries t));
+      t.snap_bytes <-
+        (try (Unix.stat (snap_path t.dir)).Unix.st_size with _ -> 0);
+      (* snapshot is durable; the WAL can start over *)
+      Rlog.close t.wal;
+      t.wal <- Rlog.create ~fsync:t.fsync (wal_path t.dir);
+      t.compactions <- t.compactions + 1;
+      Log.info (fun m ->
+          m "%s: compacted %d entries into snapshot (%d B)" t.dir
+            (Hashtbl.length t.tbl) t.snap_bytes))
+
+let append t e =
+  insert t e;
+  Rlog.append t.wal ~rtype:rtype_entry (encode e);
+  t.appends <- t.appends + 1;
+  Ovo_obs.Trace.counter t.trace "store.append" (float_of_int t.appends);
+  if Rlog.size t.wal > t.compact_threshold then compact t
+
+let stats t =
+  {
+    st_dir = t.dir;
+    st_entries = Hashtbl.length t.tbl;
+    st_warm_loaded = t.warm_loaded;
+    st_recovered_records = t.recovered_records;
+    st_discarded_records = t.discarded_records;
+    st_discarded_bytes = t.discarded_bytes;
+    st_appends = t.appends;
+    st_compactions = t.compactions;
+    st_wal_bytes = Rlog.size t.wal;
+    st_snap_bytes = t.snap_bytes;
+  }
+
+let stats_json t =
+  let s = stats t in
+  Ovo_obs.Json.Obj
+    [
+      ("dir", Ovo_obs.Json.String s.st_dir);
+      ("entries", Ovo_obs.Json.Int s.st_entries);
+      ("warm_loaded", Ovo_obs.Json.Int s.st_warm_loaded);
+      ("recovered_records", Ovo_obs.Json.Int s.st_recovered_records);
+      ("discarded_records", Ovo_obs.Json.Int s.st_discarded_records);
+      ("discarded_bytes", Ovo_obs.Json.Int s.st_discarded_bytes);
+      ("appends", Ovo_obs.Json.Int s.st_appends);
+      ("compactions", Ovo_obs.Json.Int s.st_compactions);
+      ("wal_bytes", Ovo_obs.Json.Int s.st_wal_bytes);
+      ("snap_bytes", Ovo_obs.Json.Int s.st_snap_bytes);
+    ]
+
+let close t =
+  Rlog.sync t.wal;
+  Rlog.close t.wal

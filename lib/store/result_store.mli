@@ -1,0 +1,67 @@
+(** Durable backing for the serve daemon's canonical result cache.
+
+    A store is a directory holding two {!Rlog} files: [results.snap]
+    (the last compacted snapshot) and [results.wal] (appends since).
+    Every cache insert appends one record to the WAL; once the WAL
+    outgrows [compact_threshold] bytes the merged content is rewritten
+    as a fresh snapshot ({!Rlog.write_atomic} — rename, never in-place)
+    and the WAL is reset.
+
+    On open, both files are recovered (torn tails truncated) and every
+    record is validated: payloads that fail to decode, or whose stored
+    canonical table no longer hashes to the stored digest, are counted
+    in [st_discarded_records] and dropped.  The daemon then replays the
+    surviving entries through the same digest-plus-equality probe the
+    live cache uses, so a corrupt or colliding record degrades to a
+    cache miss — never a wrong answer. *)
+
+type entry = {
+  digest : string;  (** {!Ovo_boolfun.Truthtable.digest} of [canon] *)
+  kind : Ovo_core.Compact.kind;
+  canon : Ovo_boolfun.Truthtable.t;
+  mincost : int;
+  size : int;
+  canon_order : int array;
+  widths : int array;
+}
+
+type stats = {
+  st_dir : string;
+  st_entries : int;  (** live (deduplicated) entries *)
+  st_warm_loaded : int;  (** valid entries found at open *)
+  st_recovered_records : int;  (** frame-valid records read at open *)
+  st_discarded_records : int;  (** records dropped by payload validation *)
+  st_discarded_bytes : int;  (** torn-tail bytes truncated at open *)
+  st_appends : int;  (** WAL appends this process *)
+  st_compactions : int;  (** snapshot rewrites this process *)
+  st_wal_bytes : int;  (** current WAL size *)
+  st_snap_bytes : int;  (** current snapshot size *)
+}
+
+type t
+
+val open_dir :
+  ?trace:Ovo_obs.Trace.t ->
+  ?fsync:Rlog.fsync ->
+  ?compact_threshold:int ->
+  string ->
+  t
+(** Open (creating the directory if needed) and recover.  [fsync]
+    defaults to {!Rlog.Never}; [compact_threshold] (bytes of WAL that
+    trigger compaction, default 1 MiB) must be positive.  A recording
+    [trace] gets [store.open]/[store.compact] spans and
+    [store.append]/[store.discarded] counters. *)
+
+val entries : t -> entry list
+(** The live entries in first-insertion order (snapshot before WAL) —
+    what the daemon warm-loads into its cache. *)
+
+val append : t -> entry -> unit
+(** Persist one entry (last write wins per [(digest, kind)]), compacting
+    when the WAL crosses the threshold. *)
+
+val stats : t -> stats
+val stats_json : t -> Ovo_obs.Json.t
+
+val close : t -> unit
+(** Sync and close both files. *)

@@ -198,7 +198,7 @@ let solve_fresh ?(kind = Ovo_core.Compact.Bdd) cache tt =
 let cache_tests =
   [
     Helpers.case "repeat request is a hit with identical payload" (fun () ->
-        let cache = Cache.create ~cap:8 in
+        let cache = Cache.create ~cap:8 () in
         let tt = T.of_string "0110100110010110" in
         let a = solve_fresh cache tt in
         let b = solve_fresh cache tt in
@@ -209,7 +209,7 @@ let cache_tests =
         Helpers.check_int "one hit" 1 (Cache.hits cache));
     Helpers.case "permutation-equivalent request hits the same entry"
       (fun () ->
-        let cache = Cache.create ~cap:8 in
+        let cache = Cache.create ~cap:8 () in
         let tt = T.of_string "0111011000000001" in
         let perm = [| 2; 0; 3; 1 |] in
         let a = solve_fresh cache tt in
@@ -220,11 +220,44 @@ let cache_tests =
         Helpers.check_int "same mincost" a.Solver.mincost b.Solver.mincost;
         Helpers.check_int "one DP run" 1 (Cache.misses cache));
     Helpers.case "bdd and zdd results do not alias" (fun () ->
-        let cache = Cache.create ~cap:8 in
+        let cache = Cache.create ~cap:8 () in
         let tt = T.of_string "01101001" in
         let _ = solve_fresh cache tt in
         let z = solve_fresh ~kind:Ovo_core.Compact.Zdd cache tt in
         Helpers.check_bool "zdd is its own miss" false z.Solver.cached);
+    Helpers.case "digest collision is counted and degrades to a miss"
+      (fun () ->
+        let cache = Cache.create ~cap:8 () in
+        let tt = T.of_string "0110100110010110" in
+        let other = T.of_string "0000000000000001" in
+        let s = solve_fresh cache tt in
+        (* probe the stored digest with a different canonical table: the
+           equality check must reject it and count a collision *)
+        (match
+           Cache.find cache ~digest:s.Solver.digest
+             ~kind:Ovo_core.Compact.Bdd ~canon:other
+         with
+        | None -> ()
+        | Some _ -> Alcotest.fail "collision served a wrong answer");
+        Helpers.check_int "collision counted" 1 (Cache.collisions cache);
+        (match Ovo_obs.Json.member "collisions" (Cache.to_json cache) with
+        | Some (Ovo_obs.Json.Int 1) -> ()
+        | _ -> Alcotest.fail "collisions missing from stats json"));
+    Helpers.case "persist hook fires on add but not on warm" (fun () ->
+        let persisted = ref 0 in
+        let cache =
+          Cache.create
+            ~persist:(fun ~digest:_ ~kind:_ _ -> incr persisted)
+            ~cap:8 ()
+        in
+        let tt = T.of_string "01101001" in
+        let s = solve_fresh cache tt in
+        Helpers.check_int "solve persisted" 1 !persisted;
+        Cache.warm cache ~digest:"other" ~kind:Ovo_core.Compact.Bdd
+          { Cache.canon = tt; mincost = s.Solver.mincost;
+            size = s.Solver.size; canon_order = s.Solver.order;
+            widths = s.Solver.widths };
+        Helpers.check_int "warm does not persist" 1 !persisted);
     Helpers.case "parse_table rejects junk and over-arity input" (fun () ->
         let bad s =
           match Solver.parse_table ~max_arity:16 s with
@@ -246,6 +279,29 @@ let cache_tests =
           | _ -> false));
   ]
 
+let stats_tests =
+  [
+    Helpers.case "avg_ms_opt distinguishes no-data from fast" (fun () ->
+        let s = Ovo_serve.Stats.create () in
+        (* no solve observed yet: the server must fall back to its fixed
+           retry_after default instead of extrapolating from 0 *)
+        Helpers.check_bool "no data" true
+          (Ovo_serve.Stats.avg_ms_opt s ~endpoint:"solve" = None);
+        Helpers.check_bool "avg_ms still 0." true
+          (Ovo_serve.Stats.avg_ms s ~endpoint:"solve" = 0.);
+        Ovo_serve.Stats.record s ~endpoint:"solve" ~ms:4.;
+        Helpers.check_bool "observed" true
+          (Ovo_serve.Stats.avg_ms_opt s ~endpoint:"solve" = Some 4.));
+    Helpers.case "stats json: store is null without persistence" (fun () ->
+        let s = Ovo_serve.Stats.create () in
+        let j =
+          Ovo_serve.Stats.to_json s ~queue_depth:0 ~queue_cap:1 ~workers:1
+            ~cache:Ovo_obs.Json.Null
+        in
+        Helpers.check_bool "null store" true
+          (Ovo_obs.Json.member "store" j = Some Ovo_obs.Json.Null));
+  ]
+
 (* The solved order must actually achieve the reported mincost on the
    *request's* table — this is what "mapping the canonical result back
    through the permutation" has to preserve. *)
@@ -262,10 +318,10 @@ let props =
         let perm = Helpers.perm_of_seed seed (T.arity tt) in
         let ptt = T.permute_vars tt perm in
         (* fresh solves in an empty cache *)
-        let fresh_tt = solve_fresh (Cache.create ~cap:4) tt in
-        let fresh_ptt = solve_fresh (Cache.create ~cap:4) ptt in
+        let fresh_tt = solve_fresh (Cache.create ~cap:4 ()) tt in
+        let fresh_ptt = solve_fresh (Cache.create ~cap:4 ()) ptt in
         (* same requests against a shared, warm cache *)
-        let cache = Cache.create ~cap:4 in
+        let cache = Cache.create ~cap:4 () in
         let _warmup = solve_fresh cache tt in
         let hit_tt = solve_fresh cache tt in
         let hit_ptt = solve_fresh cache ptt in
@@ -279,7 +335,7 @@ let props =
       ~count:100
       (Helpers.arb_truthtable ~lo:1 ~hi:5 ())
       (fun tt ->
-        let s = solve_fresh (Cache.create ~cap:4) tt in
+        let s = solve_fresh (Cache.create ~cap:4 ()) tt in
         let r = Fs.run tt in
         s.Solver.mincost = r.Fs.mincost && s.Solver.size = r.Fs.size);
   ]
@@ -356,6 +412,70 @@ let e2e_tests =
               = P.Bye));
         (* after graceful shutdown the socket file is gone *)
         Helpers.check_bool "socket unlinked" false (Sys.file_exists sock));
+    Helpers.case "daemon: store persists results across a restart"
+      (fun () ->
+        let dir = Filename.temp_file "ovo-serve-store" "" in
+        Sys.remove dir;
+        let run_once f =
+          let sock = temp_sock () in
+          let cfg =
+            { (Server.default_config ~listen:(P.Unix_sock sock)) with
+              Server.workers = 1; store_dir = Some dir }
+          in
+          let server = Server.start cfg in
+          let waiter = Thread.create (fun () -> Server.wait server) () in
+          Fun.protect
+            ~finally:(fun () ->
+              Server.shutdown server;
+              Thread.join waiter)
+            (fun () ->
+              Client.with_conn (P.Unix_sock sock) @@ fun c -> f c)
+        in
+        let solve c table =
+          expect_ok
+            (Client.roundtrip c
+               { P.id = 1;
+                 op =
+                   P.Solve
+                     { P.table; kind = Ovo_core.Compact.Bdd;
+                       engine = Ovo_core.Engine.Seq; deadline_ms = None } })
+        in
+        let first =
+          run_once (fun c ->
+              match solve c "0110100110010110" with
+              | P.Ok_solve r ->
+                  Helpers.check_bool "cold" false r.P.cached;
+                  r
+              | _ -> Alcotest.fail "expected a solve reply")
+        in
+        (* second daemon, same directory: the result must come back warm,
+           byte-identical, without rerunning the DP *)
+        run_once (fun c ->
+            (match solve c "0110100110010110" with
+            | P.Ok_solve r ->
+                Helpers.check_bool "warm from store" true r.P.cached;
+                Helpers.check_bool "identical" true
+                  (r.P.mincost = first.P.mincost && r.P.order = first.P.order
+                 && r.P.widths = first.P.widths
+                  && String.equal r.P.digest first.P.digest)
+            | _ -> Alcotest.fail "expected a solve reply");
+            match expect_ok (Client.roundtrip c { P.id = 2; op = P.Stats }) with
+            | P.Ok_stats s ->
+                let open Ovo_obs.Json in
+                let field path j =
+                  List.fold_left
+                    (fun acc k -> Option.bind acc (member k))
+                    (Some j) path
+                in
+                Helpers.check_bool "warm_loaded surfaced" true
+                  (Option.bind (field [ "store"; "warm_loaded" ] s) to_int_opt
+                  = Some 1);
+                Helpers.check_bool "no discards" true
+                  (Option.bind
+                     (field [ "store"; "discarded_records" ] s)
+                     to_int_opt
+                  = Some 0)
+            | _ -> Alcotest.fail "expected stats"));
   ]
 
 let () =
@@ -366,6 +486,7 @@ let () =
       ("cancel", cancel_tests);
       ("protocol", protocol_tests);
       ("cache", cache_tests);
+      ("stats", stats_tests);
       ("props", Helpers.qtests props);
       ("e2e", e2e_tests);
     ]
