@@ -151,12 +151,27 @@ let resolve_engine engine domains =
   | `Seq -> Ovo_core.Engine.Seq
   | `Par -> Ovo_core.Engine.par ~domains ()
 
-let emit_stats stats (m : Ovo_core.Metrics.t) =
+(* With an active --mem-budget the JSON object gains a "mem" field; the
+   default output is byte-identical to the pre-budget CLI (pinned by
+   test/cli.t and test/obs.t). *)
+let emit_stats ?membudget stats (m : Ovo_core.Metrics.t) =
   let s = Ovo_core.Metrics.snapshot m in
   match stats with
   | `None -> ()
-  | `Text -> Format.printf "%a@." Ovo_core.Metrics.pp s
-  | `Json -> Format.printf "%s@." (Ovo_core.Metrics.to_json s)
+  | `Text ->
+      Format.printf "%a@." Ovo_core.Metrics.pp s;
+      Option.iter
+        (fun mb -> Format.printf "mem: %a@." Ovo_core.Membudget.pp mb)
+        membudget
+  | `Json -> (
+      match membudget with
+      | None -> Format.printf "%s@." (Ovo_core.Metrics.to_json s)
+      | Some mb ->
+          Format.printf "%s@."
+            (Ovo_obs.Json.to_string
+               (Ovo_obs.Json.Obj
+                  (Ovo_core.Metrics.to_args s
+                  @ [ ("mem", Ovo_core.Membudget.to_json_value mb) ]))))
 
 (* ------------------------------------------------------------------ *)
 (* observability: --trace / --profile / --progress share one tracer    *)
@@ -281,6 +296,30 @@ let crash_after_arg =
            checkpoint record is written — a deterministic stand-in for \
            kill -9.")
 
+let mem_budget_conv =
+  let parse s =
+    match Ovo_core.Membudget.parse_bytes s with
+    | Ok b -> Ok b
+    | Error m -> Error (`Msg m)
+  in
+  Arg.conv (parse, fun ppf b -> Format.pp_print_int ppf b)
+
+let mem_budget_arg =
+  Arg.(
+    value
+    & opt (some mem_budget_conv) None
+    & info [ "mem-budget" ] ~docv:"BYTES"
+        ~doc:
+          "($(b,--algo fs) only)  Cap the resident bytes of the DP's packed            cost/choice layers.  Completed layers past the cap spill to            CRC-framed segments under $(b,--spill-dir) and are reloaded            lazily during reconstruction; the solution is bit-identical to            an unbounded run.  Accepts $(b,k)/$(b,M)/$(b,G) suffixes            (binary multiples).")
+
+let spill_dir_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "spill-dir" ] ~docv:"DIR"
+        ~doc:
+          "Directory for $(b,--mem-budget) spill segments (default: a fresh            $(b,ovo-spill-<pid>) under the system temp directory).  Segments            are deleted when the run finishes.")
+
 let dot_arg =
   Arg.(
     value
@@ -347,7 +386,7 @@ let seed_arg =
 let optimize_cmd =
   let run table expr pla pla_output blif signal family kind algo dot save
       weights seed engine domains stats trace_file profile progress checkpoint
-      resume crash_after fsync =
+      resume crash_after fsync mem_budget spill_dir =
     let engine = resolve_engine engine domains in
     with_obs ~trace_file ~profile ~progress @@ fun trace ->
     match load_function ~table ~expr ~pla ~pla_output ~blif ~signal ~family with
@@ -382,9 +421,15 @@ let optimize_cmd =
         in
         try
           if
-            (checkpoint <> None || resume <> None || crash_after <> None)
+            (checkpoint <> None || resume <> None || crash_after <> None
+           || mem_budget <> None)
             && algo <> "fs"
-          then failwith "--checkpoint/--resume/--crash-after-layer need --algo fs";
+          then
+            failwith
+              "--checkpoint/--resume/--crash-after-layer/--mem-budget need \
+               --algo fs";
+          if spill_dir <> None && mem_budget = None then
+            failwith "--spill-dir needs --mem-budget";
           match String.split_on_char ':' algo with
           | [ "fs" ] ->
               let metrics = Ovo_core.Metrics.create () in
@@ -422,9 +467,28 @@ let optimize_cmd =
                       exit 42
                     end
               in
+              let membudget, spill_cleanup =
+                match mem_budget with
+                | None -> (None, fun () -> ())
+                | Some budget_bytes ->
+                    let dir =
+                      match spill_dir with
+                      | Some d -> d
+                      | None ->
+                          Filename.concat
+                            (Filename.get_temp_dir_name ())
+                            (Printf.sprintf "ovo-spill-%d" (Unix.getpid ()))
+                    in
+                    let sp = Ovo_store.Spill.create ~fsync dir in
+                    ( Some
+                        (Ovo_core.Membudget.create ~budget_bytes
+                           ~sink:(Ovo_store.Spill.sink sp) ()),
+                      fun () -> Ovo_store.Spill.remove sp )
+              in
               let r =
-                Ovo_core.Fs.run ~trace ~kind ~engine ~metrics ~on_layer
-                  ~resume:resume_layers tt
+                Fun.protect ~finally:spill_cleanup (fun () ->
+                    Ovo_core.Fs.run ~trace ~kind ~engine ~metrics ?membudget
+                      ~on_layer ~resume:resume_layers tt)
               in
               Option.iter Ovo_store.Checkpoint.close writer;
               print_result ~save ~algo:"FS (exact)"
@@ -434,7 +498,7 @@ let optimize_cmd =
                         (Ovo_core.Metrics.snapshot metrics)
                           .Ovo_core.Metrics.s_table_cells))
                 r dot;
-              emit_stats stats metrics;
+              emit_stats ?membudget stats metrics;
               `Ok ()
           | [ "qdc" ] ->
               let ctx = Ovo_quantum.Opt_obdd.make_ctx ~engine ~trace () in
@@ -524,7 +588,8 @@ let optimize_cmd =
        $ blif_arg $ signal_arg $ family_arg $ kind_arg $ algo_arg $ dot_arg
        $ save_arg $ weights_arg $ seed_arg $ engine_arg $ domains_arg
        $ stats_arg $ trace_arg $ profile_arg $ progress_arg $ checkpoint_arg
-       $ resume_arg $ crash_after_arg $ fsync_arg))
+       $ resume_arg $ crash_after_arg $ fsync_arg $ mem_budget_arg
+       $ spill_dir_arg))
   in
   Cmd.v
     (Cmd.info "optimize"
@@ -785,11 +850,12 @@ let listen_arg =
 
 let serve_cmd =
   let run listen workers queue_cap cache_cap max_arity idle_timeout trace_file
-      store no_store fsync =
+      store no_store fsync mem_budget =
     let store_dir = if no_store then None else store in
     Ovo_serve.Server.run
       { Ovo_serve.Server.listen; workers; queue_cap; cache_cap; max_arity;
-        idle_timeout; trace_file; store_dir; store_fsync = fsync };
+        idle_timeout; trace_file; store_dir; store_fsync = fsync;
+        mem_budget };
     `Ok ()
   in
   let workers =
@@ -832,6 +898,14 @@ let serve_cmd =
              ~doc:"Run purely in memory even when $(b,--store) is given \
                    (the flag wins).")
   in
+  let mem_budget =
+    Arg.(value & opt (some mem_budget_conv) None
+         & info [ "mem-budget" ] ~docv:"BYTES"
+             ~doc:"Per-solve cap on resident DP layer bytes: big requests \
+                   degrade to out-of-core (spilling to a scratch directory \
+                   under the system temp dir) instead of growing the \
+                   daemon's memory without bound.  Accepts k/M/G suffixes.")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
@@ -841,7 +915,8 @@ let serve_cmd =
     Term.(
       ret
         (const run $ listen_arg $ workers $ queue_cap $ cache_cap $ max_arity
-       $ idle_timeout $ trace_arg $ store $ no_store $ fsync_arg))
+       $ idle_timeout $ trace_arg $ store $ no_store $ fsync_arg
+       $ mem_budget))
 
 let submit_cmd =
   let module P = Ovo_serve.Protocol in

@@ -22,6 +22,7 @@ val run :
   ?engine:Engine.t ->
   ?cancel:Cancel.t ->
   ?metrics:Metrics.t ->
+  ?membudget:Membudget.t ->
   ?on_layer:(Subset_dp.progress -> unit) ->
   ?resume:Subset_dp.progress list ->
   Ovo_boolfun.Truthtable.t ->
@@ -51,6 +52,7 @@ val run_mtable :
   ?engine:Engine.t ->
   ?cancel:Cancel.t ->
   ?metrics:Metrics.t ->
+  ?membudget:Membudget.t ->
   ?on_layer:(Subset_dp.progress -> unit) ->
   ?resume:Subset_dp.progress list ->
   Ovo_boolfun.Mtable.t ->

@@ -41,6 +41,7 @@ val run :
   ?engine:Engine.t ->
   ?cancel:Cancel.t ->
   ?metrics:Metrics.t ->
+  ?membudget:Membudget.t ->
   ?on_layer:(Subset_dp.progress -> unit) ->
   ?resume:Subset_dp.progress list ->
   ?upto:int ->
@@ -61,6 +62,7 @@ val costs :
   ?engine:Engine.t ->
   ?cancel:Cancel.t ->
   ?metrics:Metrics.t ->
+  ?membudget:Membudget.t ->
   ?on_layer:(Subset_dp.progress -> unit) ->
   ?resume:Subset_dp.progress list ->
   ?upto:int ->
@@ -95,6 +97,7 @@ val complete :
   ?engine:Engine.t ->
   ?cancel:Cancel.t ->
   ?metrics:Metrics.t ->
+  ?membudget:Membudget.t ->
   ?on_layer:(Subset_dp.progress -> unit) ->
   ?resume:Subset_dp.progress list ->
   base:Compact.state ->

@@ -30,7 +30,7 @@ end
 module Dp = Subset_dp.Make (Weighted_state)
 
 let run_mtable ?(trace = Ovo_obs.Trace.null) ?(kind = Compact.Bdd) ?engine
-    ?cancel ?metrics ~weights mt =
+    ?cancel ?metrics ?membudget ~weights mt =
   let n = Ovo_boolfun.Mtable.arity mt in
   if Array.length weights <> n then invalid_arg "Fs_weighted.run: bad weights";
   Array.iter
@@ -48,7 +48,7 @@ let run_mtable ?(trace = Ovo_obs.Trace.null) ?(kind = Compact.Bdd) ?engine
       ~args:(fun () -> [ ("n", Ovo_obs.Json.Int n) ])
       "fs_weighted.run"
       (fun () ->
-        Dp.complete ~trace ?engine ?cancel ?metrics ~base
+        Dp.complete ~trace ?engine ?cancel ?metrics ?membudget ~base
           (Compact.free base.Weighted_state.inner))
   in
   let inner = st.Weighted_state.inner in
@@ -59,6 +59,6 @@ let run_mtable ?(trace = Ovo_obs.Trace.null) ?(kind = Compact.Bdd) ?engine
     diagram = Diagram.of_state inner;
   }
 
-let run ?trace ?kind ?engine ?cancel ?metrics ~weights tt =
-  run_mtable ?trace ?kind ?engine ?cancel ?metrics ~weights
+let run ?trace ?kind ?engine ?cancel ?metrics ?membudget ~weights tt =
+  run_mtable ?trace ?kind ?engine ?cancel ?metrics ?membudget ~weights
     (Ovo_boolfun.Mtable.of_truthtable tt)

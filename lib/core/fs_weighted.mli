@@ -21,6 +21,7 @@ val run :
   ?engine:Engine.t ->
   ?cancel:Cancel.t ->
   ?metrics:Metrics.t ->
+  ?membudget:Membudget.t ->
   weights:int array ->
   Ovo_boolfun.Truthtable.t ->
   result
@@ -33,6 +34,7 @@ val run_mtable :
   ?engine:Engine.t ->
   ?cancel:Cancel.t ->
   ?metrics:Metrics.t ->
+  ?membudget:Membudget.t ->
   weights:int array ->
   Ovo_boolfun.Mtable.t ->
   result

@@ -1,0 +1,144 @@
+let binomial n k =
+  if k < 0 || k > n then 0
+  else begin
+    let k = min k (n - k) in
+    let r = ref 1 in
+    for i = 1 to k do
+      r := !r * (n - k + i) / i
+    done;
+    !r
+  end
+
+(* One cardinality layer of the DP, bit-packed: entry [r] of [data] holds
+   the (cost, choice) of the k-subset whose combinatorial (colex) rank
+   within [j_set] is [r].  8-byte LE cost + 1-byte choice — a fixed 9
+   bytes per subset where the hashtable pair cost ~10x that in boxed
+   words, and a layout that serialises to a spill payload for free. *)
+
+let entry_bytes = 9
+let header_bytes = 14
+let version = 1
+
+type t = {
+  j_set : Varset.t;
+  k : int;
+  count : int;
+  pascal : int array array;
+      (* pascal.(p).(i) = C(p,i), for the rank formula below *)
+  data : Bytes.t;
+}
+
+let pascal_table ~m ~k =
+  let t = Array.make_matrix (m + 1) (k + 1) 0 in
+  for p = 0 to m do
+    t.(p).(0) <- 1;
+    for i = 1 to min p k do
+      t.(p).(i) <- t.(p - 1).(i - 1) + t.(p - 1).(i)
+    done
+  done;
+  t
+
+let create ~j_set ~k =
+  let m = Varset.cardinal j_set in
+  if k < 1 || k > m then invalid_arg "Layer_pack.create: bad cardinality";
+  let count = binomial m k in
+  let data = Bytes.make (count * entry_bytes) '\xff' in
+  { j_set; k; count; pascal = pascal_table ~m ~k; data }
+
+let k t = t.k
+let j_set t = t.j_set
+let count t = t.count
+let size_bytes t = header_bytes + Bytes.length t.data
+
+(* Combinatorial number system: the rank of {c_1 < ... < c_k} among the
+   k-subsets in increasing-bitmask (= colex) order is sum_i C(c_i, i),
+   where c_i is the position of the i-th element within [j_set].  This
+   matches the order {!Varset.iter_subsets_of} enumerates. *)
+let rank t ksub =
+  if (not (Varset.subset ksub t.j_set)) || Varset.cardinal ksub <> t.k then
+    invalid_arg "Layer_pack: subset not of this layer";
+  let r = ref 0 and i = ref 0 in
+  Varset.iter
+    (fun e ->
+      incr i;
+      r := !r + t.pascal.(Varset.rank_in e t.j_set).(!i))
+    ksub;
+  !r
+
+(* Inverse of {!rank}: peel off the largest position p with C(p,i) <= r
+   for i = k downto 1. *)
+let unrank t r =
+  let members = Array.of_list (Varset.elements t.j_set) in
+  let r = ref r and sub = ref Varset.empty in
+  let p = ref (Array.length members - 1) in
+  for i = t.k downto 1 do
+    while t.pascal.(!p).(i) > !r do
+      decr p
+    done;
+    sub := Varset.add members.(!p) !sub;
+    r := !r - t.pascal.(!p).(i)
+  done;
+  !sub
+
+let set t ksub ~cost ~choice =
+  if cost < 0 then invalid_arg "Layer_pack.set: negative cost";
+  if choice < 0 || choice > 0xff then invalid_arg "Layer_pack.set: bad choice";
+  let off = rank t ksub * entry_bytes in
+  Bytes.set_int64_le t.data off (Int64.of_int cost);
+  Bytes.set_uint8 t.data (off + 8) choice
+
+let cost t ksub =
+  let off = rank t ksub * entry_bytes in
+  let c = Int64.to_int (Bytes.get_int64_le t.data off) in
+  if c < 0 then invalid_arg "Layer_pack.cost: entry never set";
+  c
+
+let choice t ksub =
+  let off = rank t ksub * entry_bytes in
+  if Bytes.get_int64_le t.data off < 0L then
+    invalid_arg "Layer_pack.choice: entry never set";
+  Bytes.get_uint8 t.data (off + 8)
+
+let of_entries ~j_set ~k entries =
+  let t = create ~j_set ~k in
+  if Array.length entries <> t.count then
+    invalid_arg "Layer_pack.of_entries: wrong entry count";
+  Array.iter (fun (ksub, cost, choice) -> set t ksub ~cost ~choice) entries;
+  t
+
+let iter t f =
+  Varset.iter_subsets_of t.j_set ~size:t.k (fun ksub ->
+      f ksub ~cost:(cost t ksub) ~choice:(choice t ksub))
+
+let entries t =
+  let out = Array.make t.count (Varset.empty, 0, 0) in
+  let i = ref 0 in
+  iter t (fun ksub ~cost ~choice ->
+      out.(!i) <- (ksub, cost, choice);
+      incr i);
+  out
+
+let encode t =
+  let b = Bytes.create (header_bytes + Bytes.length t.data) in
+  Bytes.set_uint8 b 0 version;
+  Bytes.set_uint8 b 1 t.k;
+  Bytes.set_int64_le b 2 (Int64.of_int t.j_set);
+  Bytes.set_int32_le b 10 (Int32.of_int t.count);
+  Bytes.blit t.data 0 b header_bytes (Bytes.length t.data);
+  Bytes.unsafe_to_string b
+
+let decode s =
+  let fail msg = failwith (Printf.sprintf "Layer_pack.decode: %s" msg) in
+  if String.length s < header_bytes then fail "payload shorter than header";
+  if Char.code s.[0] <> version then fail "unknown version";
+  let k = Char.code s.[1] in
+  let j_set = Int64.to_int (String.get_int64_le s 2) in
+  let count = Int32.to_int (String.get_int32_le s 10) in
+  let m = Varset.cardinal j_set in
+  if j_set < 0 || k < 1 || k > m then fail "inconsistent header";
+  if count <> binomial m k then fail "entry count does not match layer";
+  if String.length s <> header_bytes + (count * entry_bytes) then
+    fail "truncated layer data";
+  let t = create ~j_set ~k in
+  Bytes.blit_string s header_bytes t.data 0 (count * entry_bytes);
+  t

@@ -1,0 +1,77 @@
+(** Bit-packed cost/choice tables for one cardinality layer of the
+    subset DP.
+
+    The sweep of {!Subset_dp} produces, for every [k]-subset [K] of the
+    free variables, a minimum cost and the variable chosen last — two
+    small integers.  A [Layer_pack.t] stores the whole layer in one flat
+    [Bytes] buffer at 9 bytes per subset (8-byte LE cost, 1-byte
+    choice), indexed by the subset's {e combinatorial rank} (colex
+    order — the order {!Varset.iter_subsets_of} enumerates, so ranks are
+    dense in [0 .. C(m,k)-1]).  Compared to the boxed hashtable pair it
+    replaces this is roughly an order of magnitude smaller, and
+    {!encode}/{!decode} turn a layer into a spill payload for
+    {!Membudget.sink} with no further serialisation step. *)
+
+type t
+(** One packed layer: the [(cost, choice)] of every size-[k] subset of a
+    universe [j_set]. *)
+
+val binomial : int -> int -> int
+(** [binomial n k] = [C(n,k)]; [0] outside [0 <= k <= n]. *)
+
+val entry_bytes : int
+(** Bytes per packed entry (9). *)
+
+val create : j_set:Varset.t -> k:int -> t
+(** An empty layer for the size-[k] subsets of [j_set]; entries are
+    unset until {!set}.  Raises [Invalid_argument] unless
+    [1 <= k <= cardinal j_set]. *)
+
+val of_entries : j_set:Varset.t -> k:int -> (Varset.t * int * int) array -> t
+(** Pack a complete layer from [(subset, cost, choice)] triples (any
+    order).  Raises [Invalid_argument] unless exactly [C(m,k)] entries
+    are given. *)
+
+val set : t -> Varset.t -> cost:int -> choice:int -> unit
+(** Write one entry.  Costs must be non-negative (the sign bit marks
+    unset entries) and choices fit a byte. *)
+
+val cost : t -> Varset.t -> int
+(** The packed cost of a subset; raises [Invalid_argument] if the
+    subset is not a size-[k] subset of [j_set] or was never set. *)
+
+val choice : t -> Varset.t -> int
+(** The packed last-placed variable of a subset (same errors as
+    {!cost}). *)
+
+val k : t -> int
+val j_set : t -> Varset.t
+
+val count : t -> int
+(** Number of entries, [C(cardinal j_set, k)]. *)
+
+val size_bytes : t -> int
+(** Resident footprint charged to {!Membudget} — header plus data,
+    identical to [String.length (encode t)]. *)
+
+val rank : t -> Varset.t -> int
+(** Combinatorial (colex) rank of a subset within the layer. *)
+
+val unrank : t -> int -> Varset.t
+(** Inverse of {!rank}. *)
+
+val iter : t -> (Varset.t -> cost:int -> choice:int -> unit) -> unit
+(** Visit every entry in enumeration (rank) order. *)
+
+val entries : t -> (Varset.t * int * int) array
+(** All [(subset, cost, choice)] triples in rank order — the shape
+    {!Subset_dp.progress} carries. *)
+
+val encode : t -> string
+(** Serialise the layer (versioned 14-byte header + data) as a spill
+    payload. *)
+
+val decode : string -> t
+(** Inverse of {!encode}.  Raises [Failure] on a truncated, corrupt or
+    version-mismatched payload — spill damage surfaces as a clean
+    error. *)

@@ -1,0 +1,89 @@
+(** Memory accounting and spill control for the out-of-core subset DP.
+
+    The exact Friedman–Supowit sweep is time-bounded by [O*(3^n)] but
+    memory-bounded by the [O*(2^n)] cost/choice tables.  A {!t} tracks
+    the bytes of every packed cardinality layer ({!Layer_pack}) the DP
+    holds resident and, when a byte budget is set, lets the engine spill
+    completed layers through a {!sink} — an injected pair of closures,
+    because [ovo.core] must not depend on the [ovo.store] layer that
+    implements the on-disk segments.
+
+    A context without a budget ({!unbounded}) still accounts, which is
+    how [--stats json] can report the peak layer bytes an instance
+    {e would} need; a context with a budget must carry a sink. *)
+
+type sink = {
+  spill : k:int -> string -> unit;
+      (** Persist the encoded layer of cardinality [k].  Must be
+          durable enough that {!field-reload} returns it verbatim. *)
+  reload : k:int -> string;
+      (** Return the payload previously spilled for layer [k].  Must
+          raise [Failure] on a missing or corrupt segment — the DP
+          propagates that as a clean error, never a wrong answer. *)
+}
+(** Where spilled layers go.  Implemented by [Ovo_store.Spill] over the
+    CRC-framed record log; tests inject in-memory sinks. *)
+
+type t
+(** A mutable per-run accounting context (main-domain only — packing
+    happens after the parallel join, so no synchronisation is needed). *)
+
+val create : ?budget_bytes:int -> ?sink:sink -> unit -> t
+(** Fresh context.  Raises [Invalid_argument] if the budget is [<= 0]
+    or if a budget is given without a sink to spill through. *)
+
+val unbounded : unit -> t
+(** Accounting-only context: never spills, still tracks peaks. *)
+
+val budget : t -> int option
+(** The configured cap; [None] when unbounded. *)
+
+val sink : t -> sink option
+(** The configured spill sink, if any. *)
+
+val over_budget : t -> bool
+(** Whether resident bytes currently exceed the budget ([false] when
+    unbounded). *)
+
+val resident_bytes : t -> int
+(** Bytes of packed layers currently held in memory. *)
+
+val peak_resident_bytes : t -> int
+(** High-water mark of {!resident_bytes} over the run. *)
+
+val peak_layer_bytes : t -> int
+(** Largest single packed layer seen — the number an instance needs
+    resident even under the tightest budget. *)
+
+val layers_spilled : t -> int
+val bytes_spilled : t -> int
+
+val reloads : t -> int
+
+val bytes_reloaded : t -> int
+(** Spill traffic: layers/bytes pushed through the sink, and reload
+    calls/bytes pulled back during backtracking. *)
+
+val grew : t -> int -> unit
+(** A packed layer of that many bytes became resident. *)
+
+val shrank : t -> int -> unit
+(** A resident layer of that many bytes was dropped (spilled or freed). *)
+
+val note_spill : t -> int -> unit
+(** Count one spilled layer of that many bytes. *)
+
+val note_reload : t -> int -> unit
+(** Count one reloaded layer of that many bytes. *)
+
+val parse_bytes : string -> (int, string) result
+(** Parse a CLI byte size: plain bytes or a [k]/[M]/[G] suffix (binary
+    multiples, case-insensitive) — ["64k"] is 65536. *)
+
+val to_args : t -> (string * Ovo_obs.Json.t) list
+(** The accounting as JSON fields, for span attributes and the ["mem"]
+    object of [--stats json]. *)
+
+val to_json_value : t -> Ovo_obs.Json.t
+val to_json : t -> string
+val pp : Format.formatter -> t -> unit

@@ -52,7 +52,10 @@ val create : unit -> t
 (** A fresh context with all counters at zero. *)
 
 val reset : t -> unit
+(** Zero every counter in place. *)
+
 val snapshot : t -> snapshot
+(** An immutable copy of the current counter values. *)
 
 val diff : snapshot -> snapshot -> snapshot
 (** [diff later earlier] is the per-field difference. *)
@@ -76,12 +79,14 @@ val ambient : t
     calling domain, never from {!Engine.Par} workers. *)
 
 val pp : Format.formatter -> snapshot -> unit
+(** Human-readable one-liner, for [--stats text]. *)
 
 val to_args : snapshot -> (string * Ovo_obs.Json.t) list
 (** The counters as JSON fields — span attributes for the tracer, and
     the body of {!to_json_value}. *)
 
 val to_json_value : snapshot -> Ovo_obs.Json.t
+(** {!to_args} wrapped as a JSON object value. *)
 
 val to_json : snapshot -> string
 (** One-line JSON object, for [--stats json] and the bench harness.
@@ -89,6 +94,7 @@ val to_json : snapshot -> string
     {!of_json}. *)
 
 val of_json_value : Ovo_obs.Json.t -> snapshot option
+(** Parse a {!to_json_value} object; [None] on mismatch. *)
 
 val of_json : string -> snapshot option
 (** Parse {!to_json} output back; [None] on malformed or incomplete

@@ -246,7 +246,7 @@ let of_state st =
   }
 
 let minimize_mtables ?(trace = Ovo_obs.Trace.null) ?(kind = Compact.Bdd)
-    ?engine ?cancel ?metrics mts =
+    ?engine ?cancel ?metrics ?membudget mts =
   let base = initial kind mts in
   Ovo_obs.Trace.with_span trace ~cat:"fs"
     ~args:(fun () ->
@@ -256,10 +256,12 @@ let minimize_mtables ?(trace = Ovo_obs.Trace.null) ?(kind = Compact.Bdd)
       ])
     "shared.minimize"
     (fun () ->
-      of_state (Dp.complete ~trace ?engine ?cancel ?metrics ~base (free base)))
+      of_state
+        (Dp.complete ~trace ?engine ?cancel ?metrics ?membudget ~base
+           (free base)))
 
-let minimize ?trace ?kind ?engine ?cancel ?metrics tts =
-  minimize_mtables ?trace ?kind ?engine ?cancel ?metrics
+let minimize ?trace ?kind ?engine ?cancel ?metrics ?membudget tts =
+  minimize_mtables ?trace ?kind ?engine ?cancel ?metrics ?membudget
     (Array.map Ovo_boolfun.Mtable.of_truthtable tts)
 
 let to_dot st =

@@ -85,6 +85,7 @@ val minimize :
   ?engine:Engine.t ->
   ?cancel:Cancel.t ->
   ?metrics:Metrics.t ->
+  ?membudget:Membudget.t ->
   Ovo_boolfun.Truthtable.t array ->
   result
 (** Exact optimal ordering for the shared diagram (the FS dynamic
@@ -97,6 +98,7 @@ val minimize_mtables :
   ?engine:Engine.t ->
   ?cancel:Cancel.t ->
   ?metrics:Metrics.t ->
+  ?membudget:Membudget.t ->
   Ovo_boolfun.Mtable.t array ->
   result
 

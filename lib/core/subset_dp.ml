@@ -21,16 +21,121 @@ type progress = {
   p_entries : (Varset.t * int * int) array;
 }
 
-let binomial n k =
-  if k < 0 || k > n then 0
-  else begin
-    let k = min k (n - k) in
-    let r = ref 1 in
-    for i = 1 to k do
-      r := !r * (n - k + i) / i
+let binomial = Layer_pack.binomial
+
+(* The packed cost/choice store of one sweep: layer [k] is a
+   {!Layer_pack.t} (9 bytes per subset) instead of two hashtable
+   bindings, and under a {!Membudget} completed layers are spilled
+   through the injected sink, lowest cardinality first — the forward
+   sweep never re-reads them, and backtracking reloads each spilled
+   layer exactly once.  State-independent, so it lives outside the
+   functor. *)
+module Layers = struct
+  type slot = Resident of Layer_pack.t | Spilled
+
+  type t = {
+    j_set : Varset.t;
+    base_cost : int;
+    mb : Membudget.t;
+    trace : Trace.t;
+    slots : slot option array;  (* indexed by cardinality; slot 0 unused *)
+  }
+
+  let create ~trace ~mb ~base_cost ~upto j_set =
+    { j_set; base_cost; mb; trace; slots = Array.make (upto + 1) None }
+
+  let spill t k pack =
+    match Membudget.sink t.mb with
+    | None -> ()
+    | Some sink ->
+        let payload = Layer_pack.encode pack in
+        let bytes = String.length payload in
+        Trace.with_span t.trace ~cat:"spill"
+          ~args:(fun () ->
+            [ ("k", Ovo_obs.Json.Int k); ("bytes", Ovo_obs.Json.Int bytes) ])
+          "spill.write"
+          (fun () -> sink.Membudget.spill ~k payload);
+        Membudget.note_spill t.mb bytes;
+        Membudget.shrank t.mb bytes;
+        Trace.counter t.trace "spill.bytes_spilled"
+          (float_of_int (Membudget.bytes_spilled t.mb));
+        t.slots.(k) <- Some Spilled
+
+  let enforce_budget t =
+    let k = ref 1 in
+    while Membudget.over_budget t.mb && !k < Array.length t.slots do
+      (match t.slots.(!k) with
+      | Some (Resident pack) -> spill t !k pack
+      | Some Spilled | None -> ());
+      incr k
+    done
+
+  let put t pack =
+    Membudget.grew t.mb (Layer_pack.size_bytes pack);
+    t.slots.(Layer_pack.k pack) <- Some (Resident pack);
+    enforce_budget t
+
+  (* Fetch a layer for reading.  A spilled layer is decoded transiently
+     and not re-accounted resident: every reader touches a layer once
+     and lets the pack go. *)
+  let fetch t k =
+    match t.slots.(k) with
+    | None -> invalid_arg "Subset_dp: layer not computed"
+    | Some (Resident pack) -> pack
+    | Some Spilled -> (
+        match Membudget.sink t.mb with
+        | None -> assert false
+        | Some sink ->
+            Trace.with_span t.trace ~cat:"spill"
+              ~args:(fun () -> [ ("k", Ovo_obs.Json.Int k) ])
+              "spill.reload"
+              (fun () ->
+                let payload = sink.Membudget.reload ~k in
+                let pack = Layer_pack.decode payload in
+                if Layer_pack.k pack <> k || Layer_pack.j_set pack <> t.j_set
+                then
+                  failwith
+                    "Subset_dp: spilled layer does not belong to this run";
+                Membudget.note_reload t.mb (String.length payload);
+                pack))
+
+  let cost t ksub =
+    if Varset.is_empty ksub then t.base_cost
+    else Layer_pack.cost (fetch t (Varset.cardinal ksub)) ksub
+
+  (* Backtrack the recorded tight choices of every [target] (all of one
+     cardinality [m]) level-synchronously: layers m..1 are each fetched
+     once, so a spilled layer costs one reload however many chains cross
+     it.  Chains come back first-placed-first, ready to replay. *)
+  let chains t targets =
+    let m =
+      if Array.length targets = 0 then 0 else Varset.cardinal targets.(0)
+    in
+    let subs = Array.copy targets in
+    let acc = Array.make (Array.length targets) [] in
+    for k = m downto 1 do
+      let pack = fetch t k in
+      Array.iteri
+        (fun i sub ->
+          let h = Layer_pack.choice pack sub in
+          acc.(i) <- h :: acc.(i);
+          subs.(i) <- Varset.remove h sub)
+        subs
     done;
-    !r
-  end
+    acc
+
+  (* Unpack everything back into the legacy hashtable form (the public
+     {!costs}/[mincosts] API). *)
+  let to_tables t upto =
+    let mincosts = Hashtbl.create 64 and choices = Hashtbl.create 64 in
+    Hashtbl.replace mincosts Varset.empty t.base_cost;
+    for k = 1 to upto do
+      Layer_pack.iter (fetch t k) (fun ksub ~cost ~choice ->
+          Hashtbl.replace mincosts ksub cost;
+          Hashtbl.replace choices ksub choice)
+    done;
+    (mincosts, choices)
+end
 
 module Make (S : COMPACTABLE) = struct
   type t = {
@@ -125,13 +230,19 @@ module Make (S : COMPACTABLE) = struct
      cost-only callers skip them and backtrack instead.  Intermediate
      layers are always materialised (the next layer's probes need them)
      and dropped eagerly as soon as their successor layer is complete —
-     only the integer cost table outlives a layer.
+     only the packed integer layers outlive a layer.
+
+     Each completed layer is bit-packed into a {!Layer_pack} and handed
+     to {!Layers.put}, which charges [mb] and spills past the budget;
+     packing happens on the calling domain after the parallel join, so
+     the packed bytes — like the results they encode — are identical
+     under Seq and Par.
 
      [on_layer] fires once per completed cardinality layer with that
      layer's (subset, cost, tight choice) triples — the checkpoint hook;
      the same boundaries [cancel] is polled at.  [resume] preloads the
-     cost/choice tables from previously completed layers and rebuilds
-     the last layer's states by replaying each recorded choice chain, so
+     packed layers from previously completed progress and rebuilds the
+     last layer's states by replaying the recorded choice chains, so
      the sweep continues exactly where the checkpointed run stopped and
      stays bit-identical to an uninterrupted one under both engines.
 
@@ -139,21 +250,20 @@ module Make (S : COMPACTABLE) = struct
      (category "dp") whose args carry the subset count and the layer's
      metrics delta (merged across domains for Engine.Par; the per-domain
      child spans come from Engine.map).  The whole sweep is a parent
-     span.  Probes stay untraced — the tracer's granularity floor is a
-     layer, so the disabled-tracer cost on the hot path is zero. *)
-  let sweep ~trace ~engine ~cancel ~metrics ~upto ~keep_last_states ~on_layer
-      ~resume ~base j_set =
-    let mincosts = Hashtbl.create 64 in
-    let choices = Hashtbl.create 64 in
-    Hashtbl.replace mincosts Varset.empty (S.mincost base);
+     span.  Spill traffic adds "spill" spans and counters — only ever
+     emitted when a budget is set, so unbudgeted traces are unchanged.
+     Probes stay untraced — the tracer's granularity floor is a layer,
+     so the disabled-tracer cost on the hot path is zero. *)
+  let sweep ~trace ~engine ~cancel ~metrics ~mb ~upto ~keep_last_states
+      ~on_layer ~resume ~base j_set =
+    let layers =
+      Layers.create ~trace ~mb ~base_cost:(S.mincost base) ~upto j_set
+    in
     let start_k = validate_resume ~upto j_set resume + 1 in
     List.iter
       (fun p ->
-        Array.iter
-          (fun (ksub, c, h) ->
-            Hashtbl.replace mincosts ksub c;
-            Hashtbl.replace choices ksub h)
-          p.p_entries)
+        Layers.put layers
+          (Layer_pack.of_entries ~j_set ~k:p.p_layer p.p_entries))
       resume;
     let layer = ref (Hashtbl.create 1) in
     if start_k = 1 then Hashtbl.replace !layer Varset.empty base
@@ -173,14 +283,19 @@ module Make (S : COMPACTABLE) = struct
           "dp.rebuild"
           (fun () ->
             let tbl = Hashtbl.create 64 in
-            Varset.iter_subsets_of j_set ~size:m (fun ksub ->
+            let subs = subsets_of j_set ~size:m in
+            let chains = Layers.chains layers subs in
+            let mpack = Layers.fetch layers m in
+            Array.iteri
+              (fun i ksub ->
                 let st =
                   List.fold_left
                     (fun st h -> S.materialise ~metrics st h)
-                    base (chain_of choices ksub)
+                    base chains.(i)
                 in
-                assert (S.mincost st = Hashtbl.find mincosts ksub);
-                Hashtbl.replace tbl ksub st);
+                assert (S.mincost st = Layer_pack.cost mpack ksub);
+                Hashtbl.replace tbl ksub st)
+              subs;
             layer := tbl)
     end;
     Trace.with_span trace ~cat:"dp"
@@ -219,43 +334,48 @@ module Make (S : COMPACTABLE) = struct
           in
           let next = Hashtbl.create (Array.length results * 2) in
           Array.iter
-            (fun (ksub, h, c, st) ->
-              Hashtbl.replace mincosts ksub c;
-              Hashtbl.replace choices ksub h;
+            (fun (ksub, _, _, st) ->
               match st with
               | Some st -> Hashtbl.replace next ksub st
               | None -> ())
             results;
-          (* eager drop: only [mincosts]/[choices] survive a layer *)
+          let entries =
+            Array.map (fun (ksub, h, c, _) -> (ksub, c, h)) results
+          in
+          Layers.put layers (Layer_pack.of_entries ~j_set ~k entries);
+          (* eager drop: only the packed layers survive *)
           Hashtbl.reset prev;
           layer := next;
-          on_layer
-            {
-              p_layer = k;
-              p_entries =
-                Array.map (fun (ksub, h, c, _) -> (ksub, c, h)) results;
-            }
+          on_layer { p_layer = k; p_entries = entries }
         done);
-    (mincosts, choices, !layer)
+    (layers, !layer)
+
+  let membudget_of = function
+    | Some mb -> mb
+    | None -> Membudget.unbounded ()
 
   let run ?(trace = Trace.null) ?(engine = Engine.Seq)
-      ?(cancel = Cancel.never) ?(metrics = Metrics.ambient)
+      ?(cancel = Cancel.never) ?(metrics = Metrics.ambient) ?membudget
       ?(on_layer = fun _ -> ()) ?(resume = []) ?upto ~base j_set =
     let upto = validate ~base j_set upto in
-    let mincosts, _, layer =
-      sweep ~trace ~engine ~cancel ~metrics ~upto ~keep_last_states:true
+    let mb = membudget_of membudget in
+    let layers, layer =
+      sweep ~trace ~engine ~cancel ~metrics ~mb ~upto ~keep_last_states:true
         ~on_layer ~resume ~base j_set
     in
+    let mincosts, _ = Layers.to_tables layers upto in
     { j_set; upto; mincosts; layer }
 
   let costs ?(trace = Trace.null) ?(engine = Engine.Seq)
-      ?(cancel = Cancel.never) ?(metrics = Metrics.ambient)
+      ?(cancel = Cancel.never) ?(metrics = Metrics.ambient) ?membudget
       ?(on_layer = fun _ -> ()) ?(resume = []) ?upto ~base j_set =
     let upto = validate ~base j_set upto in
-    let mincosts, choices, _ =
-      sweep ~trace ~engine ~cancel ~metrics ~upto ~keep_last_states:false
+    let mb = membudget_of membudget in
+    let layers, _ =
+      sweep ~trace ~engine ~cancel ~metrics ~mb ~upto ~keep_last_states:false
         ~on_layer ~resume ~base j_set
     in
+    let mincosts, choices = Layers.to_tables layers upto in
     { cost_j_set = j_set; cost_upto = upto; cost_table = mincosts;
       cost_choice = choices }
 
@@ -288,9 +408,34 @@ module Make (S : COMPACTABLE) = struct
   let state_of t ksub = Hashtbl.find t.layer ksub
   let mincost_of t ksub = Hashtbl.find t.mincosts ksub
 
+  (* The out-of-core path: sweep in packed (cost-only) mode, then
+     backtrack directly over the packed layers — spilled layers are
+     reloaded lazily, one fetch per cardinality, and the hashtable form
+     is never built. *)
   let complete ?(trace = Trace.null) ?(engine = Engine.Seq)
-      ?(cancel = Cancel.never) ?(metrics = Metrics.ambient)
+      ?(cancel = Cancel.never) ?(metrics = Metrics.ambient) ?membudget
       ?(on_layer = fun _ -> ()) ?(resume = []) ~base j_set =
-    let ct = costs ~trace ~engine ~cancel ~metrics ~on_layer ~resume ~base j_set in
-    reconstruct ~trace ~metrics ~base ct j_set
+    let upto = validate ~base j_set None in
+    let mb = membudget_of membudget in
+    let layers, _ =
+      sweep ~trace ~engine ~cancel ~metrics ~mb ~upto ~keep_last_states:false
+        ~on_layer ~resume ~base j_set
+    in
+    let before = Metrics.snapshot metrics in
+    let st =
+      Trace.with_span trace ~cat:"dp"
+        ~args:(fun () ->
+          ("placements", Ovo_obs.Json.Int (Varset.cardinal j_set))
+          :: Metrics.to_args (Metrics.diff (Metrics.snapshot metrics) before))
+        "dp.reconstruct"
+        (fun () ->
+          let chain =
+            match Layers.chains layers [| j_set |] with
+            | [| c |] -> c
+            | _ -> assert false
+          in
+          List.fold_left (fun st h -> S.materialise ~metrics st h) base chain)
+    in
+    assert (S.mincost st = Layers.cost layers j_set);
+    st
 end

@@ -22,7 +22,14 @@
     — [MINCOST⟨K⟩] and the tight last-placed variable — and
     {!reconstruct} replays those tight transitions over the base to
     materialise an optimal state in [|K|] compactions, as the paper
-    reconstructs orderings from the DP table. *)
+    reconstructs orderings from the DP table.
+
+    Internally every completed cardinality layer is bit-packed into a
+    {!Layer_pack} (9 bytes per subset) and accounted against an optional
+    {!Membudget}: past the budget, completed layers spill to disk
+    through the injected sink and are reloaded lazily during
+    backtracking — results stay bit-identical to the in-memory run under
+    both engines, because packing happens after the parallel join. *)
 
 module type COMPACTABLE = sig
   type state
@@ -89,6 +96,7 @@ module Make (S : COMPACTABLE) : sig
     ?engine:Engine.t ->
     ?cancel:Cancel.t ->
     ?metrics:Metrics.t ->
+    ?membudget:Membudget.t ->
     ?on_layer:(progress -> unit) ->
     ?resume:progress list ->
     ?upto:int ->
@@ -115,13 +123,19 @@ module Make (S : COMPACTABLE) : sig
       triples preload the cost/choice tables, layer [m]'s states are
       rebuilt by replaying each subset's recorded chain over [base], and
       the sweep continues at [m+1] — bit-identical to an uninterrupted
-      run under {!Engine.Seq} and {!Engine.Par} alike. *)
+      run under {!Engine.Seq} and {!Engine.Par} alike.
+
+      [membudget] (default an {!Membudget.unbounded} context) accounts
+      the packed bytes of every completed layer; with a budget and sink
+      set, layers past the budget spill to disk and reload lazily when
+      read back.  Results are unaffected — only residency changes. *)
 
   val costs :
     ?trace:Ovo_obs.Trace.t ->
     ?engine:Engine.t ->
     ?cancel:Cancel.t ->
     ?metrics:Metrics.t ->
+    ?membudget:Membudget.t ->
     ?on_layer:(progress -> unit) ->
     ?resume:progress list ->
     ?upto:int ->
@@ -153,12 +167,16 @@ module Make (S : COMPACTABLE) : sig
     ?engine:Engine.t ->
     ?cancel:Cancel.t ->
     ?metrics:Metrics.t ->
+    ?membudget:Membudget.t ->
     ?on_layer:(progress -> unit) ->
     ?resume:progress list ->
     base:S.state ->
     Varset.t ->
     S.state
-  (** Full run; the optimal state for [K = J].  Implemented as {!costs}
-      followed by {!reconstruct}, so it holds at most one layer of
-      states at any time. *)
+  (** Full run; the optimal state for [K = J].  A cost-only sweep
+      followed by a backtrack {e directly over the packed layers} — the
+      hashtable form of {!costs} is never built, at most one layer of
+      states is live at any time, and with a budgeted [membudget]
+      spilled layers are reloaded lazily (one fetch per cardinality), so
+      this is the out-of-core entry point {!Fs.run} drives. *)
 end

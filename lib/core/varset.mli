@@ -11,27 +11,49 @@ type t = int
     variables, far beyond what any [2^n] table allows anyway. *)
 
 val empty : t
+(** The empty set. *)
+
 val full : int -> t
 (** [full n] is [{0, …, n-1}]. *)
 
 val mem : int -> t -> bool
+(** Membership. *)
+
 val add : int -> t -> t
+(** [add i s] is [s ∪ {i}]. *)
+
 val remove : int -> t -> t
+(** [remove i s] is [s \ {i}]. *)
+
 val singleton : int -> t
+(** [singleton i] is [{i}]. *)
+
 val union : t -> t -> t
+(** Set union. *)
+
 val inter : t -> t -> t
+(** Set intersection. *)
+
 val diff : t -> t -> t
+(** [diff a b] is [a \ b]. *)
+
 val subset : t -> t -> bool
 (** [subset a b] iff [a ⊆ b]. *)
 
 val disjoint : t -> t -> bool
+(** [disjoint a b] iff [a ∩ b = ∅]. *)
+
 val cardinal : t -> int
+(** Number of elements (population count). *)
+
 val is_empty : t -> bool
+(** [is_empty s] iff [s = ∅]. *)
 
 val elements : t -> int list
 (** Ascending. *)
 
 val of_list : int list -> t
+(** Set of the listed indices (duplicates collapse). *)
 
 val min_elt : t -> int
 (** Smallest element; raises [Not_found] on the empty set. *)

@@ -14,12 +14,13 @@ type config = {
   trace_file : string option;
   store_dir : string option;
   store_fsync : Ovo_store.Rlog.fsync;
+  mem_budget : int option;
 }
 
 let default_config ~listen =
   { listen; workers = 2; queue_cap = 64; cache_cap = 256; max_arity = 16;
     idle_timeout = None; trace_file = None; store_dir = None;
-    store_fsync = Ovo_store.Rlog.Never }
+    store_fsync = Ovo_store.Rlog.Never; mem_budget = None }
 
 type job = {
   tt : Truthtable.t;
@@ -209,7 +210,8 @@ let worker_loop t =
         let body =
           match
             Solver.solve ~trace:t.trace ~cache:t.cache ~cancel:job.cancel
-              ~engine:job.j_engine ~kind:job.j_kind job.tt
+              ~engine:job.j_engine ~kind:job.j_kind
+              ?mem_budget:t.cfg.mem_budget job.tt
           with
           | Ok s ->
               Stats.record_outcome t.stats (if s.cached then `Cached else `Ok);

@@ -39,11 +39,17 @@ type config = {
       (** fsync policy for the store's WAL (default
           {!Ovo_store.Rlog.Never}; appends survive process death
           regardless — this only matters for machine crashes) *)
+  mem_budget : int option;
+      (** byte cap on each solve's resident DP layers
+          ({!Ovo_core.Membudget}): past it, completed layers spill to a
+          per-job scratch directory and the daemon degrades to
+          out-of-core instead of growing without bound.  [None] (the
+          default) runs unbounded. *)
 }
 
 val default_config : listen:Protocol.addr -> config
 (** 2 workers, queue 64, cache 256, max arity 16, no idle timeout, no
-    trace, no store. *)
+    trace, no store, no memory budget. *)
 
 type t
 

@@ -43,7 +43,18 @@ let reply_of_entry ~digest ~perm ~cached (e : Cache.entry) =
   done;
   { digest; mincost = e.mincost; size = e.size; order; widths; cached }
 
-let solve ?(trace = Trace.null) ~cache ~cancel ~engine ~kind tt =
+(* Out-of-core solves spill into a fresh per-job scratch directory —
+   two workers may race on the same canonical table, so directories must
+   never be shared. *)
+let spill_seq = Atomic.make 0
+
+let fresh_spill_dir () =
+  Filename.concat
+    (Filename.get_temp_dir_name ())
+    (Printf.sprintf "ovo-serve-spill-%d-%d" (Unix.getpid ())
+       (Atomic.fetch_and_add spill_seq 1))
+
+let solve ?(trace = Trace.null) ?mem_budget ~cache ~cancel ~engine ~kind tt =
   match
     Cancel.protect cancel (fun () ->
         Cancel.check cancel;
@@ -64,7 +75,18 @@ let solve ?(trace = Trace.null) ~cache ~cancel ~engine ~kind tt =
             Cancel.check cancel;
             let r =
               Trace.with_span trace ~cat:"serve" "serve.solve" (fun () ->
-                  Fs.run ~trace ~kind ~engine ~cancel canon)
+                  match mem_budget with
+                  | None -> Fs.run ~trace ~kind ~engine ~cancel canon
+                  | Some budget_bytes ->
+                      let sp = Ovo_store.Spill.create (fresh_spill_dir ()) in
+                      Fun.protect
+                        ~finally:(fun () -> Ovo_store.Spill.remove sp)
+                        (fun () ->
+                          let membudget =
+                            Ovo_core.Membudget.create ~budget_bytes
+                              ~sink:(Ovo_store.Spill.sink sp) ()
+                          in
+                          Fs.run ~trace ~kind ~engine ~cancel ~membudget canon))
             in
             let entry =
               { Cache.canon; mincost = r.mincost; size = r.size;

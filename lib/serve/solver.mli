@@ -28,6 +28,7 @@ val parse_table :
 
 val solve :
   ?trace:Ovo_obs.Trace.t ->
+  ?mem_budget:int ->
   cache:Cache.t ->
   cancel:Ovo_core.Cancel.t ->
   engine:Ovo_core.Engine.t ->
@@ -39,4 +40,10 @@ val solve :
     [Error `Cancelled] — no exception escapes.  With a recording
     [trace], the pipeline records spans [serve.canon],
     [serve.cache_probe] and (on a miss) [serve.solve], category
-    ["serve"]. *)
+    ["serve"].
+
+    [mem_budget] caps the resident bytes of the DP's packed layers for
+    this solve ({!Ovo_core.Membudget}): a budgeted miss spills completed
+    layers to a fresh scratch directory under the system temp dir
+    (removed when the solve finishes, even on failure) and produces a
+    result bit-identical to an unbounded one. *)

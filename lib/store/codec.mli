@@ -33,10 +33,15 @@ val reader : string -> reader
 
 val r_u8 : reader -> int
 val r_u32 : reader -> int
+
 val r_u64 : reader -> int
+(** Read back the fixed-width integers, in writing order.  All raise
+    [Failure] past end of input. *)
 
 val r_str : reader -> string
+
 val r_int_array : reader -> int array
+(** Read back a length-prefixed string / int array. *)
 
 val expect_end : reader -> unit
 (** Raises {!Corrupt} unless the whole payload was consumed — trailing

@@ -1,0 +1,55 @@
+let log_src = Logs.Src.create "ovo.store.spill" ~doc:"DP layer spill segments"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+let rtype_layer = 1
+
+type t = {
+  dir : string;
+  fsync : Rlog.fsync;
+  mutable written : int list;  (* cardinalities with a segment on disk *)
+}
+
+let segment_path t k = Filename.concat t.dir (Printf.sprintf "layer-%02d.seg" k)
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755
+    with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let create ?(fsync = Rlog.Never) dir =
+  mkdir_p dir;
+  if not (Sys.is_directory dir) then
+    failwith (Printf.sprintf "Spill.create: %s is not a directory" dir);
+  { dir; fsync; written = [] }
+
+let dir t = t.dir
+
+let spill t ~k payload =
+  Rlog.write_atomic ~fsync:t.fsync (segment_path t k) [ (rtype_layer, payload) ];
+  if not (List.mem k t.written) then t.written <- k :: t.written;
+  Log.debug (fun m -> m "spilled layer %d (%d bytes)" k (String.length payload))
+
+let reload t ~k =
+  let path = segment_path t k in
+  match Rlog.read path with
+  | Ok ([ { Rlog.rtype; payload } ], { Rlog.rec_discarded_bytes = 0; _ })
+    when rtype = rtype_layer ->
+      payload
+  | Ok _ ->
+      failwith
+        (Printf.sprintf "Spill.reload: %s is corrupt or truncated" path)
+  | Error msg -> failwith (Printf.sprintf "Spill.reload: %s: %s" path msg)
+
+let sink t = { Ovo_core.Membudget.spill = spill t; reload = reload t }
+
+let remove t =
+  List.iter
+    (fun k ->
+      try Sys.remove (segment_path t k) with Sys_error _ -> ())
+    t.written;
+  t.written <- [];
+  (* only reap the directory when nothing else lives in it *)
+  try Unix.rmdir t.dir with Unix.Unix_error (_, _, _) -> ()

@@ -1,0 +1,39 @@
+(** On-disk spill segments for the memory-budgeted subset DP.
+
+    When {!Ovo_core.Subset_dp} runs past its {!Ovo_core.Membudget},
+    completed cost/choice layers leave RAM through the injected sink and
+    come back lazily during backtracking.  This module is the sink's
+    store-side implementation: one CRC-framed {!Rlog} file per
+    cardinality layer ([layer-NN.seg] in the spill directory), written
+    atomically (temp + fsync + rename), so a segment on disk is either
+    complete and checksummed or absent.
+
+    Corruption safety: {!reload} re-frames the segment through
+    {!Rlog.read}, so a flipped bit, a truncated tail or a foreign file
+    surfaces as [Failure] — the DP reports a clean error and never
+    reconstructs from damaged layers. *)
+
+type t
+(** A spill directory handle, tracking the segments it wrote. *)
+
+val create : ?fsync:Rlog.fsync -> string -> t
+(** Open (creating, recursively) a spill directory.  [fsync] (default
+    {!Rlog.Never}) governs segment durability — spill files are
+    scratch, so the default only guarantees process-crash safety.
+    Raises [Failure] if the path exists and is not a directory. *)
+
+val dir : t -> string
+
+val sink : t -> Ovo_core.Membudget.sink
+(** The pair of closures {!Ovo_core.Membudget} injects into the DP. *)
+
+val spill : t -> k:int -> string -> unit
+(** Write (atomically, replacing) the segment for layer [k]. *)
+
+val reload : t -> k:int -> string
+(** Read layer [k]'s payload back; raises [Failure] on a missing,
+    corrupt or truncated segment. *)
+
+val remove : t -> unit
+(** Delete every segment this handle wrote, then the directory itself
+    if (and only if) it is empty.  Safe to call twice. *)

@@ -1,0 +1,282 @@
+(* The memory-budgeted out-of-core DP: packed layer encode/decode, byte
+   accounting, spill/reload through Ovo_store.Spill, and the headline
+   guarantee — a budgeted run is bit-identical to the unbounded one
+   under both engines, and a corrupted spill segment is a clean
+   [Failure], never a wrong answer. *)
+
+module Mb = Ovo_core.Membudget
+module Lp = Ovo_core.Layer_pack
+module Vs = Ovo_core.Varset
+module Fs = Ovo_core.Fs
+module Tt = Ovo_boolfun.Truthtable
+module Spill = Ovo_store.Spill
+
+let tmpdir () =
+  let d = Filename.temp_file "ovo-mem-test" "" in
+  Sys.remove d;
+  Unix.mkdir d 0o755;
+  d
+
+let read_file path = In_channel.with_open_bin path In_channel.input_all
+
+let write_file path s =
+  Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc s)
+
+(* A sink backed by a hashtable — enough to exercise the spill protocol
+   without touching the filesystem. *)
+let mem_sink () =
+  let store = Hashtbl.create 8 in
+  ( store,
+    {
+      Mb.spill = (fun ~k payload -> Hashtbl.replace store k payload);
+      reload =
+        (fun ~k ->
+          match Hashtbl.find_opt store k with
+          | Some p -> p
+          | None -> failwith "mem_sink: no such layer");
+    } )
+
+(* --- Layer_pack ------------------------------------------------------- *)
+
+let vs_of = List.fold_left (fun s i -> Vs.add i s) Vs.empty
+let bits s = Vs.fold (fun i acc -> acc lor (1 lsl i)) s 0
+
+let pack_tests =
+  [
+    Helpers.case "binomial" (fun () ->
+        Helpers.check_int "C(8,4)" 70 (Lp.binomial 8 4);
+        Helpers.check_int "C(5,0)" 1 (Lp.binomial 5 0);
+        Helpers.check_int "C(5,6)" 0 (Lp.binomial 5 6));
+    Helpers.case "set/get over every subset" (fun () ->
+        let j_set = vs_of [ 0; 2; 3; 5 ] in
+        let k = 2 in
+        let t = Lp.create ~j_set ~k in
+        let expect = Hashtbl.create 8 in
+        Vs.iter_subsets_of ~size:k j_set (fun ksub ->
+            let cost = bits ksub * 3
+            and choice = bits ksub land 0x3f in
+            Lp.set t ksub ~cost ~choice;
+            Hashtbl.replace expect ksub (cost, choice));
+        Helpers.check_int "count" (Lp.binomial 4 2) (Hashtbl.length expect);
+        Hashtbl.iter
+          (fun ksub (cost, choice) ->
+            Helpers.check_int "cost" cost (Lp.cost t ksub);
+            Helpers.check_int "choice" choice (Lp.choice t ksub))
+          expect);
+    Helpers.case "iter visits rank order exactly once" (fun () ->
+        let j_set = vs_of [ 1; 2; 4; 6 ] in
+        let t = Lp.create ~j_set ~k:3 in
+        Vs.iter_subsets_of ~size:3 j_set (fun ksub ->
+            Lp.set t ksub ~cost:(bits ksub) ~choice:0);
+        let seen = ref [] in
+        Lp.iter t (fun ksub ~cost ~choice:_ ->
+            Helpers.check_int "cost matches subset" (bits ksub) cost;
+            seen := ksub :: !seen);
+        Helpers.check_int "visited" (Lp.binomial 4 3) (List.length !seen));
+    Helpers.case "encode/decode roundtrip" (fun () ->
+        let j_set = vs_of [ 0; 1; 3; 7; 9 ] in
+        let t = Lp.create ~j_set ~k:2 in
+        Vs.iter_subsets_of ~size:2 j_set (fun ksub ->
+            Lp.set t ksub ~cost:(100 + bits ksub) ~choice:7);
+        let t' = Lp.decode (Lp.encode t) in
+        Vs.iter_subsets_of ~size:2 j_set (fun ksub ->
+            Helpers.check_int "cost" (Lp.cost t ksub) (Lp.cost t' ksub);
+            Helpers.check_int "choice" (Lp.choice t ksub) (Lp.choice t' ksub));
+        Helpers.check_int "size" (Lp.size_bytes t) (Lp.size_bytes t'));
+    Helpers.case "decode rejects damage" (fun () ->
+        let t = Lp.create ~j_set:(vs_of [ 0; 1; 2 ]) ~k:1 in
+        Vs.iter_subsets_of ~size:1
+          (vs_of [ 0; 1; 2 ])
+          (fun ksub -> Lp.set t ksub ~cost:1 ~choice:0);
+        let s = Lp.encode t in
+        let fails s =
+          match Lp.decode s with
+          | exception Failure _ -> true
+          | _ -> false
+        in
+        Helpers.check_bool "truncated" true
+          (fails (String.sub s 0 (String.length s - 1)));
+        Helpers.check_bool "short header" true (fails "xy");
+        let bad_version = Bytes.of_string s in
+        Bytes.set bad_version 0 '\xfe';
+        Helpers.check_bool "bad version" true
+          (fails (Bytes.to_string bad_version)));
+    Helpers.case "unset entry is an error" (fun () ->
+        let t = Lp.create ~j_set:(vs_of [ 0; 1 ]) ~k:1 in
+        Helpers.check_bool "unset" true
+          (match Lp.cost t (vs_of [ 0 ]) with
+          | exception Invalid_argument _ -> true
+          | _ -> false));
+  ]
+
+(* --- Membudget -------------------------------------------------------- *)
+
+let budget_tests =
+  [
+    Helpers.case "parse_bytes units" (fun () ->
+        let ok s = Result.get_ok (Mb.parse_bytes s) in
+        Helpers.check_int "plain" 1024 (ok "1024");
+        Helpers.check_int "k" 4096 (ok "4k");
+        Helpers.check_int "K" 4096 (ok "4K");
+        Helpers.check_int "M" (2 * 1024 * 1024) (ok "2M");
+        Helpers.check_int "G" (1024 * 1024 * 1024) (ok "1g");
+        List.iter
+          (fun s ->
+            Helpers.check_bool s true (Result.is_error (Mb.parse_bytes s)))
+          [ ""; "abc"; "0"; "-5"; "1T"; "k" ]);
+    Helpers.case "create rejects bad budgets" (fun () ->
+        let _, sink = mem_sink () in
+        Helpers.check_bool "zero" true
+          (match Mb.create ~budget_bytes:0 ~sink () with
+          | exception Invalid_argument _ -> true
+          | _ -> false);
+        Helpers.check_bool "no sink" true
+          (match Mb.create ~budget_bytes:100 () with
+          | exception Invalid_argument _ -> true
+          | _ -> false));
+    Helpers.case "unbounded accounting still tracks peaks" (fun () ->
+        let n = 6 in
+        let tt = Tt.random (Helpers.rng 11) n in
+        let mb = Mb.unbounded () in
+        ignore (Fs.run ~membudget:mb tt);
+        (* the widest layer: C(n, n/2) packed entries plus the header *)
+        let expect = (Lp.binomial n (n / 2) * 9) + 14 in
+        Helpers.check_int "peak layer" expect (Mb.peak_layer_bytes mb);
+        Helpers.check_int "no spills" 0 (Mb.layers_spilled mb);
+        Helpers.check_bool "resident peak >= layer peak" true
+          (Mb.peak_resident_bytes mb >= Mb.peak_layer_bytes mb));
+    Helpers.case "budgeted run spills and balances the books" (fun () ->
+        let n = 7 in
+        let tt = Tt.random (Helpers.rng 12) n in
+        let unb = Mb.unbounded () in
+        ignore (Fs.run ~membudget:unb tt);
+        let budget = Mb.peak_layer_bytes unb / 2 in
+        let _, sink = mem_sink () in
+        let mb = Mb.create ~budget_bytes:budget ~sink () in
+        ignore (Fs.run ~membudget:mb tt);
+        Helpers.check_bool "spilled" true (Mb.layers_spilled mb > 0);
+        Helpers.check_int "every spilled byte reloaded" (Mb.bytes_spilled mb)
+          (Mb.bytes_reloaded mb);
+        Helpers.check_int "one reload per spilled layer" (Mb.layers_spilled mb)
+          (Mb.reloads mb));
+  ]
+
+(* --- budgeted ≡ unbounded --------------------------------------------- *)
+
+let identical_prop name engine =
+  QCheck.Test.make
+    ~name:(Printf.sprintf "budget never changes the answer (%s)" name)
+    ~count:60
+    (Helpers.arb_truthtable ~lo:4 ~hi:7 ())
+    (fun tt ->
+      let plain = Fs.run ~engine tt in
+      (* a 1-byte budget forces every completed layer through the sink *)
+      let _, sink = mem_sink () in
+      let mb = Mb.create ~budget_bytes:1 ~sink () in
+      let tight = Fs.run ~engine ~membudget:mb tt in
+      Mb.layers_spilled mb > 0
+      && tight.Fs.mincost = plain.Fs.mincost
+      && tight.Fs.size = plain.Fs.size
+      && tight.Fs.order = plain.Fs.order
+      && tight.Fs.widths = plain.Fs.widths)
+
+let props =
+  [
+    identical_prop "Seq" Ovo_core.Engine.Seq;
+    identical_prop "Par" (Ovo_core.Engine.Par { domains = 3 });
+  ]
+
+(* --- Spill (on disk) -------------------------------------------------- *)
+
+let spill_tests =
+  [
+    Helpers.case "spill/reload roundtrip" (fun () ->
+        let dir = tmpdir () in
+        let sp = Spill.create dir in
+        Spill.spill sp ~k:3 "payload three";
+        Spill.spill sp ~k:3 "payload three, rewritten";
+        Spill.spill sp ~k:11 "payload eleven";
+        Helpers.check_bool "k=3" true
+          (Spill.reload sp ~k:3 = "payload three, rewritten");
+        Helpers.check_bool "k=11" true
+          (Spill.reload sp ~k:11 = "payload eleven");
+        Spill.remove sp;
+        Helpers.check_bool "directory reaped" true (not (Sys.file_exists dir)));
+    Helpers.case "remove is idempotent and leaves foreign files" (fun () ->
+        let dir = tmpdir () in
+        let sp = Spill.create dir in
+        Spill.spill sp ~k:1 "x";
+        write_file (Filename.concat dir "keep.me") "foreign";
+        Spill.remove sp;
+        Spill.remove sp;
+        Helpers.check_bool "dir kept" true (Sys.is_directory dir);
+        Helpers.check_bool "foreign kept" true
+          (Sys.file_exists (Filename.concat dir "keep.me")));
+    Helpers.case "flipped byte fails the reload" (fun () ->
+        let dir = tmpdir () in
+        let sp = Spill.create dir in
+        Spill.spill sp ~k:4 "some layer bytes that matter";
+        let path = Filename.concat dir "layer-04.seg" in
+        let b = Bytes.of_string (read_file path) in
+        let mid = Bytes.length b / 2 in
+        Bytes.set b mid (Char.chr (Char.code (Bytes.get b mid) lxor 0x40));
+        write_file path (Bytes.to_string b);
+        Helpers.check_bool "Failure" true
+          (match Spill.reload sp ~k:4 with
+          | exception Failure _ -> true
+          | _ -> false);
+        Spill.remove sp);
+    Helpers.case "corrupted segment aborts the DP cleanly" (fun () ->
+        let n = 6 in
+        let tt = Tt.random (Helpers.rng 13) n in
+        let dir = tmpdir () in
+        let sp = Spill.create dir in
+        (* wrap the sink so the segment rots on disk between the forward
+           sweep and the backtrack — the run must fail, not fabricate an
+           ordering from damaged costs *)
+        let real = Spill.sink sp in
+        let sink =
+          {
+            real with
+            Mb.reload =
+              (fun ~k ->
+                let path =
+                  Filename.concat dir (Printf.sprintf "layer-%02d.seg" k)
+                in
+                let b = Bytes.of_string (read_file path) in
+                let mid = Bytes.length b / 2 in
+                Bytes.set b mid
+                  (Char.chr (Char.code (Bytes.get b mid) lxor 0x01));
+                write_file path (Bytes.to_string b);
+                real.Mb.reload ~k);
+          }
+        in
+        let mb = Mb.create ~budget_bytes:1 ~sink () in
+        Helpers.check_bool "Failure, not a wrong answer" true
+          (match Fs.run ~membudget:mb tt with
+          | exception Failure _ -> true
+          | _ -> false);
+        Spill.remove sp);
+    Helpers.case "on-disk spill reproduces the in-memory result" (fun () ->
+        let n = 7 in
+        let tt = Tt.random (Helpers.rng 14) n in
+        let plain = Fs.run tt in
+        let dir = tmpdir () in
+        let sp = Spill.create dir in
+        let mb = Mb.create ~budget_bytes:64 ~sink:(Spill.sink sp) () in
+        let r = Fs.run ~membudget:mb tt in
+        Spill.remove sp;
+        Helpers.check_int "mincost" plain.Fs.mincost r.Fs.mincost;
+        Helpers.check_bool "order" true (r.Fs.order = plain.Fs.order);
+        Helpers.check_bool "widths" true (r.Fs.widths = plain.Fs.widths);
+        Helpers.check_bool "spilled" true (Mb.layers_spilled mb > 0));
+  ]
+
+let () =
+  Alcotest.run "membudget"
+    [
+      ("layer_pack", pack_tests);
+      ("membudget", budget_tests);
+      ("spill", spill_tests);
+      ("props", Helpers.qtests props);
+    ]
