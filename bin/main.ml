@@ -151,10 +151,10 @@ let resolve_engine engine domains =
   | `Seq -> Ovo_core.Engine.Seq
   | `Par -> Ovo_core.Engine.par ~domains ()
 
-(* With an active --mem-budget the JSON object gains a "mem" field; the
-   default output is byte-identical to the pre-budget CLI (pinned by
-   test/cli.t and test/obs.t). *)
-let emit_stats ?membudget stats (m : Ovo_core.Metrics.t) =
+(* With an active --mem-budget the JSON object gains a "mem" field and
+   with --prune a "prune" field; the default output is byte-identical to
+   the pre-budget CLI (pinned by test/cli.t and test/obs.t). *)
+let emit_stats ?membudget ?prune stats (m : Ovo_core.Metrics.t) =
   let s = Ovo_core.Metrics.snapshot m in
   match stats with
   | `None -> ()
@@ -162,16 +162,26 @@ let emit_stats ?membudget stats (m : Ovo_core.Metrics.t) =
       Format.printf "%a@." Ovo_core.Metrics.pp s;
       Option.iter
         (fun mb -> Format.printf "mem: %a@." Ovo_core.Membudget.pp mb)
-        membudget
+        membudget;
+      Option.iter
+        (fun b -> Format.printf "prune: %a@." Ovo_core.Bound.pp b)
+        prune
   | `Json -> (
-      match membudget with
-      | None -> Format.printf "%s@." (Ovo_core.Metrics.to_json s)
-      | Some mb ->
+      match (membudget, prune) with
+      | None, None -> Format.printf "%s@." (Ovo_core.Metrics.to_json s)
+      | _ ->
+          let fields =
+            Ovo_core.Metrics.to_args s
+            @ (match membudget with
+              | None -> []
+              | Some mb -> [ ("mem", Ovo_core.Membudget.to_json_value mb) ])
+            @
+            match prune with
+            | None -> []
+            | Some b -> [ ("prune", Ovo_core.Bound.to_json_value b) ]
+          in
           Format.printf "%s@."
-            (Ovo_obs.Json.to_string
-               (Ovo_obs.Json.Obj
-                  (Ovo_core.Metrics.to_args s
-                  @ [ ("mem", Ovo_core.Membudget.to_json_value mb) ]))))
+            (Ovo_obs.Json.to_string (Ovo_obs.Json.Obj fields)))
 
 (* ------------------------------------------------------------------ *)
 (* observability: --trace / --profile / --progress share one tracer    *)
@@ -383,10 +393,27 @@ let algo_arg =
 let seed_arg =
   Arg.(value & opt int 0x0BDD & info [ "seed" ] ~docv:"SEED" ~doc:"RNG seed.")
 
+let prune_arg =
+  Arg.(
+    value
+    & vflag false
+        [
+          ( true,
+            info [ "prune" ]
+              ~doc:
+                "Run the exact DP as a branch-and-bound: seed an incumbent \
+                 from sifting, skip every subset whose admissible lower \
+                 bound proves it cannot beat the incumbent.  Same optimum, \
+                 same ordering, fewer states; --stats gains a prune block.  \
+                 Works with --algo fs, qdc, tower:N and simple (and with \
+                 --weights); incompatible with --checkpoint/--resume." );
+          (false, info [ "no-prune" ] ~doc:"Disable pruning (the default).");
+        ])
+
 let optimize_cmd =
   let run table expr pla pla_output blif signal family kind algo dot save
       weights seed engine domains stats trace_file profile progress checkpoint
-      resume crash_after fsync mem_budget spill_dir =
+      resume crash_after fsync mem_budget spill_dir prune =
     let engine = resolve_engine engine domains in
     with_obs ~trace_file ~profile ~progress @@ fun trace ->
     match load_function ~table ~expr ~pla ~pla_output ~blif ~signal ~family with
@@ -396,9 +423,17 @@ let optimize_cmd =
         | Some ws -> (
             try
               let metrics = Ovo_core.Metrics.create () in
+              let weights = Array.of_list ws in
+              let bound =
+                if prune then
+                  Some
+                    (Ovo_ordering.Seed.weighted_bound ~trace ~kind ~weights
+                       (Ovo_boolfun.Mtable.of_truthtable tt))
+                else None
+              in
               let r =
-                Ovo_core.Fs_weighted.run ~trace ~kind ~engine ~metrics
-                  ~weights:(Array.of_list ws) tt
+                Ovo_core.Fs_weighted.run ~trace ~kind ~engine ~metrics ~weights
+                  ?prune:bound tt
               in
               Format.printf "algorithm        : FS (exact, weighted)@.";
               Format.printf "weighted cost    : %d@."
@@ -407,7 +442,7 @@ let optimize_cmd =
                 r.Ovo_core.Fs_weighted.mincost;
               Format.printf "order (root first): %a@." pp_order
                 (Ovo_core.Eval_order.read_first r.Ovo_core.Fs_weighted.order);
-              emit_stats stats metrics;
+              emit_stats ?prune:bound stats metrics;
               `Ok ()
             with Invalid_argument m -> `Error (false, m))
         | None -> assert false)
@@ -420,16 +455,46 @@ let optimize_cmd =
           `Ok ()
         in
         try
+          let exact_algo =
+            match String.split_on_char ':' algo with
+            | [ "fs" ] | [ "qdc" ] | [ "simple" ] | [ "tower"; _ ] -> true
+            | _ -> false
+          in
           if
-            (checkpoint <> None || resume <> None || crash_after <> None
-           || mem_budget <> None)
+            (checkpoint <> None || resume <> None || crash_after <> None)
             && algo <> "fs"
-          then
-            failwith
-              "--checkpoint/--resume/--crash-after-layer/--mem-budget need \
-               --algo fs";
+          then failwith "--checkpoint/--resume/--crash-after-layer need --algo fs";
+          if mem_budget <> None && not exact_algo then
+            failwith "--mem-budget needs --algo fs, qdc, tower:N or simple";
           if spill_dir <> None && mem_budget = None then
             failwith "--spill-dir needs --mem-budget";
+          if prune && not exact_algo then
+            failwith "--prune needs --algo fs, qdc, tower:N or simple";
+          if prune && (checkpoint <> None || resume <> None) then
+            failwith "--prune is incompatible with --checkpoint/--resume";
+          let membudget, spill_cleanup =
+            match mem_budget with
+            | None -> (None, fun () -> ())
+            | Some budget_bytes ->
+                let dir =
+                  match spill_dir with
+                  | Some d -> d
+                  | None ->
+                      Filename.concat
+                        (Filename.get_temp_dir_name ())
+                        (Printf.sprintf "ovo-spill-%d" (Unix.getpid ()))
+                in
+                let sp = Ovo_store.Spill.create ~fsync dir in
+                ( Some
+                    (Ovo_core.Membudget.create ~budget_bytes
+                       ~sink:(Ovo_store.Spill.sink sp) ()),
+                  fun () -> Ovo_store.Spill.remove sp )
+          in
+          let bound =
+            if prune then Some (Ovo_ordering.Seed.bound ~trace ~kind tt)
+            else None
+          in
+          Fun.protect ~finally:spill_cleanup @@ fun () ->
           match String.split_on_char ':' algo with
           | [ "fs" ] ->
               let metrics = Ovo_core.Metrics.create () in
@@ -467,28 +532,9 @@ let optimize_cmd =
                       exit 42
                     end
               in
-              let membudget, spill_cleanup =
-                match mem_budget with
-                | None -> (None, fun () -> ())
-                | Some budget_bytes ->
-                    let dir =
-                      match spill_dir with
-                      | Some d -> d
-                      | None ->
-                          Filename.concat
-                            (Filename.get_temp_dir_name ())
-                            (Printf.sprintf "ovo-spill-%d" (Unix.getpid ()))
-                    in
-                    let sp = Ovo_store.Spill.create ~fsync dir in
-                    ( Some
-                        (Ovo_core.Membudget.create ~budget_bytes
-                           ~sink:(Ovo_store.Spill.sink sp) ()),
-                      fun () -> Ovo_store.Spill.remove sp )
-              in
               let r =
-                Fun.protect ~finally:spill_cleanup (fun () ->
-                    Ovo_core.Fs.run ~trace ~kind ~engine ~metrics ?membudget
-                      ~on_layer ~resume:resume_layers tt)
+                Ovo_core.Fs.run ~trace ~kind ~engine ~metrics ?membudget
+                  ?prune:bound ~on_layer ~resume:resume_layers tt
               in
               Option.iter Ovo_store.Checkpoint.close writer;
               print_result ~save ~algo:"FS (exact)"
@@ -498,21 +544,28 @@ let optimize_cmd =
                         (Ovo_core.Metrics.snapshot metrics)
                           .Ovo_core.Metrics.s_table_cells))
                 r dot;
-              emit_stats ?membudget stats metrics;
+              emit_stats ?membudget ?prune:bound stats metrics;
               `Ok ()
           | [ "qdc" ] ->
-              let ctx = Ovo_quantum.Opt_obdd.make_ctx ~engine ~trace () in
+              let ctx =
+                Ovo_quantum.Opt_obdd.make_ctx ~engine ~trace ?membudget
+                  ?bound ()
+              in
               let r, cost =
                 Ovo_quantum.Opt_obdd.minimize ~kind ~ctx
                   (Ovo_quantum.Opt_obdd.theorem10 ()) tt
               in
               print_result ~save ~algo:"OptOBDD(6,alpha) [simulated]" ~modeled:(Some cost)
                 r dot;
-              emit_stats stats ctx.Ovo_quantum.Opt_obdd.metrics;
+              emit_stats ?membudget ?prune:bound stats
+                ctx.Ovo_quantum.Opt_obdd.metrics;
               `Ok ()
           | [ "tower"; d ] ->
               let depth = int_of_string d in
-              let ctx = Ovo_quantum.Opt_obdd.make_ctx ~engine ~trace () in
+              let ctx =
+                Ovo_quantum.Opt_obdd.make_ctx ~engine ~trace ?membudget
+                  ?bound ()
+              in
               let r, cost =
                 Ovo_quantum.Opt_obdd.minimize ~kind ~ctx
                   (Ovo_quantum.Opt_obdd.tower ~depth) tt
@@ -520,7 +573,8 @@ let optimize_cmd =
               print_result ~save
                 ~algo:(Printf.sprintf "Gamma_%d tower [simulated]" depth)
                 ~modeled:(Some cost) r dot;
-              emit_stats stats ctx.Ovo_quantum.Opt_obdd.metrics;
+              emit_stats ?membudget ?prune:bound stats
+                ctx.Ovo_quantum.Opt_obdd.metrics;
               `Ok ()
           | [ "brute" ] ->
               let r = Ovo_ordering.Brute.best ~kind tt in
@@ -547,14 +601,18 @@ let optimize_cmd =
               let r = Ovo_ordering.Influence.run ~kind tt in
               with_eval "influence static heuristic" r.Ovo_ordering.Influence.order
           | [ "simple" ] ->
-              let ctx = Ovo_quantum.Opt_obdd.make_ctx ~engine ~trace () in
+              let ctx =
+                Ovo_quantum.Opt_obdd.make_ctx ~engine ~trace ?membudget
+                  ?bound ()
+              in
               let r, cost =
                 Ovo_quantum.Opt_obdd.minimize ~kind ~ctx
                   (Ovo_quantum.Opt_obdd.simple_split ()) tt
               in
               print_result ~save ~algo:"OptOBDD simple split [simulated]"
                 ~modeled:(Some cost) r dot;
-              emit_stats stats ctx.Ovo_quantum.Opt_obdd.metrics;
+              emit_stats ?membudget ?prune:bound stats
+                ctx.Ovo_quantum.Opt_obdd.metrics;
               `Ok ()
           | [ "annealing" ] ->
               let rng = Random.State.make [| seed |] in
@@ -589,7 +647,7 @@ let optimize_cmd =
        $ save_arg $ weights_arg $ seed_arg $ engine_arg $ domains_arg
        $ stats_arg $ trace_arg $ profile_arg $ progress_arg $ checkpoint_arg
        $ resume_arg $ crash_after_arg $ fsync_arg $ mem_budget_arg
-       $ spill_dir_arg))
+       $ spill_dir_arg $ prune_arg))
   in
   Cmd.v
     (Cmd.info "optimize"
@@ -850,12 +908,12 @@ let listen_arg =
 
 let serve_cmd =
   let run listen workers queue_cap cache_cap max_arity idle_timeout trace_file
-      store no_store fsync mem_budget =
+      store no_store fsync mem_budget prune =
     let store_dir = if no_store then None else store in
     Ovo_serve.Server.run
       { Ovo_serve.Server.listen; workers; queue_cap; cache_cap; max_arity;
         idle_timeout; trace_file; store_dir; store_fsync = fsync;
-        mem_budget };
+        mem_budget; prune };
     `Ok ()
   in
   let workers =
@@ -906,6 +964,11 @@ let serve_cmd =
                    under the system temp dir) instead of growing the \
                    daemon's memory without bound.  Accepts k/M/G suffixes.")
   in
+  let serve_prune =
+    Arg.(value & flag
+         & info [ "prune" ]
+             ~doc:"Run every cache-miss solve as a sifting-seeded exact                    branch-and-bound: identical answers, fewer DP states,                    and deadline-cancelled replies carry the best-so-far                    bound pair.")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
@@ -916,7 +979,7 @@ let serve_cmd =
       ret
         (const run $ listen_arg $ workers $ queue_cap $ cache_cap $ max_arity
        $ idle_timeout $ trace_arg $ store $ no_store $ fsync_arg
-       $ mem_budget))
+       $ mem_budget $ serve_prune))
 
 let submit_cmd =
   let module P = Ovo_serve.Protocol in

@@ -49,7 +49,11 @@ val map :
     [metrics] after its join ({!Seq} passes [metrics] straight through).
     [f] must be safe to run concurrently against shared read-only data:
     the DP guarantees this because a layer only reads its predecessor.
-    The result array is in input order regardless of engine.
+    [f] may also read shared atomics frozen for the call's duration —
+    the branch-and-bound sweep hands workers an incumbent snapshot that
+    only the calling domain updates, between [map] calls, so pruning
+    decisions stay deterministic.  The result array is in input order
+    regardless of engine.
 
     With a recording [trace] (default {!Ovo_obs.Trace.null}), each
     worker domain wraps its chunk in a span (category ["engine"]) whose

@@ -17,7 +17,7 @@ let of_state (st : Compact.state) =
   }
 
 let run_mtable ?(trace = Ovo_obs.Trace.null) ?(kind = Compact.Bdd) ?engine
-    ?cancel ?metrics ?membudget ?on_layer ?resume mt =
+    ?cancel ?metrics ?membudget ?prune ?on_layer ?resume mt =
   let base = Compact.initial kind mt in
   Ovo_obs.Trace.with_span trace ~cat:"fs"
     ~args:(fun () ->
@@ -25,14 +25,19 @@ let run_mtable ?(trace = Ovo_obs.Trace.null) ?(kind = Compact.Bdd) ?engine
     "fs.run"
     (fun () ->
       let st =
-        Fs_star.complete ~trace ?engine ?cancel ?metrics ?membudget ?on_layer
-          ?resume ~base (Compact.free base)
+        Fs_star.complete ~trace ?engine ?cancel ?metrics ?membudget ?prune
+          ?on_layer ?resume ~base (Compact.free base)
       in
-      of_state st)
+      let r = of_state st in
+      (* a pruned solve is exact only under a sound seed; an exact cost
+         above the seeded upper bound proves the provider lied *)
+      Option.iter (fun b -> Bound.check_final b r.mincost) prune;
+      r)
 
-let run ?trace ?kind ?engine ?cancel ?metrics ?membudget ?on_layer ?resume tt
-    =
-  run_mtable ?trace ?kind ?engine ?cancel ?metrics ?membudget ?on_layer ?resume
+let run ?trace ?kind ?engine ?cancel ?metrics ?membudget ?prune ?on_layer
+    ?resume tt =
+  run_mtable ?trace ?kind ?engine ?cancel ?metrics ?membudget ?prune ?on_layer
+    ?resume
     (Ovo_boolfun.Mtable.of_truthtable tt)
 
 let all_mincosts ?(trace = Ovo_obs.Trace.null) ?(kind = Compact.Bdd) ?engine

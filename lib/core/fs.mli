@@ -23,6 +23,7 @@ val run :
   ?cancel:Cancel.t ->
   ?metrics:Metrics.t ->
   ?membudget:Membudget.t ->
+  ?prune:Bound.t ->
   ?on_layer:(Subset_dp.progress -> unit) ->
   ?resume:Subset_dp.progress list ->
   Ovo_boolfun.Truthtable.t ->
@@ -44,7 +45,14 @@ val run :
     library persists them).  [resume] (default [[]]) preloads previously
     completed layers so the sweep continues where a checkpointed run
     stopped; the final solution is bit-identical to an uninterrupted
-    run under both engines.  See {!Subset_dp.Make.run}. *)
+    run under both engines.  See {!Subset_dp.Make.run}.
+
+    [prune] (default off) turns the sweep into an exact branch-and-bound
+    against the given {!Bound.t} — same answers, fewer states; see
+    {!Subset_dp}.  The final cost is sanity-checked against the seeded
+    upper bound ({!Bound.check_final}), so an unsound provider raises
+    {!Bound.Pruned_out} instead of silently corrupting the optimum.
+    Incompatible with [resume]. *)
 
 val run_mtable :
   ?trace:Ovo_obs.Trace.t ->
@@ -53,6 +61,7 @@ val run_mtable :
   ?cancel:Cancel.t ->
   ?metrics:Metrics.t ->
   ?membudget:Membudget.t ->
+  ?prune:Bound.t ->
   ?on_layer:(Subset_dp.progress -> unit) ->
   ?resume:Subset_dp.progress list ->
   Ovo_boolfun.Mtable.t ->

@@ -35,12 +35,12 @@ let rebrand f =
                               && String.sub m 0 9 = "Subset_dp" ->
     invalid_arg ("Fs_star" ^ String.sub m 9 (String.length m - 9))
 
-let run ?trace ?engine ?cancel ?metrics ?membudget ?on_layer ?resume ?upto
-    ~(base : Compact.state) j_set =
+let run ?trace ?engine ?cancel ?metrics ?membudget ?prune ?on_layer ?resume
+    ?upto ~(base : Compact.state) j_set =
   let d =
     rebrand (fun () ->
-        Dp.run ?trace ?engine ?cancel ?metrics ?membudget ?on_layer ?resume
-          ?upto ~base j_set)
+        Dp.run ?trace ?engine ?cancel ?metrics ?membudget ?prune ?on_layer
+          ?resume ?upto ~base j_set)
   in
   Log.debug (fun m ->
       m "FS* over %a from |I|=%d: %d subsets summarised, layer of %d states"
@@ -56,11 +56,11 @@ let run ?trace ?engine ?cancel ?metrics ?membudget ?on_layer ?resume ?upto
     layer = d.Dp.layer;
   }
 
-let costs ?trace ?engine ?cancel ?metrics ?membudget ?on_layer ?resume ?upto
-    ~(base : Compact.state) j_set =
+let costs ?trace ?engine ?cancel ?metrics ?membudget ?prune ?on_layer ?resume
+    ?upto ~(base : Compact.state) j_set =
   rebrand (fun () ->
-      Dp.costs ?trace ?engine ?cancel ?metrics ?membudget ?on_layer ?resume
-        ?upto ~base j_set)
+      Dp.costs ?trace ?engine ?cancel ?metrics ?membudget ?prune ?on_layer
+        ?resume ?upto ~base j_set)
 
 let reconstruct ?trace ?metrics ~base ct target =
   rebrand (fun () -> Dp.reconstruct ?trace ?metrics ~base ct target)
@@ -69,8 +69,8 @@ let state_of t ksub = Hashtbl.find t.layer ksub
 
 let mincost_of t ksub = Hashtbl.find t.mincosts ksub
 
-let complete ?trace ?engine ?cancel ?metrics ?membudget ?on_layer ?resume
-    ~base j_set =
+let complete ?trace ?engine ?cancel ?metrics ?membudget ?prune ?on_layer
+    ?resume ~base j_set =
   rebrand (fun () ->
-      Dp.complete ?trace ?engine ?cancel ?metrics ?membudget ?on_layer ?resume
-        ~base j_set)
+      Dp.complete ?trace ?engine ?cancel ?metrics ?membudget ?prune ?on_layer
+        ?resume ~base j_set)

@@ -42,6 +42,7 @@ val run :
   ?cancel:Cancel.t ->
   ?metrics:Metrics.t ->
   ?membudget:Membudget.t ->
+  ?prune:Bound.t ->
   ?on_layer:(Subset_dp.progress -> unit) ->
   ?resume:Subset_dp.progress list ->
   ?upto:int ->
@@ -63,6 +64,7 @@ val costs :
   ?cancel:Cancel.t ->
   ?metrics:Metrics.t ->
   ?membudget:Membudget.t ->
+  ?prune:Bound.t ->
   ?on_layer:(Subset_dp.progress -> unit) ->
   ?resume:Subset_dp.progress list ->
   ?upto:int ->
@@ -98,6 +100,7 @@ val complete :
   ?cancel:Cancel.t ->
   ?metrics:Metrics.t ->
   ?membudget:Membudget.t ->
+  ?prune:Bound.t ->
   ?on_layer:(Subset_dp.progress -> unit) ->
   ?resume:Subset_dp.progress list ->
   base:Compact.state ->

@@ -30,7 +30,7 @@ end
 module Dp = Subset_dp.Make (Weighted_state)
 
 let run_mtable ?(trace = Ovo_obs.Trace.null) ?(kind = Compact.Bdd) ?engine
-    ?cancel ?metrics ?membudget ~weights mt =
+    ?cancel ?metrics ?membudget ?prune ~weights mt =
   let n = Ovo_boolfun.Mtable.arity mt in
   if Array.length weights <> n then invalid_arg "Fs_weighted.run: bad weights";
   Array.iter
@@ -48,9 +48,12 @@ let run_mtable ?(trace = Ovo_obs.Trace.null) ?(kind = Compact.Bdd) ?engine
       ~args:(fun () -> [ ("n", Ovo_obs.Json.Int n) ])
       "fs_weighted.run"
       (fun () ->
-        Dp.complete ~trace ?engine ?cancel ?metrics ?membudget ~base
+        Dp.complete ~trace ?engine ?cancel ?metrics ?membudget ?prune ~base
           (Compact.free base.Weighted_state.inner))
   in
+  Option.iter
+    (fun b -> Bound.check_final b st.Weighted_state.wcost)
+    prune;
   let inner = st.Weighted_state.inner in
   {
     weighted_cost = st.Weighted_state.wcost;
@@ -59,6 +62,6 @@ let run_mtable ?(trace = Ovo_obs.Trace.null) ?(kind = Compact.Bdd) ?engine
     diagram = Diagram.of_state inner;
   }
 
-let run ?trace ?kind ?engine ?cancel ?metrics ?membudget ~weights tt =
-  run_mtable ?trace ?kind ?engine ?cancel ?metrics ?membudget ~weights
+let run ?trace ?kind ?engine ?cancel ?metrics ?membudget ?prune ~weights tt =
+  run_mtable ?trace ?kind ?engine ?cancel ?metrics ?membudget ?prune ~weights
     (Ovo_boolfun.Mtable.of_truthtable tt)

@@ -22,6 +22,7 @@ val run :
   ?cancel:Cancel.t ->
   ?metrics:Metrics.t ->
   ?membudget:Membudget.t ->
+  ?prune:Bound.t ->
   weights:int array ->
   Ovo_boolfun.Truthtable.t ->
   result
@@ -35,6 +36,7 @@ val run_mtable :
   ?cancel:Cancel.t ->
   ?metrics:Metrics.t ->
   ?membudget:Membudget.t ->
+  ?prune:Bound.t ->
   weights:int array ->
   Ovo_boolfun.Mtable.t ->
   result

@@ -13,16 +13,25 @@ let binomial n k =
    the (cost, choice) of the k-subset whose combinatorial (colex) rank
    within [j_set] is [r].  8-byte LE cost + 1-byte choice — a fixed 9
    bytes per subset where the hashtable pair cost ~10x that in boxed
-   words, and a layout that serialises to a spill payload for free. *)
+   words, and a layout that serialises to a spill payload for free.
+
+   A branch-and-bound sweep leaves pruned subsets unset; the in-memory
+   layout stays dense (rank arithmetic is the whole point) but [encode]
+   switches to a sparse (rank, cost, choice) triple format whenever that
+   is smaller, so pruning shrinks spill volume too. *)
 
 let entry_bytes = 9
 let header_bytes = 14
 let version = 1
+let sparse_header_bytes = 18
+let sparse_entry_bytes = 13
+let sparse_version = 2
 
 type t = {
   j_set : Varset.t;
   k : int;
   count : int;
+  mutable present : int;
   pascal : int array array;
       (* pascal.(p).(i) = C(p,i), for the rank formula below *)
   data : Bytes.t;
@@ -43,11 +52,12 @@ let create ~j_set ~k =
   if k < 1 || k > m then invalid_arg "Layer_pack.create: bad cardinality";
   let count = binomial m k in
   let data = Bytes.make (count * entry_bytes) '\xff' in
-  { j_set; k; count; pascal = pascal_table ~m ~k; data }
+  { j_set; k; count; present = 0; pascal = pascal_table ~m ~k; data }
 
 let k t = t.k
 let j_set t = t.j_set
 let count t = t.count
+let present t = t.present
 let size_bytes t = header_bytes + Bytes.length t.data
 
 (* Combinatorial number system: the rank of {c_1 < ... < c_k} among the
@@ -80,12 +90,17 @@ let unrank t r =
   done;
   !sub
 
+let is_set_at t off = Bytes.get_int64_le t.data off >= 0L
+
 let set t ksub ~cost ~choice =
   if cost < 0 then invalid_arg "Layer_pack.set: negative cost";
   if choice < 0 || choice > 0xff then invalid_arg "Layer_pack.set: bad choice";
   let off = rank t ksub * entry_bytes in
+  if not (is_set_at t off) then t.present <- t.present + 1;
   Bytes.set_int64_le t.data off (Int64.of_int cost);
   Bytes.set_uint8 t.data (off + 8) choice
+
+let mem t ksub = is_set_at t (rank t ksub * entry_bytes)
 
 let cost t ksub =
   let off = rank t ksub * entry_bytes in
@@ -101,24 +116,30 @@ let choice t ksub =
 
 let of_entries ~j_set ~k entries =
   let t = create ~j_set ~k in
-  if Array.length entries <> t.count then
-    invalid_arg "Layer_pack.of_entries: wrong entry count";
+  if Array.length entries > t.count then
+    invalid_arg "Layer_pack.of_entries: more entries than subsets";
   Array.iter (fun (ksub, cost, choice) -> set t ksub ~cost ~choice) entries;
   t
 
+(* Unset (pruned) subsets are skipped: a partial layer iterates only the
+   states the sweep kept. *)
 let iter t f =
   Varset.iter_subsets_of t.j_set ~size:t.k (fun ksub ->
-      f ksub ~cost:(cost t ksub) ~choice:(choice t ksub))
+      let off = rank t ksub * entry_bytes in
+      if is_set_at t off then
+        f ksub
+          ~cost:(Int64.to_int (Bytes.get_int64_le t.data off))
+          ~choice:(Bytes.get_uint8 t.data (off + 8)))
 
 let entries t =
-  let out = Array.make t.count (Varset.empty, 0, 0) in
+  let out = Array.make t.present (Varset.empty, 0, 0) in
   let i = ref 0 in
   iter t (fun ksub ~cost ~choice ->
       out.(!i) <- (ksub, cost, choice);
       incr i);
   out
 
-let encode t =
+let encode_dense t =
   let b = Bytes.create (header_bytes + Bytes.length t.data) in
   Bytes.set_uint8 b 0 version;
   Bytes.set_uint8 b 1 t.k;
@@ -127,18 +148,70 @@ let encode t =
   Bytes.blit t.data 0 b header_bytes (Bytes.length t.data);
   Bytes.unsafe_to_string b
 
+let encode_sparse t =
+  let b = Bytes.create (sparse_header_bytes + (t.present * sparse_entry_bytes)) in
+  Bytes.set_uint8 b 0 sparse_version;
+  Bytes.set_uint8 b 1 t.k;
+  Bytes.set_int64_le b 2 (Int64.of_int t.j_set);
+  Bytes.set_int32_le b 10 (Int32.of_int t.count);
+  Bytes.set_int32_le b 14 (Int32.of_int t.present);
+  let out = ref sparse_header_bytes in
+  for r = 0 to t.count - 1 do
+    let off = r * entry_bytes in
+    if is_set_at t off then begin
+      Bytes.set_int32_le b !out (Int32.of_int r);
+      Bytes.set_int64_le b (!out + 4) (Bytes.get_int64_le t.data off);
+      Bytes.set_uint8 b (!out + 12) (Bytes.get_uint8 t.data (off + 8));
+      out := !out + sparse_entry_bytes
+    end
+  done;
+  Bytes.unsafe_to_string b
+
+let encode t =
+  if sparse_header_bytes + (t.present * sparse_entry_bytes)
+     < header_bytes + (t.count * entry_bytes)
+  then encode_sparse t
+  else encode_dense t
+
 let decode s =
   let fail msg = failwith (Printf.sprintf "Layer_pack.decode: %s" msg) in
   if String.length s < header_bytes then fail "payload shorter than header";
-  if Char.code s.[0] <> version then fail "unknown version";
+  let v = Char.code s.[0] in
+  if v <> version && v <> sparse_version then fail "unknown version";
   let k = Char.code s.[1] in
   let j_set = Int64.to_int (String.get_int64_le s 2) in
   let count = Int32.to_int (String.get_int32_le s 10) in
   let m = Varset.cardinal j_set in
   if j_set < 0 || k < 1 || k > m then fail "inconsistent header";
   if count <> binomial m k then fail "entry count does not match layer";
-  if String.length s <> header_bytes + (count * entry_bytes) then
-    fail "truncated layer data";
   let t = create ~j_set ~k in
-  Bytes.blit_string s header_bytes t.data 0 (count * entry_bytes);
+  (if v = version then begin
+     if String.length s <> header_bytes + (count * entry_bytes) then
+       fail "truncated layer data";
+     Bytes.blit_string s header_bytes t.data 0 (count * entry_bytes);
+     (* recover [present] by scanning for set sign bits *)
+     for r = 0 to count - 1 do
+       if is_set_at t (r * entry_bytes) then t.present <- t.present + 1
+     done
+   end
+   else begin
+     if String.length s < sparse_header_bytes then
+       fail "payload shorter than sparse header";
+     let present = Int32.to_int (String.get_int32_le s 14) in
+     if present < 0 || present > count then fail "inconsistent sparse header";
+     if String.length s <> sparse_header_bytes + (present * sparse_entry_bytes)
+     then fail "truncated layer data";
+     for i = 0 to present - 1 do
+       let off = sparse_header_bytes + (i * sparse_entry_bytes) in
+       let r = Int32.to_int (String.get_int32_le s off) in
+       if r < 0 || r >= count then fail "entry rank out of range";
+       let c = String.get_int64_le s (off + 4) in
+       if c < 0L then fail "negative cost in sparse entry";
+       let doff = r * entry_bytes in
+       if not (is_set_at t doff) then t.present <- t.present + 1;
+       Bytes.set_int64_le t.data doff c;
+       Bytes.set_uint8 t.data (doff + 8) (Char.code s.[off + 12])
+     done;
+     if t.present <> present then fail "duplicate rank in sparse entries"
+   end);
   t

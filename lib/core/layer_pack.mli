@@ -28,9 +28,10 @@ val create : j_set:Varset.t -> k:int -> t
     [1 <= k <= cardinal j_set]. *)
 
 val of_entries : j_set:Varset.t -> k:int -> (Varset.t * int * int) array -> t
-(** Pack a complete layer from [(subset, cost, choice)] triples (any
-    order).  Raises [Invalid_argument] unless exactly [C(m,k)] entries
-    are given. *)
+(** Pack a layer from [(subset, cost, choice)] triples (any order).
+    Fewer than [C(m,k)] entries leave the rest unset — the shape a
+    pruned branch-and-bound layer produces.  Raises [Invalid_argument]
+    on more than [C(m,k)] entries. *)
 
 val set : t -> Varset.t -> cost:int -> choice:int -> unit
 (** Write one entry.  Costs must be non-negative (the sign bit marks
@@ -48,11 +49,18 @@ val k : t -> int
 val j_set : t -> Varset.t
 
 val count : t -> int
-(** Number of entries, [C(cardinal j_set, k)]. *)
+(** Number of subsets in the layer, [C(cardinal j_set, k)]. *)
+
+val present : t -> int
+(** Number of entries actually set; [< count t] after pruning. *)
+
+val mem : t -> Varset.t -> bool
+(** Whether a subset's entry is set (i.e. survived pruning). *)
 
 val size_bytes : t -> int
-(** Resident footprint charged to {!Membudget} — header plus data,
-    identical to [String.length (encode t)]. *)
+(** Resident footprint charged to {!Membudget} — header plus the dense
+    data buffer, regardless of how many entries are set.  The spill
+    payload ({!encode}) may be smaller when the layer is sparse. *)
 
 val rank : t -> Varset.t -> int
 (** Combinatorial (colex) rank of a subset within the layer. *)
@@ -61,15 +69,18 @@ val unrank : t -> int -> Varset.t
 (** Inverse of {!rank}. *)
 
 val iter : t -> (Varset.t -> cost:int -> choice:int -> unit) -> unit
-(** Visit every entry in enumeration (rank) order. *)
+(** Visit every {e set} entry in enumeration (rank) order; unset
+    (pruned) subsets are skipped. *)
 
 val entries : t -> (Varset.t * int * int) array
-(** All [(subset, cost, choice)] triples in rank order — the shape
+(** All set [(subset, cost, choice)] triples in rank order — the shape
     {!Subset_dp.progress} carries. *)
 
 val encode : t -> string
-(** Serialise the layer (versioned 14-byte header + data) as a spill
-    payload. *)
+(** Serialise the layer as a spill payload.  Complete layers use the
+    dense v1 format (14-byte header + 9 bytes per subset); layers sparse
+    enough that rank-tagged triples win use the v2 format (18-byte
+    header + 13 bytes per set entry) — pruning shrinks spill volume. *)
 
 val decode : string -> t
 (** Inverse of {!encode}.  Raises [Failure] on a truncated, corrupt or

@@ -246,7 +246,7 @@ let of_state st =
   }
 
 let minimize_mtables ?(trace = Ovo_obs.Trace.null) ?(kind = Compact.Bdd)
-    ?engine ?cancel ?metrics ?membudget mts =
+    ?engine ?cancel ?metrics ?membudget ?prune mts =
   let base = initial kind mts in
   Ovo_obs.Trace.with_span trace ~cat:"fs"
     ~args:(fun () ->
@@ -256,12 +256,16 @@ let minimize_mtables ?(trace = Ovo_obs.Trace.null) ?(kind = Compact.Bdd)
       ])
     "shared.minimize"
     (fun () ->
-      of_state
-        (Dp.complete ~trace ?engine ?cancel ?metrics ?membudget ~base
-           (free base)))
+      let r =
+        of_state
+          (Dp.complete ~trace ?engine ?cancel ?metrics ?membudget ?prune ~base
+             (free base))
+      in
+      Option.iter (fun b -> Bound.check_final b r.mincost) prune;
+      r)
 
-let minimize ?trace ?kind ?engine ?cancel ?metrics ?membudget tts =
-  minimize_mtables ?trace ?kind ?engine ?cancel ?metrics ?membudget
+let minimize ?trace ?kind ?engine ?cancel ?metrics ?membudget ?prune tts =
+  minimize_mtables ?trace ?kind ?engine ?cancel ?metrics ?membudget ?prune
     (Array.map Ovo_boolfun.Mtable.of_truthtable tts)
 
 let to_dot st =

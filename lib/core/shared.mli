@@ -86,6 +86,7 @@ val minimize :
   ?cancel:Cancel.t ->
   ?metrics:Metrics.t ->
   ?membudget:Membudget.t ->
+  ?prune:Bound.t ->
   Ovo_boolfun.Truthtable.t array ->
   result
 (** Exact optimal ordering for the shared diagram (the FS dynamic
@@ -99,6 +100,7 @@ val minimize_mtables :
   ?cancel:Cancel.t ->
   ?metrics:Metrics.t ->
   ?membudget:Membudget.t ->
+  ?prune:Bound.t ->
   Ovo_boolfun.Mtable.t array ->
   result
 

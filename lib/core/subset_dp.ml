@@ -56,7 +56,9 @@ module Layers = struct
           "spill.write"
           (fun () -> sink.Membudget.spill ~k payload);
         Membudget.note_spill t.mb bytes;
-        Membudget.shrank t.mb bytes;
+        (* release what [put] charged — the resident (dense) footprint,
+           which exceeds the payload when a pruned layer packed sparse *)
+        Membudget.shrank t.mb (Layer_pack.size_bytes pack);
         Trace.counter t.trace "spill.bytes_spilled"
           (float_of_int (Membudget.bytes_spilled t.mb));
         t.slots.(k) <- Some Spilled
@@ -163,29 +165,56 @@ module Make (S : COMPACTABLE) = struct
      no node-table copy.  Pass 2 materialises the single winner, unless
      [skip_state] (the caller will never read this layer's states).
      Ties keep the smallest [h], as the one-pass code did.  The previous
-     layer is frozen, so this function is safe on Engine.Par workers. *)
-  let eval_subset ~prev ~skip_state metrics ksub =
+     layer is frozen, so this function is safe on Engine.Par workers.
+
+     [prune = Some (b, cap, base_free)] turns the step into a
+     branch-and-bound one: a predecessor missing from [prev] was pruned
+     (a subset all of whose predecessors are gone is unreachable and
+     pruned too), and a winner whose cost plus admissible remaining
+     bound exceeds the incumbent snapshot [cap] is dropped — [None].
+     [cap] is read once per layer on the calling domain, so Par workers
+     prune against the same incumbent as Seq and the surviving state
+     set is deterministic.  An optimal chain's prefixes always satisfy
+     [cost + remaining <= optimum <= cap], so exactly one full-cost
+     chain to every optimal target survives and answers stay
+     bit-identical (a pruned candidate never beats the surviving tight
+     choice, so ties still keep the smallest [h]). *)
+  let eval_subset ~prev ~skip_state ~prune metrics ksub =
     let best_h = ref (-1) and best_c = ref max_int in
     Varset.iter
       (fun h ->
-        let before = Hashtbl.find prev (Varset.remove h ksub) in
-        let c = S.cost_if_compacted ~metrics before h in
-        if c < !best_c then begin
-          best_c := c;
-          best_h := h
-        end)
+        match Hashtbl.find_opt prev (Varset.remove h ksub) with
+        | None -> ()
+        | Some before ->
+            let c = S.cost_if_compacted ~metrics before h in
+            if c < !best_c then begin
+              best_c := c;
+              best_h := h
+            end)
       ksub;
-    assert (!best_h >= 0);
-    let st =
-      if skip_state then None
-      else begin
-        let before = Hashtbl.find prev (Varset.remove !best_h ksub) in
-        let st = S.materialise ~metrics before !best_h in
-        assert (S.mincost st = !best_c);
-        Some st
-      end
-    in
-    (ksub, !best_h, !best_c, st)
+    if !best_h < 0 then begin
+      assert (Option.is_some prune);
+      None
+    end
+    else
+      let keep =
+        match prune with
+        | None -> true
+        | Some (b, cap, base_free) ->
+            !best_c + Bound.remaining b (Varset.diff base_free ksub) <= cap
+      in
+      if not keep then None
+      else
+        let st =
+          if skip_state then None
+          else begin
+            let before = Hashtbl.find prev (Varset.remove !best_h ksub) in
+            let st = S.materialise ~metrics before !best_h in
+            assert (S.mincost st = !best_c);
+            Some st
+          end
+        in
+        Some (ksub, !best_h, !best_c, st)
 
   (* Replaying a subset's recorded choice chain over the base yields a
      state bit-identical to the one the original sweep materialised for
@@ -254,8 +283,15 @@ module Make (S : COMPACTABLE) = struct
      emitted when a budget is set, so unbudgeted traces are unchanged.
      Probes stay untraced — the tracer's granularity floor is a layer,
      so the disabled-tracer cost on the hot path is zero. *)
-  let sweep ~trace ~engine ~cancel ~metrics ~mb ~upto ~keep_last_states
+  let sweep ~trace ~engine ~cancel ~metrics ~mb ~prune ~upto ~keep_last_states
       ~on_layer ~resume ~base j_set =
+    (match (prune, resume) with
+    | Some _, _ :: _ ->
+        (* a checkpoint records complete layers; a pruned sweep neither
+           produces nor accepts them *)
+        invalid_arg "Subset_dp: pruning cannot resume from a checkpoint"
+    | _ -> ());
+    let base_free = S.free base in
     let layers =
       Layers.create ~trace ~mb ~base_cost:(S.mincost base) ~upto j_set
     in
@@ -305,7 +341,8 @@ module Make (S : COMPACTABLE) = struct
           ("upto", Ovo_obs.Json.Int upto);
           ("resumed_from", Ovo_obs.Json.Int (start_k - 1));
           ("engine", Ovo_obs.Json.String (Engine.to_string engine));
-        ])
+        ]
+        @ (match prune with None -> [] | Some b -> Bound.to_args b))
       "dp.sweep"
       (fun () ->
         for k = start_k to upto do
@@ -317,6 +354,13 @@ module Make (S : COMPACTABLE) = struct
           let prev = !layer in
           let skip_state = k = upto && not keep_last_states in
           let subs = subsets_of j_set ~size:k in
+          (* the incumbent is frozen for the whole layer: workers prune
+             against this snapshot, and only the post-join code below
+             (calling domain) tightens it — Seq and Par keep identical
+             surviving-state sets *)
+          let pr =
+            Option.map (fun b -> (b, Bound.incumbent b, base_free)) prune
+          in
           let before = Metrics.snapshot metrics in
           let results =
             Trace.with_span trace ~cat:"dp"
@@ -329,19 +373,58 @@ module Make (S : COMPACTABLE) = struct
               (Printf.sprintf "layer k=%d" k)
               (fun () ->
                 Engine.map ~trace ~cancel engine ~metrics
-                  (eval_subset ~prev ~skip_state)
+                  (eval_subset ~prev ~skip_state ~prune:pr)
                   subs)
           in
-          let next = Hashtbl.create (Array.length results * 2) in
+          let kept =
+            Array.of_seq (Seq.filter_map Fun.id (Array.to_seq results))
+          in
+          (match prune with
+          | None -> ()
+          | Some b ->
+              let pruned = Array.length subs - Array.length kept in
+              Bound.note_pruned b pruned;
+              if Array.length kept = 0 then
+                raise
+                  (Bound.Pruned_out
+                     (Printf.sprintf
+                        "Subset_dp: layer k=%d lost all %d states to the \
+                         incumbent %d — no completion of this base beats it"
+                        k (Array.length subs) (Bound.incumbent b)));
+              (* layer boundary: tighten the incumbent from states whose
+                 completion cost is known exactly (achievable totals),
+                 and record the trajectory *)
+              let best_lb = ref max_int in
+              Array.iter
+                (fun (ksub, _, c, _) ->
+                  let free = Varset.diff base_free ksub in
+                  (match Bound.exact_completion b free with
+                  | Some extra -> Bound.observe b (c + extra)
+                  | None -> ());
+                  let lb = c + Bound.remaining b free in
+                  if lb < !best_lb then best_lb := lb)
+                kept;
+              Bound.record_layer b
+                {
+                  Bound.ls_layer = k;
+                  ls_kept = Array.length kept;
+                  ls_pruned = pruned;
+                  ls_lower = !best_lb;
+                  ls_incumbent = Bound.incumbent b;
+                };
+              Trace.counter trace "prune.states_pruned"
+                (float_of_int (Bound.states_pruned b));
+              if Bound.incumbent b < max_int then
+                Trace.counter trace "prune.incumbent"
+                  (float_of_int (Bound.incumbent b)));
+          let next = Hashtbl.create (Array.length kept * 2) in
           Array.iter
             (fun (ksub, _, _, st) ->
               match st with
               | Some st -> Hashtbl.replace next ksub st
               | None -> ())
-            results;
-          let entries =
-            Array.map (fun (ksub, h, c, _) -> (ksub, c, h)) results
-          in
+            kept;
+          let entries = Array.map (fun (ksub, h, c, _) -> (ksub, c, h)) kept in
           Layers.put layers (Layer_pack.of_entries ~j_set ~k entries);
           (* eager drop: only the packed layers survive *)
           Hashtbl.reset prev;
@@ -355,25 +438,25 @@ module Make (S : COMPACTABLE) = struct
     | None -> Membudget.unbounded ()
 
   let run ?(trace = Trace.null) ?(engine = Engine.Seq)
-      ?(cancel = Cancel.never) ?(metrics = Metrics.ambient) ?membudget
+      ?(cancel = Cancel.never) ?(metrics = Metrics.ambient) ?membudget ?prune
       ?(on_layer = fun _ -> ()) ?(resume = []) ?upto ~base j_set =
     let upto = validate ~base j_set upto in
     let mb = membudget_of membudget in
     let layers, layer =
-      sweep ~trace ~engine ~cancel ~metrics ~mb ~upto ~keep_last_states:true
-        ~on_layer ~resume ~base j_set
+      sweep ~trace ~engine ~cancel ~metrics ~mb ~prune ~upto
+        ~keep_last_states:true ~on_layer ~resume ~base j_set
     in
     let mincosts, _ = Layers.to_tables layers upto in
     { j_set; upto; mincosts; layer }
 
   let costs ?(trace = Trace.null) ?(engine = Engine.Seq)
-      ?(cancel = Cancel.never) ?(metrics = Metrics.ambient) ?membudget
+      ?(cancel = Cancel.never) ?(metrics = Metrics.ambient) ?membudget ?prune
       ?(on_layer = fun _ -> ()) ?(resume = []) ?upto ~base j_set =
     let upto = validate ~base j_set upto in
     let mb = membudget_of membudget in
     let layers, _ =
-      sweep ~trace ~engine ~cancel ~metrics ~mb ~upto ~keep_last_states:false
-        ~on_layer ~resume ~base j_set
+      sweep ~trace ~engine ~cancel ~metrics ~mb ~prune ~upto
+        ~keep_last_states:false ~on_layer ~resume ~base j_set
     in
     let mincosts, choices = Layers.to_tables layers upto in
     { cost_j_set = j_set; cost_upto = upto; cost_table = mincosts;
@@ -405,21 +488,33 @@ module Make (S : COMPACTABLE) = struct
     assert (S.mincost st = Hashtbl.find ct.cost_table target);
     st
 
-  let state_of t ksub = Hashtbl.find t.layer ksub
-  let mincost_of t ksub = Hashtbl.find t.mincosts ksub
+  (* Under pruning a subset may have been discarded — surface that as
+     {!Bound.Pruned_out} (the branch is provably not worth completing)
+     rather than [Not_found]. *)
+  let state_of t ksub =
+    match Hashtbl.find_opt t.layer ksub with
+    | Some st -> st
+    | None ->
+        raise (Bound.Pruned_out "Subset_dp.state_of: the state was pruned")
+
+  let mincost_of t ksub =
+    match Hashtbl.find_opt t.mincosts ksub with
+    | Some c -> c
+    | None ->
+        raise (Bound.Pruned_out "Subset_dp.mincost_of: the state was pruned")
 
   (* The out-of-core path: sweep in packed (cost-only) mode, then
      backtrack directly over the packed layers — spilled layers are
      reloaded lazily, one fetch per cardinality, and the hashtable form
      is never built. *)
   let complete ?(trace = Trace.null) ?(engine = Engine.Seq)
-      ?(cancel = Cancel.never) ?(metrics = Metrics.ambient) ?membudget
+      ?(cancel = Cancel.never) ?(metrics = Metrics.ambient) ?membudget ?prune
       ?(on_layer = fun _ -> ()) ?(resume = []) ~base j_set =
     let upto = validate ~base j_set None in
     let mb = membudget_of membudget in
     let layers, _ =
-      sweep ~trace ~engine ~cancel ~metrics ~mb ~upto ~keep_last_states:false
-        ~on_layer ~resume ~base j_set
+      sweep ~trace ~engine ~cancel ~metrics ~mb ~prune ~upto
+        ~keep_last_states:false ~on_layer ~resume ~base j_set
     in
     let before = Metrics.snapshot metrics in
     let st =

@@ -29,7 +29,21 @@
     {!Membudget}: past the budget, completed layers spill to disk
     through the injected sink and are reloaded lazily during
     backtracking — results stay bit-identical to the in-memory run under
-    both engines, because packing happens after the parallel join. *)
+    both engines, because packing happens after the parallel join.
+
+    With a {!Bound.t} context ([?prune]) the sweep becomes an exact
+    {e branch-and-bound}: a subset whose cost plus admissible remaining
+    bound exceeds the incumbent is never materialised (nor packed — a
+    pruned layer spills sparse).  The incumbent is seeded from an
+    injected upper bound and tightened at layer boundaries from states
+    whose completion cost is known exactly, on the calling domain only,
+    so the surviving state set — and every answer — is deterministic
+    and bit-identical to the unpruned sweep under {!Engine.Seq} and
+    {!Engine.Par} alike.  A layer losing {e all} states raises
+    {!Bound.Pruned_out}: no completion of the base beats the incumbent
+    (only possible when the incumbent came from outside this sweep, as
+    in the quantum tower's shared-incumbent sub-sweeps, or from an
+    unsound seed).  Pruning is incompatible with [resume]. *)
 
 module type COMPACTABLE = sig
   type state
@@ -97,6 +111,7 @@ module Make (S : COMPACTABLE) : sig
     ?cancel:Cancel.t ->
     ?metrics:Metrics.t ->
     ?membudget:Membudget.t ->
+    ?prune:Bound.t ->
     ?on_layer:(progress -> unit) ->
     ?resume:progress list ->
     ?upto:int ->
@@ -136,6 +151,7 @@ module Make (S : COMPACTABLE) : sig
     ?cancel:Cancel.t ->
     ?metrics:Metrics.t ->
     ?membudget:Membudget.t ->
+    ?prune:Bound.t ->
     ?on_layer:(progress -> unit) ->
     ?resume:progress list ->
     ?upto:int ->
@@ -160,7 +176,12 @@ module Make (S : COMPACTABLE) : sig
       total.  Requires [k ⊆ ct.cost_j_set] and [|k| ≤ ct.cost_upto]. *)
 
   val state_of : t -> Varset.t -> S.state
+  (** The kept optimal state of a subset at cardinality [upto].  Raises
+      {!Bound.Pruned_out} when a pruned sweep discarded it — the subset
+      provably heads no ordering beating the incumbent. *)
+
   val mincost_of : t -> Varset.t -> int
+  (** [MINCOST⟨base, K⟩]; raises {!Bound.Pruned_out} when pruned. *)
 
   val complete :
     ?trace:Ovo_obs.Trace.t ->
@@ -168,6 +189,7 @@ module Make (S : COMPACTABLE) : sig
     ?cancel:Cancel.t ->
     ?metrics:Metrics.t ->
     ?membudget:Membudget.t ->
+    ?prune:Bound.t ->
     ?on_layer:(progress -> unit) ->
     ?resume:progress list ->
     base:S.state ->

@@ -22,8 +22,15 @@ end)
 
 let run ?(trace = Ovo_obs.Trace.null) ?(kind = C.Bdd) tt =
   let n = Ovo_boolfun.Truthtable.arity tt in
-  let support = V.of_list (Ovo_boolfun.Truthtable.support tt) in
-  let h iset = V.cardinal (V.diff support iset) in
+  let goal = V.full n in
+  (* the admissible heuristic is the shared counting bound of
+     {!Ovo_core.Bound} — the same implementation the branch-and-bound
+     DP sweep and the quantum tower prune with *)
+  let lb =
+    Ovo_core.Bound.counting_lower kind
+      (Ovo_boolfun.Mtable.of_truthtable tt)
+  in
+  let h iset = lb.Ovo_core.Bound.remaining (V.diff goal iset) in
   let base = C.of_truthtable kind tt in
   let states : (V.t, C.state) Hashtbl.t = Hashtbl.create 256 in
   let best_g : (V.t, int) Hashtbl.t = Hashtbl.create 256 in
@@ -33,7 +40,6 @@ let run ?(trace = Ovo_obs.Trace.null) ?(kind = C.Bdd) tt =
   let frontier = ref (Frontier.singleton (h V.empty, 0, V.empty)) in
   let expanded = ref 0 and generated = ref 0 in
   let max_depth = ref (-1) in
-  let goal = V.full n in
   let rec search () =
     match Frontier.min_elt_opt !frontier with
     | None -> failwith "Astar.run: frontier exhausted before the goal"

@@ -1,0 +1,69 @@
+(** Heuristic-seeded pruning contexts — the injected bound provider.
+
+    The branch-and-bound DP in [lib/core] consumes a {!Ovo_core.Bound.t}
+    but must not depend on this library (core sits below ordering), so
+    callers that want a heuristic-seeded incumbent build it here and
+    pass it down: sifting (or the portfolio) supplies an achievable
+    upper bound, {!Ovo_core.Bound} supplies the matching admissible
+    lower bound, and the solve stays exact while skipping every state
+    the pair proves hopeless. *)
+
+val sifting_upper :
+  ?trace:Ovo_obs.Trace.t ->
+  ?kind:Ovo_core.Compact.kind ->
+  ?max_passes:int ->
+  Ovo_boolfun.Truthtable.t ->
+  Ovo_core.Bound.upper
+(** The cost of the sifting ordering — cheap ([O(n² 2^n)] per pass
+    against the exact DP's [O*(3^n)]) and usually close to optimal. *)
+
+val sifting_upper_mtable :
+  ?trace:Ovo_obs.Trace.t ->
+  ?kind:Ovo_core.Compact.kind ->
+  ?max_passes:int ->
+  Ovo_boolfun.Mtable.t ->
+  Ovo_core.Bound.upper
+
+val portfolio_upper :
+  ?trace:Ovo_obs.Trace.t ->
+  ?kind:Ovo_core.Compact.kind ->
+  ?rng:Random.State.t ->
+  Ovo_boolfun.Truthtable.t ->
+  Ovo_core.Bound.upper
+(** The best cost across the whole heuristic portfolio — tighter than
+    {!sifting_upper} but costlier to compute. *)
+
+val bound :
+  ?trace:Ovo_obs.Trace.t ->
+  ?kind:Ovo_core.Compact.kind ->
+  ?portfolio:bool ->
+  ?rng:Random.State.t ->
+  Ovo_boolfun.Truthtable.t ->
+  Ovo_core.Bound.t
+(** A ready pruning context for {!Ovo_core.Fs.run}: counting lower
+    bound plus a sifting seed ([portfolio:true] seeds from
+    {!portfolio_upper} instead). *)
+
+val bound_mtable :
+  ?trace:Ovo_obs.Trace.t ->
+  ?kind:Ovo_core.Compact.kind ->
+  ?max_passes:int ->
+  Ovo_boolfun.Mtable.t ->
+  Ovo_core.Bound.t
+
+val weighted_bound :
+  ?trace:Ovo_obs.Trace.t ->
+  ?kind:Ovo_core.Compact.kind ->
+  weights:int array ->
+  Ovo_boolfun.Mtable.t ->
+  Ovo_core.Bound.t
+(** For {!Ovo_core.Fs_weighted}: the sifting order re-priced under the
+    weighted objective (both directions, cheaper one kept) seeds the
+    weighted counting bound. *)
+
+val shared_bound :
+  ?kind:Ovo_core.Compact.kind ->
+  Ovo_boolfun.Mtable.t array ->
+  Ovo_core.Bound.t
+(** For {!Ovo_core.Shared}: the identity placement's shared cost seeds
+    the multi-rooted counting bound. *)

@@ -82,8 +82,21 @@ module Make (S : STATE) = struct
               (fun () ->
                 measured_cells ctx (fun () ->
                     Dp.complete ~trace:ctx.Qctx.trace ~engine:ctx.Qctx.engine
-                      ~metrics:ctx.Qctx.metrics ~base j_set)));
+                      ~metrics:ctx.Qctx.metrics ?membudget:ctx.Qctx.membudget
+                      ?prune:ctx.Qctx.bound ~base j_set)));
     }
+
+  (* A sub-sweep pruned against the context's global incumbent can die
+     entirely ({!Ovo_core.Bound.Pruned_out}): no completion of that
+     branch beats an already-achievable total.  Inside a Grover-style
+     search that is just "worse than the incumbent" — the oracle reports
+     a sentinel value no real branch can lose to, and if {e every}
+     candidate died the search re-raises so the hopelessness propagates
+     one recursion level up. *)
+  let pruned_sentinel = (max_int, 0.)
+
+  let oracle_catching_pruned f ksub =
+    try f ksub with Ovo_core.Bound.Pruned_out _ -> pruned_sentinel
 
   let subsets_of l ~size =
     let acc = ref [] in
@@ -112,17 +125,20 @@ module Make (S : STATE) = struct
         else begin
           let candidates = subsets_of j_set ~size:k in
           let memo = Hashtbl.create (Array.length candidates) in
-          let oracle ksub =
-            let st_k, cost_k =
-              measured_cells ctx (fun () ->
-                  Dp.complete ~engine:ctx.Qctx.engine
-                    ~metrics:ctx.Qctx.metrics ~base ksub)
-            in
-            let st, cost_rest =
-              fs_star.compose ctx st_k (Varset.diff j_set ksub)
-            in
-            Hashtbl.replace memo ksub st;
-            (S.mincost st, cost_k +. cost_rest)
+          let oracle =
+            oracle_catching_pruned (fun ksub ->
+                let st_k, cost_k =
+                  measured_cells ctx (fun () ->
+                      Dp.complete ~engine:ctx.Qctx.engine
+                        ~metrics:ctx.Qctx.metrics
+                        ?membudget:ctx.Qctx.membudget ?prune:ctx.Qctx.bound
+                        ~base ksub)
+                in
+                let st, cost_rest =
+                  fs_star.compose ctx st_k (Varset.diff j_set ksub)
+                in
+                Hashtbl.replace memo ksub st;
+                (S.mincost st, cost_k +. cost_rest))
           in
           let outcome =
             with_search_span ctx ~name:"qsearch.simple_split" ~level:1
@@ -130,7 +146,12 @@ module Make (S : STATE) = struct
                 Qsearch.find_min ?rng:ctx.Qctx.rng ~epsilon:ctx.Qctx.epsilon
                   ~stats:ctx.Qctx.stats ~candidates ~oracle ())
           in
-          (Hashtbl.find memo outcome.Qsearch.argmin, outcome.Qsearch.modeled_cost)
+          match Hashtbl.find_opt memo outcome.Qsearch.argmin with
+          | Some st -> (st, outcome.Qsearch.modeled_cost)
+          | None ->
+              raise
+                (Ovo_core.Bound.Pruned_out
+                   "simple_split: every candidate branch was pruned out")
         end
     in
     { label = "OptOBDD-simple"; compose }
@@ -170,20 +191,26 @@ module Make (S : STATE) = struct
                 (fun () ->
                   measured_cells ctx (fun () ->
                       Dp.run ~trace:ctx.Qctx.trace ~engine:ctx.Qctx.engine
-                        ~metrics:ctx.Qctx.metrics ~upto:b.(0) ~base j_set))
+                        ~metrics:ctx.Qctx.metrics
+                        ?membudget:ctx.Qctx.membudget ?prune:ctx.Qctx.bound
+                        ~upto:b.(0) ~base j_set))
             in
             let rec divide_and_conquer l t =
+              (* [state_of] raises Pruned_out for a pruned preprocess
+                 state — absorbed by the enclosing oracle like any other
+                 dead branch *)
               if t = 1 then (Dp.state_of pre l, 0.)
               else begin
                 let candidates = subsets_of l ~size:b.(t - 2) in
                 let memo = Hashtbl.create (Array.length candidates) in
-                let oracle ksub =
-                  let st_k, cost_k = divide_and_conquer ksub (t - 1) in
-                  let st, cost_rest =
-                    gamma.compose ctx st_k (Varset.diff l ksub)
-                  in
-                  Hashtbl.replace memo ksub st;
-                  (S.mincost st, cost_k +. cost_rest)
+                let oracle =
+                  oracle_catching_pruned (fun ksub ->
+                      let st_k, cost_k = divide_and_conquer ksub (t - 1) in
+                      let st, cost_rest =
+                        gamma.compose ctx st_k (Varset.diff l ksub)
+                      in
+                      Hashtbl.replace memo ksub st;
+                      (S.mincost st, cost_k +. cost_rest))
                 in
                 let outcome =
                   with_search_span ctx
@@ -193,8 +220,15 @@ module Make (S : STATE) = struct
                         ~epsilon:ctx.Qctx.epsilon ~stats:ctx.Qctx.stats
                         ~candidates ~oracle ())
                 in
-                ( Hashtbl.find memo outcome.Qsearch.argmin,
-                  outcome.Qsearch.modeled_cost )
+                match Hashtbl.find_opt memo outcome.Qsearch.argmin with
+                | Some st -> (st, outcome.Qsearch.modeled_cost)
+                | None ->
+                    raise
+                      (Ovo_core.Bound.Pruned_out
+                         (Printf.sprintf
+                            "opt_obdd level t=%d: every candidate branch \
+                             was pruned out"
+                            t))
               end
             in
             let state, search_cost = divide_and_conquer j_set (m + 1) in

@@ -34,6 +34,12 @@ type ctx = Qctx.t = {
   trace : Ovo_obs.Trace.t;
       (** span tracer: the quantum recursion records one span per level
           with oracle-call counts and modeled-query deltas *)
+  membudget : Ovo_core.Membudget.t option;
+      (** one global out-of-core budget shared by every recursive [FS*]
+          sub-sweep — see {!Qctx.t} *)
+  bound : Ovo_core.Bound.t option;
+      (** one global branch-and-bound incumbent shared by every
+          sub-sweep — see {!Qctx.t} *)
 }
 
 val make_ctx :
@@ -41,10 +47,15 @@ val make_ctx :
   ?epsilon:float ->
   ?engine:Ovo_core.Engine.t ->
   ?trace:Ovo_obs.Trace.t ->
+  ?membudget:Ovo_core.Membudget.t ->
+  ?bound:Ovo_core.Bound.t ->
   unit ->
   ctx
 (** Default [epsilon] is [2^(-20)]; no [rng] means deterministic, exact
-    simulation. *)
+    simulation.  With [bound], the deterministic result is additionally
+    checked against the seeded upper bound ({!Ovo_core.Bound.check_final})
+    and sub-sweeps of hopeless branches exit early with
+    {!Ovo_core.Bound.Pruned_out}, absorbed by the enclosing search. *)
 
 type subroutine
 

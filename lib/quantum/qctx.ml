@@ -5,10 +5,12 @@ type t = {
   engine : Ovo_core.Engine.t;
   metrics : Ovo_core.Metrics.t;
   trace : Ovo_obs.Trace.t;
+  membudget : Ovo_core.Membudget.t option;
+  bound : Ovo_core.Bound.t option;
 }
 
 let make ?rng ?(epsilon = Float.pow 2. (-20.)) ?(engine = Ovo_core.Engine.Seq)
-    ?(trace = Ovo_obs.Trace.null) () =
+    ?(trace = Ovo_obs.Trace.null) ?membudget ?bound () =
   {
     rng;
     epsilon;
@@ -16,4 +18,6 @@ let make ?rng ?(epsilon = Float.pow 2. (-20.)) ?(engine = Ovo_core.Engine.Seq)
     engine;
     metrics = Ovo_core.Metrics.create ();
     trace;
+    membudget;
+    bound;
   }

@@ -16,6 +16,16 @@ type t = {
   trace : Ovo_obs.Trace.t;
       (** span tracer threaded through the classical subroutines and the
           quantum recursion (default {!Ovo_obs.Trace.null}) *)
+  membudget : Ovo_core.Membudget.t option;
+      (** one {e global} memory budget shared by every recursive [FS*]
+          sub-sweep of the tower — per-call budgets would multiply the
+          allowance by the recursion width *)
+  bound : Ovo_core.Bound.t option;
+      (** one {e global} branch-and-bound context: every sub-sweep
+          prunes against the same incumbent, and a sub-sweep of a
+          provably hopeless branch dies early with
+          {!Ovo_core.Bound.Pruned_out}, which the search oracles absorb
+          as "worse than the incumbent" *)
 }
 
 val make :
@@ -23,6 +33,8 @@ val make :
   ?epsilon:float ->
   ?engine:Ovo_core.Engine.t ->
   ?trace:Ovo_obs.Trace.t ->
+  ?membudget:Ovo_core.Membudget.t ->
+  ?bound:Ovo_core.Bound.t ->
   unit ->
   t
 (** Default [epsilon] is [2^(-20)]; no [rng] means deterministic, exact

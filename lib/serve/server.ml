@@ -15,12 +15,13 @@ type config = {
   store_dir : string option;
   store_fsync : Ovo_store.Rlog.fsync;
   mem_budget : int option;
+  prune : bool;
 }
 
 let default_config ~listen =
   { listen; workers = 2; queue_cap = 64; cache_cap = 256; max_arity = 16;
     idle_timeout = None; trace_file = None; store_dir = None;
-    store_fsync = Ovo_store.Rlog.Never; mem_budget = None }
+    store_fsync = Ovo_store.Rlog.Never; mem_budget = None; prune = false }
 
 type job = {
   tt : Truthtable.t;
@@ -211,7 +212,7 @@ let worker_loop t =
           match
             Solver.solve ~trace:t.trace ~cache:t.cache ~cancel:job.cancel
               ~engine:job.j_engine ~kind:job.j_kind
-              ?mem_budget:t.cfg.mem_budget job.tt
+              ?mem_budget:t.cfg.mem_budget ~prune:t.cfg.prune job.tt
           with
           | Ok s ->
               Stats.record_outcome t.stats (if s.cached then `Cached else `Ok);
@@ -219,9 +220,18 @@ let worker_loop t =
                 { digest = s.digest; mincost = s.mincost; size = s.size;
                   order = s.order; widths = s.widths; cached = s.cached;
                   queue_ms; solve_ms = (now () -. solve_start) *. 1000. }
-          | Error `Cancelled ->
+          | Error (`Cancelled bounds) ->
               Stats.record_outcome t.stats `Cancelled;
-              P.Cancelled "deadline exceeded"
+              P.Cancelled
+                (match bounds with
+                | None -> "deadline exceeded"
+                | Some (lower, upper) when upper = max_int ->
+                    Printf.sprintf
+                      "deadline exceeded; proven lower bound %d" lower
+                | Some (lower, upper) ->
+                    Printf.sprintf
+                      "deadline exceeded; best-so-far bounds [%d, %d]" lower
+                      upper)
           | exception e ->
               Stats.record_outcome t.stats `Error;
               P.Error

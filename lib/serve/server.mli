@@ -45,11 +45,17 @@ type config = {
           per-job scratch directory and the daemon degrades to
           out-of-core instead of growing without bound.  [None] (the
           default) runs unbounded. *)
+  prune : bool;
+      (** run each cache-miss solve as a sifting-seeded exact
+          branch-and-bound ({!Solver.solve}): identical answers, fewer
+          states, and deadline-cancelled replies carry the best-so-far
+          [(lower, incumbent)] bound pair in their message.  Default
+          off. *)
 }
 
 val default_config : listen:Protocol.addr -> config
 (** 2 workers, queue 64, cache 256, max arity 16, no idle timeout, no
-    trace, no store, no memory budget. *)
+    trace, no store, no memory budget, no pruning. *)
 
 type t
 

@@ -54,7 +54,12 @@ let fresh_spill_dir () =
     (Printf.sprintf "ovo-serve-spill-%d-%d" (Unix.getpid ())
        (Atomic.fetch_and_add spill_seq 1))
 
-let solve ?(trace = Trace.null) ?mem_budget ~cache ~cancel ~engine ~kind tt =
+let solve ?(trace = Trace.null) ?mem_budget ?(prune = false) ~cache ~cancel
+    ~engine ~kind tt =
+  (* the pruning context outlives [Cancel.protect]: a deadline-expired
+     pruned solve still reports its best (lower, incumbent) pair — the
+     any-time payoff of seeding before the sweep *)
+  let bound_ref = ref None in
   match
     Cancel.protect cancel (fun () ->
         Cancel.check cancel;
@@ -73,10 +78,21 @@ let solve ?(trace = Trace.null) ?mem_budget ~cache ~cancel ~engine ~kind tt =
         | Some entry -> reply_of_entry ~digest ~perm ~cached:true entry
         | None ->
             Cancel.check cancel;
+            let pr =
+              if not prune then None
+              else begin
+                let b =
+                  Trace.with_span trace ~cat:"serve" "serve.seed" (fun () ->
+                      Ovo_ordering.Seed.bound ~trace ~kind canon)
+                in
+                bound_ref := Some b;
+                Some b
+              end
+            in
             let r =
               Trace.with_span trace ~cat:"serve" "serve.solve" (fun () ->
                   match mem_budget with
-                  | None -> Fs.run ~trace ~kind ~engine ~cancel canon
+                  | None -> Fs.run ~trace ~kind ~engine ~cancel ?prune:pr canon
                   | Some budget_bytes ->
                       let sp = Ovo_store.Spill.create (fresh_spill_dir ()) in
                       Fun.protect
@@ -86,7 +102,8 @@ let solve ?(trace = Trace.null) ?mem_budget ~cache ~cancel ~engine ~kind tt =
                             Ovo_core.Membudget.create ~budget_bytes
                               ~sink:(Ovo_store.Spill.sink sp) ()
                           in
-                          Fs.run ~trace ~kind ~engine ~cancel ~membudget canon))
+                          Fs.run ~trace ~kind ~engine ~cancel ~membudget
+                            ?prune:pr canon))
             in
             let entry =
               { Cache.canon; mincost = r.mincost; size = r.size;
@@ -96,4 +113,5 @@ let solve ?(trace = Trace.null) ?mem_budget ~cache ~cancel ~engine ~kind tt =
             reply_of_entry ~digest ~perm ~cached:false entry)
   with
   | Ok s -> Ok s
-  | Error `Cancelled -> Error `Cancelled
+  | Error `Cancelled ->
+      Error (`Cancelled (Option.map Ovo_core.Bound.anytime !bound_ref))

@@ -29,18 +29,27 @@ val parse_table :
 val solve :
   ?trace:Ovo_obs.Trace.t ->
   ?mem_budget:int ->
+  ?prune:bool ->
   cache:Cache.t ->
   cancel:Ovo_core.Cancel.t ->
   engine:Ovo_core.Engine.t ->
   kind:Ovo_core.Compact.kind ->
   Ovo_boolfun.Truthtable.t ->
-  (solved, [ `Cancelled ]) result
+  (solved, [ `Cancelled of (int * int) option ]) result
 (** [cancel] is checked before canonicalization and polled between DP
     layers inside {!Ovo_core.Fs.run}; a fired token yields
-    [Error `Cancelled] — no exception escapes.  With a recording
-    [trace], the pipeline records spans [serve.canon],
-    [serve.cache_probe] and (on a miss) [serve.solve], category
-    ["serve"].
+    [Error (`Cancelled bounds)] — no exception escapes.  With a
+    recording [trace], the pipeline records spans [serve.canon],
+    [serve.cache_probe] and (on a miss) [serve.seed] / [serve.solve],
+    category ["serve"].
+
+    [prune] (default off) seeds each cache-miss solve with a sifting
+    upper bound ({!Ovo_ordering.Seed.bound}) and runs the DP as an exact
+    branch-and-bound.  The answer is bit-identical; additionally a
+    cancelled pruned solve carries its any-time [(best_lower,
+    incumbent)] pair in the [`Cancelled] payload — the tightest
+    enclosure of the optimum proven before the deadline ([None] when
+    pruning was off or the solve died before seeding).
 
     [mem_budget] caps the resident bytes of the DP's packed layers for
     this solve ({!Ovo_core.Membudget}): a budgeted miss spills completed

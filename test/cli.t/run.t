@@ -137,3 +137,35 @@ probes doing the pricing while only winners copy the node table:
   level widths      : [2 2 1]
   modeled cost      : 2.700e+01 table cells
   cells=27 probes=12 compactions=0 nodes=17 states=9 copies=9
+
+Branch-and-bound pruning is opt-in, bit-identical, and surfaces its own
+stats block (seeded incumbent, states pruned, per-layer trajectory):
+
+  $ ovo optimize --family achilles-2 --prune --stats json
+  algorithm        : FS (exact)
+  minimum size     : 6 nodes (4 non-terminal)
+  order (root first): [0 1 2 3]
+  order (paper pi)  : [3 2 1 0]
+  level widths      : [1 1 1 1]
+  modeled cost      : 9.200e+01 table cells
+  {"table_cells":92,"cost_probes":24,"compactions":0,"node_creations":14,"states_materialised":14,"node_table_copies":14,"prune":{"bound_source":"support-count","states_pruned":4,"incumbent":4,"seed_source":"sifting","seed_value":4,"layers":[{"k":1,"kept":4,"pruned":0,"lower":4,"incumbent":4},{"k":2,"kept":2,"pruned":4,"lower":4,"incumbent":4},{"k":3,"kept":4,"pruned":0,"lower":4,"incumbent":4},{"k":4,"kept":1,"pruned":0,"lower":4,"incumbent":4}]}}
+
+The parallel engine prunes the same states (the incumbent only moves at
+layer boundaries, so Seq and Par agree bit for bit):
+
+  $ ovo optimize --family achilles-2 --prune --engine par --domains 2 --stats text
+  algorithm        : FS (exact)
+  minimum size     : 6 nodes (4 non-terminal)
+  order (root first): [0 1 2 3]
+  order (paper pi)  : [3 2 1 0]
+  level widths      : [1 1 1 1]
+  modeled cost      : 9.200e+01 table cells
+  cells=92 probes=24 compactions=0 nodes=14 states=14 copies=14
+  prune: bound=support-count pruned=4 incumbent=4 seed=sifting:4
+
+Pruning cannot mix with checkpointing (a pruned sweep's layers are
+incomplete on purpose, so a checkpoint of them could not be resumed):
+
+  $ ovo optimize --family achilles-2 --prune --checkpoint ck.bin
+  ovo: --prune is incompatible with --checkpoint/--resume
+  [124]

@@ -53,7 +53,7 @@ Misuse is rejected:
   [124]
 
   $ ovo optimize --family achilles-2 --mem-budget 64 --algo brute
-  ovo: --checkpoint/--resume/--crash-after-layer/--mem-budget need --algo fs
+  ovo: --mem-budget needs --algo fs, qdc, tower:N or simple
   [124]
 
   $ ovo optimize --family achilles-2 --mem-budget nope

@@ -193,7 +193,7 @@ let solve_fresh ?(kind = Ovo_core.Compact.Bdd) cache tt =
       tt
   with
   | Ok s -> s
-  | Error `Cancelled -> Alcotest.fail "unexpected cancellation"
+  | Error (`Cancelled _) -> Alcotest.fail "unexpected cancellation"
 
 let cache_tests =
   [
