@@ -1111,6 +1111,124 @@ let prune_bench () =
   Printf.printf "written: BENCH_prune.json\n"
 
 (* ------------------------------------------------------------------ *)
+
+(* Telemetry: what the instruments cost and how honest the quantile
+   estimates are.  The histogram's log-bucket ladder promises quantiles
+   within Histo.max_rel_error (~4.4%) of an exact nearest-rank over the
+   raw samples — measured here against a heavy-tailed synthetic
+   distribution spanning the ladder.  The per-request cost of the whole
+   telemetry path (endpoint counters + latency histograms + rolling
+   windows + solve/queue-wait recording) is measured as warm-request
+   throughput of an instrumented daemon vs one with telemetry off
+   (median of interleaved rounds).  Results go to BENCH_metrics.json;
+   CI gates overhead_ratio <= 1.10 and both rel. errors <= 0.10. *)
+let metrics_bench () =
+  section "metrics";
+  let module H = Ovo_metrics.Histo in
+  let rng = Random.State.make [| 4242 |] in
+  let samples =
+    (* log-uniform over ~3.9 decades: 0.01 .. ~81 ms, the busy part of
+       the ladder *)
+    Array.init 50_000 (fun _ ->
+        0.01 *. exp (9. *. Random.State.float rng 1.))
+  in
+  let h = H.create () in
+  Array.iter (H.record h) samples;
+  let snap = H.snapshot h in
+  let sorted = Array.copy samples in
+  Array.sort Float.compare sorted;
+  let exact q =
+    let n = Array.length sorted in
+    sorted.(max 0 (min (n - 1) (int_of_float (ceil (q *. float_of_int n)) - 1)))
+  in
+  let rel_err q =
+    let e = exact q in
+    Float.abs (Option.get (H.quantile snap q) -. e) /. e
+  in
+  let p50_err = rel_err 0.5 and p99_err = rel_err 0.99 in
+  Printf.printf
+    "histogram quantile rel. error vs exact nearest-rank (%d samples): \
+     p50 %.4f, p99 %.4f (design bound %.4f)\n"
+    (Array.length samples) p50_err p99_err H.max_rel_error;
+  let module Sv = Ovo_serve.Server in
+  let module Cl = Ovo_serve.Client in
+  let module Pr = Ovo_serve.Protocol in
+  let hwb10 = T.to_string (F.hidden_weighted_bit 10) in
+  let warm_requests = 400 in
+  let warm_rps ~telemetry =
+    let sock = Filename.temp_file "ovo-bench-metrics" ".sock" in
+    Sys.remove sock;
+    let cfg =
+      { (Sv.default_config ~listen:(Pr.Unix_sock sock)) with
+        Sv.workers = 2; queue_cap = 128; telemetry }
+    in
+    let server = Sv.start cfg in
+    let waiter = Thread.create (fun () -> Sv.wait server) () in
+    let rps =
+      Cl.with_conn (Pr.Unix_sock sock) @@ fun c ->
+      let solve id =
+        match
+          Cl.roundtrip c
+            { Pr.id; op =
+                Pr.Solve
+                  { Pr.table = hwb10; kind = C.Bdd;
+                    engine = Ovo_core.Engine.Seq; deadline_ms = None } }
+        with
+        | Ok { Pr.body = Pr.Ok_solve r; _ } -> r.Pr.cached
+        | Ok _ | Error _ -> failwith "metrics bench: unexpected reply"
+      in
+      assert (not (solve 0));
+      let t0 = Unix.gettimeofday () in
+      for id = 1 to warm_requests do
+        assert (solve id)
+      done;
+      let dt = Unix.gettimeofday () -. t0 in
+      (match Cl.roundtrip c { Pr.id = 0; op = Pr.Shutdown } with
+      | Ok { Pr.body = Pr.Bye; _ } -> ()
+      | _ -> failwith "metrics bench: shutdown not acknowledged");
+      float_of_int warm_requests /. dt
+    in
+    Thread.join waiter;
+    rps
+  in
+  let rounds = 5 in
+  let median xs =
+    let a = Array.of_list xs in
+    Array.sort Float.compare a;
+    a.(Array.length a / 2)
+  in
+  (* interleave the configurations so drift hits both equally *)
+  let pairs =
+    List.init rounds (fun _ ->
+        (warm_rps ~telemetry:true, warm_rps ~telemetry:false))
+  in
+  let instr = median (List.map fst pairs) in
+  let uninstr = median (List.map snd pairs) in
+  let ratio = uninstr /. instr in
+  Printf.printf
+    "warm-request throughput (median of %d rounds x %d requests): \
+     instrumented %.0f rps, telemetry off %.0f rps, overhead ratio %.3fx\n"
+    rounds warm_requests instr uninstr ratio;
+  let doc =
+    Ovo_obs.Json.Obj
+      [
+        ("warm_requests", Ovo_obs.Json.Int warm_requests);
+        ("rounds", Ovo_obs.Json.Int rounds);
+        ("instrumented_rps", Ovo_obs.Json.Float instr);
+        ("uninstrumented_rps", Ovo_obs.Json.Float uninstr);
+        ("overhead_ratio", Ovo_obs.Json.Float ratio);
+        ("quantile_samples", Ovo_obs.Json.Int (Array.length samples));
+        ("p50_rel_err", Ovo_obs.Json.Float p50_err);
+        ("p99_rel_err", Ovo_obs.Json.Float p99_err);
+      ]
+  in
+  let oc = open_out "BENCH_metrics.json" in
+  output_string oc (Ovo_obs.Json.to_string doc);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "written: BENCH_metrics.json\n"
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel wall-clock micro-benchmarks: one per table/figure.         *)
 
 let wallclock () =
@@ -1207,5 +1325,6 @@ let () =
   store_bench ();
   mem_bench ();
   prune_bench ();
+  metrics_bench ();
   wallclock ();
   Printf.printf "\nAll sections completed.\n"

@@ -908,13 +908,22 @@ let listen_arg =
 
 let serve_cmd =
   let run listen workers queue_cap cache_cap max_arity idle_timeout trace_file
-      store no_store fsync mem_budget prune =
+      store no_store fsync mem_budget prune access_log prom no_telemetry =
     let store_dir = if no_store then None else store in
-    Ovo_serve.Server.run
-      { Ovo_serve.Server.listen; workers; queue_cap; cache_cap; max_arity;
-        idle_timeout; trace_file; store_dir; store_fsync = fsync;
-        mem_budget; prune };
-    `Ok ()
+    match
+      match prom with
+      | None -> Ok None
+      | Some spec ->
+          Result.map Option.some (Ovo_serve.Server.prom_sink_of_string spec)
+    with
+    | Error (`Msg m) -> `Error (false, "--prom: " ^ m)
+    | Ok prom ->
+        Ovo_serve.Server.run
+          { Ovo_serve.Server.listen; workers; queue_cap; cache_cap; max_arity;
+            idle_timeout; trace_file; store_dir; store_fsync = fsync;
+            mem_budget; prune; access_log; prom;
+            telemetry = not no_telemetry };
+        `Ok ()
   in
   let workers =
     Arg.(value & opt int 2
@@ -969,6 +978,29 @@ let serve_cmd =
          & info [ "prune" ]
              ~doc:"Run every cache-miss solve as a sifting-seeded exact                    branch-and-bound: identical answers, fewer DP states,                    and deadline-cancelled replies carry the best-so-far                    bound pair.")
   in
+  let access_log =
+    Arg.(value & opt (some string) None
+         & info [ "access-log" ] ~docv:"FILE"
+             ~doc:"Append one CRC-framed structured entry per solve request \
+                   (digest, outcome, queue wait, solve duration, cache hit, \
+                   bound window).  A torn tail from a crash is recovered on \
+                   reopen; dump with $(b,ovo access-log) $(i,FILE).")
+  in
+  let prom =
+    Arg.(value & opt (some string) None
+         & info [ "prom" ] ~docv:"FILE|ADDR"
+             ~doc:"Export the Prometheus text exposition: a path (anything \
+                   with a slash, or a bare filename) is atomically rewritten \
+                   every second; $(b,host:port) serves it per scrape over \
+                   HTTP.")
+  in
+  let no_telemetry =
+    Arg.(value & flag
+         & info [ "no-telemetry" ]
+             ~doc:"Skip per-request instrument updates (histograms, windows, \
+                   engine gauges) — for measuring their overhead; outcome \
+                   counters and $(b,stats) stay on.")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
@@ -979,12 +1011,12 @@ let serve_cmd =
       ret
         (const run $ listen_arg $ workers $ queue_cap $ cache_cap $ max_arity
        $ idle_timeout $ trace_arg $ store $ no_store $ fsync_arg
-       $ mem_budget $ serve_prune))
+       $ mem_budget $ serve_prune $ access_log $ prom $ no_telemetry))
 
 let submit_cmd =
   let module P = Ovo_serve.Protocol in
   let run connect table expr pla pla_output blif signal family kind engine
-      domains deadline_ms json ping stats_req shutdown =
+      domains deadline_ms json ping stats_req metrics_req prom_req shutdown =
     let fail m = `Error (false, m) in
     let raw reply = print_endline (P.reply_to_line reply) in
     let request op =
@@ -999,6 +1031,9 @@ let submit_cmd =
             | P.Bye -> print_endline "bye"; `Ok ()
             | P.Ok_stats s ->
                 print_endline (Ovo_obs.Json.to_string s); `Ok ()
+            | P.Ok_metrics m ->
+                print_endline (Ovo_obs.Json.to_string m); `Ok ()
+            | P.Ok_prom text -> print_string text; `Ok ()
             | P.Ok_solve r ->
                 Format.printf "digest            : %s@." r.P.digest;
                 Format.printf "minimum size      : %d nodes (%d non-terminal)@."
@@ -1024,6 +1059,8 @@ let submit_cmd =
     in
     if ping then request P.Ping
     else if stats_req then request P.Stats
+    else if metrics_req then request (P.Metrics P.Mjson)
+    else if prom_req then request (P.Metrics P.Mprom)
     else if shutdown then request P.Shutdown
     else
       match load_function ~table ~expr ~pla ~pla_output ~blif ~signal ~family with
@@ -1060,6 +1097,18 @@ let submit_cmd =
              ~doc:"Fetch the server's stats report (uptime, queue depth, \
                    cache hit rate, per-endpoint latency percentiles).")
   in
+  let metrics_req =
+    Arg.(value & flag
+         & info [ "metrics" ]
+             ~doc:"Fetch the server's aggregated telemetry as JSON (windowed \
+                   rates, latency distributions, engine gauges; schema in \
+                   doc/service.md).")
+  in
+  let prom_req =
+    Arg.(value & flag
+         & info [ "prom" ]
+             ~doc:"Fetch the server's Prometheus text exposition.")
+  in
   let shutdown =
     Arg.(value & flag
          & info [ "shutdown" ]
@@ -1075,7 +1124,165 @@ let submit_cmd =
       ret
         (const run $ connect $ table_arg $ expr_arg $ pla_arg $ pla_output_arg
        $ blif_arg $ signal_arg $ family_arg $ kind_arg $ engine_arg
-       $ domains_arg $ deadline_ms $ json $ ping $ stats_req $ shutdown))
+       $ domains_arg $ deadline_ms $ json $ ping $ stats_req $ metrics_req
+       $ prom_req $ shutdown))
+
+(* ------------------------------------------------------------------ *)
+(* top / access-log                                                    *)
+
+let top_cmd =
+  let module P = Ovo_serve.Protocol in
+  let module J = Ovo_obs.Json in
+  (* one dashboard frame, rendered from the metrics-op JSON *)
+  let render addr m =
+    let buf = Buffer.create 1024 in
+    let bpf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+    let f path = Option.bind (J.find_path path m) J.to_float_opt in
+    let i path = Option.bind (J.find_path path m) J.to_int_opt in
+    let f0 path = Option.value (f path) ~default:0. in
+    let i0 path = Option.value (i path) ~default:0 in
+    bpf "ovo top — %s — uptime %.1fs\n" (P.addr_to_string addr)
+      (f0 [ "uptime_s" ]);
+    bpf "queue    %d/%d    workers %d/%d busy\n"
+      (i0 [ "queue"; "depth" ]) (i0 [ "queue"; "cap" ])
+      (i0 [ "workers"; "busy" ]) (i0 [ "workers"; "total" ]);
+    bpf "rates    %.1f rps (1s)  %.1f (10s)  %.1f (60s)   %d requests/60s%s\n"
+      (f0 [ "windows"; "rps_1s" ]) (f0 [ "windows"; "rps_10s" ])
+      (f0 [ "windows"; "rps_60s" ])
+      (i0 [ "windows"; "requests_60s" ])
+      (match f [ "windows"; "cache_hit_rate_60s" ] with
+      | None -> ""
+      | Some r -> Printf.sprintf "  cache hit %.0f%%" (100. *. r));
+    let dist label path =
+      match i (path @ [ "count" ]) with
+      | None | Some 0 -> ()
+      | Some count ->
+          bpf "%-8s p50 %.2fms  p90 %.2f  p99 %.2f  max %.2f  (n=%d)\n" label
+            (f0 (path @ [ "p50_ms" ]))
+            (f0 (path @ [ "p90_ms" ]))
+            (f0 (path @ [ "p99_ms" ]))
+            (f0 (path @ [ "max_ms" ]))
+            count
+    in
+    dist "solve" [ "latency_ms"; "solve" ];
+    dist "qwait" [ "latency_ms"; "queue_wait" ];
+    bpf "outcomes ok %d  cached %d  cancelled %d  rejected %d  errors %d\n"
+      (i0 [ "outcomes"; "ok" ]) (i0 [ "outcomes"; "cached" ])
+      (i0 [ "outcomes"; "cancelled" ]) (i0 [ "outcomes"; "rejected" ])
+      (i0 [ "outcomes"; "errors" ]);
+    bpf "engine   layer %d (%d states)  pruned %d  spilled %d B\n"
+      (i0 [ "engine"; "layer" ]) (i0 [ "engine"; "layer_states" ])
+      (i0 [ "engine"; "states_pruned_total" ])
+      (i0 [ "engine"; "spill_bytes_total" ]);
+    bpf "gc       heap %d words  majors %d  rss %d B\n"
+      (i0 [ "gc"; "heap_words" ]) (i0 [ "gc"; "major_collections" ])
+      (i0 [ "gc"; "resident_bytes" ]);
+    Buffer.contents buf
+  in
+  let run connect interval once =
+    let fetch () =
+      Ovo_serve.Client.with_conn connect @@ fun c ->
+      match Ovo_serve.Client.roundtrip c { P.id = 1; op = P.Metrics P.Mjson } with
+      | Ok { P.body = P.Ok_metrics m; _ } -> Ok m
+      | Ok { P.body = P.Error { message; _ }; _ } -> Error message
+      | Ok _ -> Error "unexpected reply to metrics op"
+      | Error (`Msg m) -> Error m
+    in
+    try
+      if once then
+        match fetch () with
+        | Ok m -> print_string (render connect m); `Ok ()
+        | Error m -> `Error (false, m)
+      else
+        let rec loop () =
+          (match fetch () with
+          | Ok m ->
+              (* clear screen + home, like top(1) *)
+              print_string "\027[2J\027[H";
+              print_string (render connect m);
+              flush stdout
+          | Error m -> Printf.eprintf "ovo top: %s\n%!" m);
+          Unix.sleepf interval;
+          loop ()
+        in
+        loop ()
+    with Unix.Unix_error (e, _, _) ->
+      `Error
+        ( false,
+          Printf.sprintf "cannot reach server at %s: %s"
+            (P.addr_to_string connect) (Unix.error_message e) )
+  in
+  let connect =
+    Arg.(
+      value
+      & opt addr_conv (Ovo_serve.Protocol.Unix_sock "ovo.sock")
+      & info [ "connect" ] ~docv:"ADDR"
+          ~doc:"Server address (same forms as $(b,ovo serve --listen).)")
+  in
+  let interval =
+    Arg.(value & opt float 1.
+         & info [ "interval" ] ~docv:"SECS" ~doc:"Refresh period.")
+  in
+  let once =
+    Arg.(value & flag
+         & info [ "once" ]
+             ~doc:"Print a single frame and exit (no screen clearing) — \
+                   scriptable.")
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:
+         "Live terminal dashboard for a running $(b,ovo serve) daemon: \
+          queue depth, worker occupancy, windowed request rates, latency \
+          quantiles, engine progress")
+    Term.(ret (const run $ connect $ interval $ once))
+
+let access_log_cmd =
+  let run path json =
+    match Ovo_serve.Access_log.read path with
+    | Error m -> `Error (false, m)
+    | Ok (entries, recovery) ->
+        List.iter
+          (fun (e : Ovo_serve.Access_log.entry) ->
+            if json then
+              print_endline
+                (Ovo_obs.Json.to_string (Ovo_serve.Access_log.entry_to_json e))
+            else
+              Printf.printf
+                "%.3f #%d %-9s %s cached=%b queue=%.2fms solve=%.2fms \
+                 bounds=[%d,%d]%s\n"
+                e.Ovo_serve.Access_log.at e.Ovo_serve.Access_log.req_id
+                e.Ovo_serve.Access_log.outcome
+                (if e.Ovo_serve.Access_log.digest = "" then "-"
+                 else e.Ovo_serve.Access_log.digest)
+                e.Ovo_serve.Access_log.cached e.Ovo_serve.Access_log.queue_ms
+                e.Ovo_serve.Access_log.solve_ms e.Ovo_serve.Access_log.lower
+                e.Ovo_serve.Access_log.upper
+                (if e.Ovo_serve.Access_log.detail = "" then ""
+                 else " " ^ e.Ovo_serve.Access_log.detail))
+          entries;
+        if recovery.Ovo_store.Rlog.rec_discarded_bytes > 0 then
+          Printf.eprintf "[ovo] %d trailing byte%s discarded (torn tail)\n%!"
+            recovery.Ovo_store.Rlog.rec_discarded_bytes
+            (if recovery.Ovo_store.Rlog.rec_discarded_bytes = 1 then ""
+             else "s");
+        `Ok ()
+  in
+  let path =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"FILE"
+          ~doc:"An access log written by $(b,ovo serve --access-log).")
+  in
+  let json =
+    Arg.(value & flag
+         & info [ "json" ] ~doc:"One JSON object per entry (NDJSON).")
+  in
+  Cmd.v
+    (Cmd.info "access-log"
+       ~doc:"Dump a structured access log written by the serving daemon")
+    Term.(ret (const run $ path $ json))
 
 (* ------------------------------------------------------------------ *)
 (* families                                                            *)
@@ -1133,4 +1340,6 @@ let () =
             families_cmd;
             serve_cmd;
             submit_cmd;
+            top_cmd;
+            access_log_cmd;
           ]))

@@ -1,0 +1,98 @@
+(* Geometric ladder with growth 2^(1/8): eight buckets per octave.
+   Index arithmetic is one log2 and one ceil — constant time, no
+   allocation beyond float temporaries. *)
+
+let sub = 8.
+let num_core = 256
+let num_buckets = num_core + 2
+let min_bound = 1e-3
+let max_rel_error = Float.pow 2. (1. /. 16.) -. 1.
+
+let bucket_upper i =
+  if i <= 0 then min_bound
+  else if i > num_core then infinity
+  else min_bound *. Float.pow 2. (float_of_int i /. sub)
+
+let index v =
+  if not (v > min_bound) then 0 (* catches NaN, negatives and <= min_bound *)
+  else
+    let j = int_of_float (Float.ceil (sub *. Float.log2 (v /. min_bound))) in
+    if j < 1 then 1 else if j > num_core then num_core + 1 else j
+
+type t = {
+  counts : int array;
+  mutable n : int;
+  mutable s : float;
+  mutable mn : float;
+  mutable mx : float;
+}
+
+let create () =
+  { counts = Array.make num_buckets 0; n = 0; s = 0.; mn = infinity;
+    mx = neg_infinity }
+
+let record t v =
+  let i = index v in
+  t.counts.(i) <- t.counts.(i) + 1;
+  t.n <- t.n + 1;
+  t.s <- t.s +. v;
+  if v < t.mn then t.mn <- v;
+  if v > t.mx then t.mx <- v
+
+let count t = t.n
+let sum t = t.s
+
+type snapshot = {
+  counts : int array;
+  count : int;
+  sum : float;
+  vmin : float;
+  vmax : float;
+}
+
+let snapshot (t : t) =
+  { counts = Array.copy t.counts; count = t.n; sum = t.s; vmin = t.mn;
+    vmax = t.mx }
+
+let empty =
+  { counts = Array.make num_buckets 0; count = 0; sum = 0.; vmin = infinity;
+    vmax = neg_infinity }
+
+let merge a b =
+  { counts = Array.init num_buckets (fun i -> a.counts.(i) + b.counts.(i));
+    count = a.count + b.count;
+    sum = a.sum +. b.sum;
+    vmin = Float.min a.vmin b.vmin;
+    vmax = Float.max a.vmax b.vmax }
+
+let quantile s q =
+  if s.count = 0 then None
+  else
+    let q = Float.max 0. (Float.min 1. q) in
+    let rank =
+      max 1 (min s.count (int_of_float (Float.ceil (q *. float_of_int s.count))))
+    in
+    let b = ref 0 and acc = ref 0 in
+    (try
+       for i = 0 to num_buckets - 1 do
+         acc := !acc + s.counts.(i);
+         if !acc >= rank then begin
+           b := i;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    let est =
+      if !b = 0 then Float.min s.vmin min_bound
+      else if !b > num_core then s.vmax
+      else
+        (* geometric midpoint of the bucket, clamped to what was seen *)
+        let mid =
+          min_bound *. Float.pow 2. ((float_of_int !b -. 0.5) /. sub)
+        in
+        Float.min s.vmax (Float.max s.vmin mid)
+    in
+    Some est
+
+let mean s =
+  if s.count = 0 then None else Some (s.sum /. float_of_int s.count)

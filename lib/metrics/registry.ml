@@ -1,0 +1,126 @@
+type counter = int Atomic.t
+type gauge = { mutable g : float }
+type histogram = Histo.t
+
+type instr =
+  | I_counter of counter
+  | I_gauge of gauge
+  | I_histo of histogram
+
+type entry = {
+  e_labels : (string * string) list;
+  e_instr : instr;
+}
+
+type group = {
+  g_name : string;
+  g_help : string;
+  mutable g_entries : entry list;  (* reverse registration order *)
+}
+
+type t = {
+  m : Mutex.t;
+  mutable groups : group list;  (* reverse first-seen order *)
+}
+
+let create () = { m = Mutex.create (); groups = [] }
+
+let kind_name = function
+  | I_counter _ -> "counter"
+  | I_gauge _ -> "gauge"
+  | I_histo _ -> "histogram"
+
+let same_kind a b =
+  match (a, b) with
+  | I_counter _, I_counter _ | I_gauge _, I_gauge _ | I_histo _, I_histo _ ->
+      true
+  | _ -> false
+
+let register t ~help ~labels name fresh =
+  Mutex.lock t.m;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.m)
+    (fun () ->
+      let g =
+        match List.find_opt (fun g -> g.g_name = name) t.groups with
+        | Some g -> g
+        | None ->
+            let g = { g_name = name; g_help = help; g_entries = [] } in
+            t.groups <- g :: t.groups;
+            g
+      in
+      match List.find_opt (fun e -> e.e_labels = labels) g.g_entries with
+      | Some e ->
+          let i = fresh () in
+          if not (same_kind e.e_instr i) then
+            invalid_arg
+              (Printf.sprintf
+                 "Registry: %s already registered as a %s, requested as a %s"
+                 name (kind_name e.e_instr) (kind_name i));
+          e.e_instr
+      | None ->
+          let i = fresh () in
+          (match g.g_entries with
+          | e :: _ when not (same_kind e.e_instr i) ->
+              invalid_arg
+                (Printf.sprintf
+                   "Registry: %s already registered as a %s, requested as a %s"
+                   name (kind_name e.e_instr) (kind_name i))
+          | _ -> ());
+          g.g_entries <- { e_labels = labels; e_instr = i } :: g.g_entries;
+          i)
+
+let counter t ?(help = "") ?(labels = []) name =
+  match register t ~help ~labels name (fun () -> I_counter (Atomic.make 0)) with
+  | I_counter c -> c
+  | _ -> assert false
+
+let gauge t ?(help = "") ?(labels = []) name =
+  match register t ~help ~labels name (fun () -> I_gauge { g = 0. }) with
+  | I_gauge g -> g
+  | _ -> assert false
+
+let histogram t ?(help = "") ?(labels = []) name =
+  match register t ~help ~labels name (fun () -> I_histo (Histo.create ())) with
+  | I_histo h -> h
+  | _ -> assert false
+
+let inc c by =
+  if by < 0 then invalid_arg "Registry.inc: negative increment";
+  ignore (Atomic.fetch_and_add c by)
+
+let counter_value c = Atomic.get c
+let set g v = g.g <- v
+let gauge_value g = g.g
+let observe h v = Histo.record h v
+let histogram_snapshot h = Histo.snapshot h
+
+type value =
+  | Counter of int
+  | Gauge of float
+  | Histogram of Histo.snapshot
+
+type sample = {
+  s_name : string;
+  s_help : string;
+  s_labels : (string * string) list;
+  s_value : value;
+}
+
+let samples t =
+  Mutex.lock t.m;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.m)
+    (fun () ->
+      List.rev t.groups
+      |> List.concat_map (fun g ->
+             List.rev g.g_entries
+             |> List.map (fun e ->
+                    let v =
+                      match e.e_instr with
+                      | I_counter c -> Counter (Atomic.get c)
+                      | I_gauge gg -> Gauge gg.g
+                      | I_histo h -> Histogram (Histo.snapshot h)
+                    in
+                    { s_name = g.g_name; s_help = g.g_help;
+                      s_labels = e.e_labels; s_value = v })))

@@ -1,0 +1,64 @@
+(** A typed registry of named counters, gauges and histograms — the
+    aggregation vocabulary the serving path exposes over the [metrics]
+    op and the Prometheus exposition ({!Prom}).
+
+    Identity is [(name, label set)]: registering the same pair again
+    returns the {e same} instrument (so call sites need not cache
+    handles), and re-registering a name with a different {e kind}
+    raises — one name, one type, as Prometheus requires.  The first
+    registration of a name fixes its help text.
+
+    The hot path never takes the registry lock: {!inc} is an atomic
+    add, {!set} a word store, {!observe} a {!Histo.record}.  The mutex
+    only guards registration and {!samples}, which walks instruments in
+    registration order — names first-seen order, label sets within a
+    name in registration order — so two snapshots of the same registry
+    render identically. *)
+
+type t
+
+type counter
+(** Monotonic integer counter. *)
+
+type gauge
+(** Instantaneous float value, single writer per gauge. *)
+
+type histogram
+
+val create : unit -> t
+
+val counter :
+  t -> ?help:string -> ?labels:(string * string) list -> string -> counter
+
+val gauge :
+  t -> ?help:string -> ?labels:(string * string) list -> string -> gauge
+
+val histogram :
+  t -> ?help:string -> ?labels:(string * string) list -> string -> histogram
+
+val inc : counter -> int -> unit
+(** Raises [Invalid_argument] on a negative increment. *)
+
+val counter_value : counter -> int
+
+val set : gauge -> float -> unit
+val gauge_value : gauge -> float
+
+val observe : histogram -> float -> unit
+val histogram_snapshot : histogram -> Histo.snapshot
+
+type value =
+  | Counter of int
+  | Gauge of float
+  | Histogram of Histo.snapshot
+
+type sample = {
+  s_name : string;
+  s_help : string;
+  s_labels : (string * string) list;
+  s_value : value;
+}
+
+val samples : t -> sample list
+(** Every registered instrument, grouped by name (names in first-seen
+    order, label sets within a name in registration order). *)

@@ -1,0 +1,59 @@
+type t = {
+  clock : unit -> float;
+  size : int;  (* horizon + 1: the current partial second needs a slot *)
+  counts : int array;
+  sums : float array;
+  stamps : int array;  (* wall second each slot currently belongs to *)
+  m : Mutex.t;
+}
+
+let create ?(clock = Ovo_obs.Trace.monotonic) ?(horizon = 60) () =
+  if horizon <= 0 then invalid_arg "Window.create: horizon must be positive";
+  let size = horizon + 1 in
+  { clock; size; counts = Array.make size 0; sums = Array.make size 0.;
+    stamps = Array.make size (-1); m = Mutex.create () }
+
+let horizon t = t.size - 1
+
+let with_lock t f =
+  Mutex.lock t.m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.m) f
+
+let sec_of t = int_of_float (Float.floor (t.clock ()))
+
+let add t v =
+  with_lock t (fun () ->
+      let sec = sec_of t in
+      let i = sec mod t.size in
+      if t.stamps.(i) <> sec then begin
+        (* the ring lapped this slot: it held a stale second *)
+        t.stamps.(i) <- sec;
+        t.counts.(i) <- 0;
+        t.sums.(i) <- 0.
+      end;
+      t.counts.(i) <- t.counts.(i) + 1;
+      t.sums.(i) <- t.sums.(i) +. v)
+
+let totals t ~window =
+  if window < 1 || window > horizon t then
+    invalid_arg "Window.totals: window out of range";
+  with_lock t (fun () ->
+      let sec = sec_of t in
+      let lo = sec - window + 1 in
+      let n = ref 0 and s = ref 0. in
+      for i = 0 to t.size - 1 do
+        if t.stamps.(i) >= lo && t.stamps.(i) <= sec then begin
+          n := !n + t.counts.(i);
+          s := !s +. t.sums.(i)
+        end
+      done;
+      (!n, !s))
+
+let count t ~window = fst (totals t ~window)
+
+let rate t ~window =
+  float_of_int (count t ~window) /. float_of_int window
+
+let mean_value t ~window =
+  let n, s = totals t ~window in
+  if n = 0 then None else Some (s /. float_of_int n)

@@ -1,0 +1,39 @@
+(** Rolling time windows — the "how fast right now" companion to the
+    lifetime tallies of {!Histo} and {!Registry}.
+
+    A window keeps one slot per wall second over a fixed horizon
+    (default 60 s).  {!add} lands an event (a count of one plus an
+    optional value) in the current second's slot, lazily resetting a
+    slot the ring has lapped, so there is no timer thread and expiry
+    costs nothing until the slot is reused.  {!totals} sums the slots of
+    the last [window] seconds (the current, partially-filled second
+    included), and {!rate} divides by the window length.
+
+    All operations take an internal mutex — windows sit on the request
+    path, not the per-layer DP hot path, and one uncontended lock per
+    request is noise next to a socket round-trip.  The clock is
+    injectable for tests and defaults to {!Ovo_obs.Trace.monotonic}. *)
+
+type t
+
+val create : ?clock:(unit -> float) -> ?horizon:int -> unit -> t
+(** [horizon] (default 60) is the largest queryable window in seconds;
+    it must be positive. *)
+
+val horizon : t -> int
+
+val add : t -> float -> unit
+(** [add t v] records one event of value [v] in the current second. *)
+
+val totals : t -> window:int -> int * float
+(** [(events, value sum)] over the last [window] seconds.  Raises
+    [Invalid_argument] when [window] is not in [1 .. horizon]. *)
+
+val count : t -> window:int -> int
+
+val rate : t -> window:int -> float
+(** Events per second over the window. *)
+
+val mean_value : t -> window:int -> float option
+(** Value sum over event count in the window; [None] with no events —
+    e.g. a hit ratio when events carry 0/1 values. *)

@@ -258,6 +258,11 @@ let member key = function
   | Obj fields -> List.assoc_opt key fields
   | _ -> None
 
+let rec find_path path j =
+  match path with
+  | [] -> Some j
+  | key :: rest -> Option.bind (member key j) (find_path rest)
+
 let to_int_opt = function Int i -> Some i | _ -> None
 let to_bool_opt = function Bool b -> Some b | _ -> None
 

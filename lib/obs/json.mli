@@ -30,6 +30,10 @@ val parse : string -> (t, string) result
 val member : string -> t -> t option
 (** Field lookup on an {!Obj}; [None] on other constructors. *)
 
+val find_path : string list -> t -> t option
+(** Nested {!member} lookup: [find_path ["a"; "b"] j] is the value at
+    [j.a.b].  [find_path [] j] is [Some j]. *)
+
 val to_int_opt : t -> int option
 val to_bool_opt : t -> bool option
 val to_float_opt : t -> float option

@@ -1,0 +1,82 @@
+module Json = Ovo_obs.Json
+module Rlog = Ovo_store.Rlog
+
+type entry = {
+  at : float;
+  req_id : int;
+  endpoint : string;
+  outcome : string;
+  digest : string;
+  cached : bool;
+  queue_ms : float;
+  solve_ms : float;
+  lower : int;
+  upper : int;
+  detail : string;
+}
+
+let rtype_entry = 1
+
+type t = Rlog.t
+
+let entry_to_json e =
+  Json.Obj
+    [ ("at", Json.Float e.at);
+      ("req_id", Json.Int e.req_id);
+      ("endpoint", Json.String e.endpoint);
+      ("outcome", Json.String e.outcome);
+      ("digest", Json.String e.digest);
+      ("cached", Json.Bool e.cached);
+      ("queue_ms", Json.Float e.queue_ms);
+      ("solve_ms", Json.Float e.solve_ms);
+      ("lower", Json.Int e.lower);
+      ("upper", Json.Int e.upper);
+      ("detail", Json.String e.detail) ]
+
+let ( let* ) = Result.bind
+let err fmt = Printf.ksprintf (fun m -> Stdlib.Error (`Msg m)) fmt
+
+let field name conv j =
+  match Option.bind (Json.member name j) conv with
+  | Some v -> Ok v
+  | None -> err "access log entry: bad or missing field %S" name
+
+let entry_of_json j =
+  let* at = field "at" Json.to_float_opt j in
+  let* req_id = field "req_id" Json.to_int_opt j in
+  let* endpoint = field "endpoint" Json.to_string_opt j in
+  let* outcome = field "outcome" Json.to_string_opt j in
+  let* digest = field "digest" Json.to_string_opt j in
+  let* cached = field "cached" Json.to_bool_opt j in
+  let* queue_ms = field "queue_ms" Json.to_float_opt j in
+  let* solve_ms = field "solve_ms" Json.to_float_opt j in
+  let* lower = field "lower" Json.to_int_opt j in
+  let* upper = field "upper" Json.to_int_opt j in
+  let* detail = field "detail" Json.to_string_opt j in
+  Ok
+    { at; req_id; endpoint; outcome; digest; cached; queue_ms; solve_ms;
+      lower; upper; detail }
+
+let decode_record (r : Rlog.record) =
+  if r.Rlog.rtype <> rtype_entry then None
+  else
+    match Json.parse r.Rlog.payload with
+    | Stdlib.Error _ -> None
+    | Ok j -> ( match entry_of_json j with Ok e -> Some e | Stdlib.Error _ -> None)
+
+let open_append ?fsync path =
+  let t, records, _recovery = Rlog.open_append ?fsync path in
+  (t, List.length (List.filter_map decode_record records))
+
+let append t e =
+  Rlog.append t ~rtype:rtype_entry (Json.to_string (entry_to_json e))
+
+let close t =
+  Rlog.sync t;
+  Rlog.close t
+
+let read path =
+  match Rlog.read path with
+  | Stdlib.Error _ as e -> e
+  | Ok (records, recovery) ->
+      Ok (List.filter_map decode_record records, recovery)

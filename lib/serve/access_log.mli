@@ -1,0 +1,46 @@
+(** Structured per-request access log for the serving daemon.
+
+    One {!entry} per completed solve request — digest, outcome, queue
+    wait, solve duration, cache hit, final bound window — appended as a
+    JSON payload inside an {!Ovo_store.Rlog} frame, so the log shares
+    the store's crash-discipline: CRC-framed records, torn tails
+    truncated on reopen, nothing before a torn tail ever lost.  A
+    process killed mid-append costs exactly that entry
+    ([test/metrics.t] kills the daemon with SIGKILL and reopens).
+
+    Entries use record type {!rtype_entry}; unknown record types are
+    skipped on read, so the format can grow. *)
+
+type entry = {
+  at : float;  (** Unix time the request completed *)
+  req_id : int;  (** server-assigned request sequence number *)
+  endpoint : string;  (** ["solve"] today; the field exists to grow *)
+  outcome : string;  (** ["ok"], ["cached"], ["cancelled"], ["error"] *)
+  digest : string;  (** canonical table digest; [""] when unknown *)
+  cached : bool;
+  queue_ms : float;
+  solve_ms : float;
+  lower : int;  (** best lower bound at completion; [-1] = unknown *)
+  upper : int;  (** best upper bound at completion; [-1] = unknown *)
+  detail : string;  (** error/cancel message; [""] otherwise *)
+}
+
+val rtype_entry : int
+
+type t
+
+val open_append : ?fsync:Ovo_store.Rlog.fsync -> string -> t * int
+(** Open (creating or recovering as {!Ovo_store.Rlog.open_append}
+    does) and return the number of valid entries already present. *)
+
+val append : t -> entry -> unit
+val close : t -> unit
+(** Flushes (fsync) before closing so a graceful shutdown never leaves
+    an un-synced tail. *)
+
+val entry_to_json : entry -> Ovo_obs.Json.t
+val entry_of_json : Ovo_obs.Json.t -> (entry, [ `Msg of string ]) result
+
+val read : string -> (entry list * Ovo_store.Rlog.recovery, string) result
+(** All valid entries in the file; undecodable or foreign-typed records
+    are skipped (counted neither valid nor discarded). *)

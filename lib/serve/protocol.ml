@@ -36,7 +36,14 @@ type solve_params = {
   deadline_ms : float option;
 }
 
-type op = Solve of solve_params | Stats | Ping | Shutdown
+type metrics_format = Mjson | Mprom
+
+type op =
+  | Solve of solve_params
+  | Stats
+  | Metrics of metrics_format
+  | Ping
+  | Shutdown
 type request = { id : int; op : op }
 
 type solve_reply = {
@@ -70,6 +77,8 @@ let error_code_of_string = function
 type response =
   | Ok_solve of solve_reply
   | Ok_stats of Json.t
+  | Ok_metrics of Json.t
+  | Ok_prom of string
   | Pong
   | Bye
   | Cancelled of string
@@ -104,6 +113,11 @@ let request_to_line { id; op } =
           | None -> []
           | Some ms -> [ ("deadline_ms", Json.Float ms) ])
     | Stats -> [ ("id", Json.Int id); ("op", Json.String "stats") ]
+    | Metrics fmt ->
+        [ ("id", Json.Int id); ("op", Json.String "metrics");
+          ( "format",
+            Json.String
+              (match fmt with Mjson -> "json" | Mprom -> "prometheus") ) ]
     | Ping -> [ ("id", Json.Int id); ("op", Json.String "ping") ]
     | Shutdown -> [ ("id", Json.Int id); ("op", Json.String "shutdown") ]
   in
@@ -124,6 +138,11 @@ let reply_to_line { r_id; body } =
           ("solve_ms", Json.Float r.solve_ms) ]
     | Ok_stats s ->
         [ ("id", Json.Int r_id); ("status", Json.String "ok"); ("stats", s) ]
+    | Ok_metrics m ->
+        [ ("id", Json.Int r_id); ("status", Json.String "ok"); ("metrics", m) ]
+    | Ok_prom text ->
+        [ ("id", Json.Int r_id); ("status", Json.String "ok");
+          ("prom", Json.String text) ]
     | Pong -> [ ("id", Json.Int r_id); ("status", Json.String "pong") ]
     | Bye -> [ ("id", Json.Int r_id); ("status", Json.String "bye") ]
     | Cancelled msg ->
@@ -201,6 +220,15 @@ let request_of_line line =
   | "ping" -> Ok { id; op = Ping }
   | "stats" -> Ok { id; op = Stats }
   | "shutdown" -> Ok { id; op = Shutdown }
+  | "metrics" -> (
+      match Json.member "format" j with
+      | None -> Ok { id; op = Metrics Mjson }
+      | Some v -> (
+          match Json.to_string_opt v with
+          | Some "json" -> Ok { id; op = Metrics Mjson }
+          | Some "prometheus" -> Ok { id; op = Metrics Mprom }
+          | _ ->
+              err "field \"format\": expected \"json\" or \"prometheus\""))
   | "solve" ->
       let* table = string_field "table" j in
       let* kind =
@@ -245,9 +273,16 @@ let reply_of_line line =
       in
       Ok { r_id; body = Error { code; message; retry_after_ms } }
   | "ok" -> (
-      match Json.member "stats" j with
-      | Some s -> Ok { r_id; body = Ok_stats s }
-      | None ->
+      match
+        (Json.member "stats" j, Json.member "metrics" j, Json.member "prom" j)
+      with
+      | Some s, _, _ -> Ok { r_id; body = Ok_stats s }
+      | None, Some m, _ -> Ok { r_id; body = Ok_metrics m }
+      | None, None, Some p -> (
+          match Json.to_string_opt p with
+          | Some text -> Ok { r_id; body = Ok_prom text }
+          | None -> err "field \"prom\": expected a string")
+      | None, None, None ->
           let* digest = string_field "digest" j in
           let* mincost = int_field "mincost" j in
           let* size = int_field "size" j in

@@ -27,9 +27,16 @@ type solve_params = {
   deadline_ms : float option;  (** per-job deadline; [None] = no limit *)
 }
 
+type metrics_format =
+  | Mjson  (** the aggregated-telemetry JSON object *)
+  | Mprom  (** Prometheus text exposition format 0.0.4, as one string *)
+
 type op =
   | Solve of solve_params
   | Stats  (** server report: uptime, queue, cache, latency percentiles *)
+  | Metrics of metrics_format
+      (** aggregated telemetry: windows, latency distributions, engine
+          gauges; wire field ["format"], default ["json"] *)
   | Ping
   | Shutdown  (** graceful: drain queued jobs, then exit *)
 
@@ -61,6 +68,8 @@ val error_code_of_string : string -> error_code option
 type response =
   | Ok_solve of solve_reply
   | Ok_stats of Ovo_obs.Json.t  (** the stats object, passed through *)
+  | Ok_metrics of Ovo_obs.Json.t  (** the metrics object, passed through *)
+  | Ok_prom of string  (** Prometheus exposition as one JSON string field *)
   | Pong
   | Bye  (** acknowledges [Shutdown] *)
   | Cancelled of string  (** deadline expired before/while solving *)

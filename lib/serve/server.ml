@@ -4,6 +4,23 @@ module Trace = Ovo_obs.Trace
 module Json = Ovo_obs.Json
 module P = Protocol
 
+type prom_sink = Prom_file of string | Prom_addr of P.addr
+
+(* A spec with a '/' is a file path; a parseable host:port is a TCP
+   scrape endpoint; a bare word (no slash, no port) is a file in the
+   current directory. *)
+let prom_sink_of_string s =
+  if String.contains s '/' then Ok (Prom_file s)
+  else
+    match P.addr_of_string s with
+    | Ok (P.Tcp _ as a) -> Ok (Prom_addr a)
+    | Ok (P.Unix_sock _) -> Ok (Prom_file s)
+    | Error _ as e -> e
+
+let prom_sink_to_string = function
+  | Prom_file f -> f
+  | Prom_addr a -> P.addr_to_string a
+
 type config = {
   listen : P.addr;
   workers : int;
@@ -16,14 +33,19 @@ type config = {
   store_fsync : Ovo_store.Rlog.fsync;
   mem_budget : int option;
   prune : bool;
+  access_log : string option;
+  prom : prom_sink option;
+  telemetry : bool;
 }
 
 let default_config ~listen =
   { listen; workers = 2; queue_cap = 64; cache_cap = 256; max_arity = 16;
     idle_timeout = None; trace_file = None; store_dir = None;
-    store_fsync = Ovo_store.Rlog.Never; mem_budget = None; prune = false }
+    store_fsync = Ovo_store.Rlog.Never; mem_budget = None; prune = false;
+    access_log = None; prom = None; telemetry = true }
 
 type job = {
+  j_id : int;  (* server-assigned sequence number, for the access log *)
   tt : Truthtable.t;
   j_kind : Ovo_core.Compact.kind;
   j_engine : Ovo_core.Engine.t;
@@ -41,11 +63,17 @@ type t = {
   store_m : Mutex.t;  (* serialises WAL appends across workers *)
   stats : Stats.t;
   trace : Trace.t;
+  mutable alog : Access_log.t option;  (* [None] once closed in [wait] *)
+  alog_m : Mutex.t;  (* serialises access-log appends across workers *)
+  req_seq : int Atomic.t;
   stop : bool Atomic.t;
   pending : int Atomic.t;  (* jobs admitted whose reply is not yet written *)
   last_activity : float Atomic.t;
+  prom_lsock : Unix.file_descr option;
   mutable acceptor : Thread.t option;
   mutable worker_threads : Thread.t list;
+  mutable ticker : Thread.t option;
+  mutable prom_thread : Thread.t option;
 }
 
 let now = Trace.monotonic
@@ -58,21 +86,40 @@ let write_reply oc reply =
   flush oc
 
 (* Suggested backoff before the first solve has completed: with no
-   latency observed there is nothing to extrapolate from, so fall back
-   to a fixed default instead of the old behaviour (the 10ms floor
-   applied to a meaningless 0 average). *)
+   solve duration observed there is nothing to extrapolate from, so
+   fall back to a fixed default (and say so in the reply). *)
 let default_retry_after_ms = 50.
 
-(* Suggest waiting for roughly one queued job to clear; floor at 10ms.
+(* Suggest waiting for roughly one median solve to clear; floor at
+   10ms.  The estimate comes from the solve-duration histogram the
+   workers feed — actual time spent solving — not the request-handling
+   latency the old code extrapolated from (which for admitted solves
+   measures only parse + enqueue, a wild underestimate under load).
    [`Default] marks the no-data fallback so the reply can say so. *)
 let retry_after_ms t =
-  match Stats.avg_ms_opt t.stats ~endpoint:"solve" with
-  | Some avg -> (Float.max 10. avg, `Observed)
+  match Stats.solve_ms_p50 t.stats with
+  | Some p50 -> (Float.max 10. p50, `Observed)
   | None -> (default_retry_after_ms, `Default)
+
+let log_access t entry =
+  Mutex.lock t.alog_m;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.alog_m)
+    (fun () ->
+      match t.alog with
+      | None -> ()  (* not configured, or already closed during drain *)
+      | Some log -> Access_log.append log entry)
+
+let access_entry ?(digest = "") ?(cached = false) ?(queue_ms = 0.)
+    ?(solve_ms = 0.) ?(lower = -1) ?(upper = -1) ?(detail = "") ~req_id
+    ~outcome () =
+  { Access_log.at = Unix.gettimeofday (); req_id; endpoint = "solve";
+    outcome; digest; cached; queue_ms; solve_ms; lower; upper; detail }
 
 (* Returns the response body plus whether the job was admitted to the
    queue ([t.pending] was raised and must drop once the reply is out). *)
 let handle_solve t (p : P.solve_params) =
+  let req_id = Atomic.fetch_and_add t.req_seq 1 in
   if Atomic.get t.stop then
     ( P.Error
         { code = P.Shutting_down; message = "server is draining";
@@ -82,10 +129,12 @@ let handle_solve t (p : P.solve_params) =
     match Solver.parse_table ~max_arity:t.cfg.max_arity p.table with
     | Error (`Bad m) ->
         Stats.record_outcome t.stats `Error;
+        log_access t (access_entry ~req_id ~outcome:"error" ~detail:m ());
         ( P.Error { code = P.Bad_request; message = m; retry_after_ms = None },
           false )
     | Error (`Too_large m) ->
         Stats.record_outcome t.stats `Error;
+        log_access t (access_entry ~req_id ~outcome:"error" ~detail:m ());
         ( P.Error { code = P.Too_large; message = m; retry_after_ms = None },
           false )
     | Ok tt -> (
@@ -96,8 +145,8 @@ let handle_solve t (p : P.solve_params) =
           | Some ms -> Cancel.with_deadline (ms /. 1000.)
         in
         let job =
-          { tt; j_kind = p.kind; j_engine = p.engine; cancel; enq_at = now ();
-            reply = Ivar.create () }
+          { j_id = req_id; tt; j_kind = p.kind; j_engine = p.engine; cancel;
+            enq_at = now (); reply = Ivar.create () }
         in
         match Bqueue.try_push t.queue job with
         | exception Bqueue.Closed ->
@@ -107,6 +156,9 @@ let handle_solve t (p : P.solve_params) =
               false )
         | `Full ->
             Stats.record_outcome t.stats `Rejected;
+            log_access t
+              (access_entry ~req_id ~outcome:"rejected" ~detail:"queue_full"
+                 ());
             let retry, basis = retry_after_ms t in
             ( P.Error
                 { code = P.Queue_full;
@@ -140,6 +192,24 @@ let stats_json t =
     ~queue_cap:(Bqueue.capacity t.queue) ~workers:t.cfg.workers
     ~cache:(Cache.to_json t.cache)
 
+(* Refresh the point-in-time gauges right before any exposition so a
+   scrape never reads stale queue/cache numbers. *)
+let refresh_live t =
+  Stats.sample_gc t.stats;
+  Stats.set_live t.stats ~queue_depth:(Bqueue.length t.queue)
+    ~queue_cap:(Bqueue.capacity t.queue) ~workers:t.cfg.workers
+    ~cache_entries:(Cache.length t.cache) ~cache_hits:(Cache.hits t.cache)
+    ~cache_misses:(Cache.misses t.cache)
+    ~cache_evictions:(Cache.evictions t.cache)
+
+let metrics_json t =
+  refresh_live t;
+  Stats.metrics_json t.stats
+
+let prom_text t =
+  refresh_live t;
+  Stats.prom t.stats
+
 let shutdown t = Atomic.set t.stop true
 
 let handle_request t oc ({ id; op } : P.request) =
@@ -149,6 +219,8 @@ let handle_request t oc ({ id; op } : P.request) =
     match op with
     | P.Ping -> ("ping", P.Pong, false)
     | P.Stats -> ("stats", P.Ok_stats (stats_json t), false)
+    | P.Metrics P.Mjson -> ("metrics", P.Ok_metrics (metrics_json t), false)
+    | P.Metrics P.Mprom -> ("metrics", P.Ok_prom (prom_text t), false)
     | P.Shutdown -> ("shutdown", P.Bye, false)
     | P.Solve p ->
         let body, admitted = handle_solve t p in
@@ -207,23 +279,33 @@ let worker_loop t =
         Trace.instant t.trace ~cat:"serve"
           ~args:(fun () -> [ ("ms", Json.Float queue_ms) ])
           "serve.queue_wait";
+        if t.cfg.telemetry then Stats.record_queue_wait_ms t.stats queue_ms;
+        Stats.worker_busy t.stats;
         let solve_start = now () in
-        let body =
+        let stats = if t.cfg.telemetry then Some t.stats else None in
+        let body, entry =
           match
-            Solver.solve ~trace:t.trace ~cache:t.cache ~cancel:job.cancel
-              ~engine:job.j_engine ~kind:job.j_kind
+            Solver.solve ~trace:t.trace ?stats ~cache:t.cache
+              ~cancel:job.cancel ~engine:job.j_engine ~kind:job.j_kind
               ?mem_budget:t.cfg.mem_budget ~prune:t.cfg.prune job.tt
           with
           | Ok s ->
+              let solve_ms = (now () -. solve_start) *. 1000. in
               Stats.record_outcome t.stats (if s.cached then `Cached else `Ok);
-              P.Ok_solve
-                { digest = s.digest; mincost = s.mincost; size = s.size;
-                  order = s.order; widths = s.widths; cached = s.cached;
-                  queue_ms; solve_ms = (now () -. solve_start) *. 1000. }
+              if t.cfg.telemetry then Stats.record_solve_ms t.stats solve_ms;
+              ( P.Ok_solve
+                  { digest = s.digest; mincost = s.mincost; size = s.size;
+                    order = s.order; widths = s.widths; cached = s.cached;
+                    queue_ms; solve_ms },
+                access_entry ~req_id:job.j_id
+                  ~outcome:(if s.cached then "cached" else "ok")
+                  ~digest:s.digest ~cached:s.cached ~queue_ms ~solve_ms
+                  ~lower:s.mincost ~upper:s.mincost () )
           | Error (`Cancelled bounds) ->
+              let solve_ms = (now () -. solve_start) *. 1000. in
               Stats.record_outcome t.stats `Cancelled;
-              P.Cancelled
-                (match bounds with
+              let message =
+                match bounds with
                 | None -> "deadline exceeded"
                 | Some (lower, upper) when upper = max_int ->
                     Printf.sprintf
@@ -231,13 +313,27 @@ let worker_loop t =
                 | Some (lower, upper) ->
                     Printf.sprintf
                       "deadline exceeded; best-so-far bounds [%d, %d]" lower
-                      upper)
+                      upper
+              in
+              let lower, upper =
+                match bounds with
+                | None -> (-1, -1)
+                | Some (l, u) -> (l, (if u = max_int then -1 else u))
+              in
+              ( P.Cancelled message,
+                access_entry ~req_id:job.j_id ~outcome:"cancelled" ~queue_ms
+                  ~solve_ms ~lower ~upper ~detail:message () )
           | exception e ->
+              let solve_ms = (now () -. solve_start) *. 1000. in
               Stats.record_outcome t.stats `Error;
-              P.Error
-                { code = P.Internal; message = Printexc.to_string e;
-                  retry_after_ms = None }
+              let message = Printexc.to_string e in
+              ( P.Error
+                  { code = P.Internal; message; retry_after_ms = None },
+                access_entry ~req_id:job.j_id ~outcome:"error" ~queue_ms
+                  ~solve_ms ~detail:message () )
         in
+        Stats.worker_idle t.stats;
+        log_access t entry;
         Ivar.fill job.reply body;
         loop ()
   in
@@ -289,6 +385,73 @@ let acceptor_loop t =
             loop ()
         | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
     end
+  in
+  loop ()
+
+(* ---------- telemetry exporters ---------- *)
+
+(* tmp + rename so a scraper reading the file never sees a torn write *)
+let write_prom_file t path =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out tmp in
+  output_string oc (prom_text t);
+  close_out oc;
+  Sys.rename tmp path
+
+(* 1 s heartbeat: GC/resident gauges stay fresh even with no scraper
+   attached, and a file sink gets rewritten atomically every beat. *)
+let ticker_loop t =
+  let rec nap k =
+    if k > 0 && not (Atomic.get t.stop) then begin
+      Thread.delay 0.1;
+      nap (k - 1)
+    end
+  in
+  let rec loop () =
+    if Atomic.get t.stop then ()
+    else begin
+      (match t.cfg.prom with
+      | Some (Prom_file path) -> (
+          try write_prom_file t path with Sys_error _ -> ())
+      | _ -> refresh_live t);
+      nap 10;
+      loop ()
+    end
+  in
+  loop ()
+
+(* Minimal one-shot HTTP/1.0 responder for a Prometheus scrape: read
+   whatever request head arrives, answer with the exposition, close.
+   Not a general HTTP server — just enough for a scrape loop or curl. *)
+let prom_http_loop t lsock =
+  let serve_one fd =
+    let finally () = try Unix.close fd with Unix.Unix_error _ -> () in
+    Fun.protect ~finally (fun () ->
+        (try ignore (Unix.read fd (Bytes.create 4096) 0 4096)
+         with Unix.Unix_error _ -> ());
+        let body = prom_text t in
+        let resp =
+          Printf.sprintf
+            "HTTP/1.0 200 OK\r\n\
+             Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n\
+             Content-Length: %d\r\n\
+             Connection: close\r\n\r\n%s"
+            (String.length body) body
+        in
+        try ignore (Unix.write_substring fd resp 0 (String.length resp))
+        with Unix.Unix_error _ -> ())
+  in
+  let rec loop () =
+    if Atomic.get t.stop then ()
+    else
+      match Unix.select [ lsock ] [] [] 0.25 with
+      | [], _, _ -> loop ()
+      | _ :: _, _, _ ->
+          (match Unix.accept lsock with
+          | exception Unix.Unix_error _ -> ()
+          | fd, _ -> ignore (Thread.create serve_one fd));
+          loop ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
   in
   loop ()
 
@@ -347,16 +510,39 @@ let start cfg =
       warm_loaded
       (if warm_loaded = 1 then "" else "s")
       (Option.value cfg.store_dir ~default:"");
+  let alog =
+    Option.map
+      (fun path ->
+        let log, existing = Access_log.open_append path in
+        if existing > 0 then
+          Printf.eprintf
+            "[ovo-serve] access log %s: %d existing entr%s\n%!" path existing
+            (if existing = 1 then "y" else "ies");
+        log)
+      cfg.access_log
+  in
+  let prom_lsock =
+    match cfg.prom with
+    | Some (Prom_addr addr) -> Some (bind_listen addr)
+    | Some (Prom_file _) | None -> None
+  in
   let t =
     { cfg; lsock; queue = Bqueue.create ~cap:(max 1 cfg.queue_cap);
       cache; store; store_m;
-      stats = Stats.create (); trace; stop = Atomic.make false;
+      stats = Stats.create (); trace; alog; alog_m = Mutex.create ();
+      req_seq = Atomic.make 0; stop = Atomic.make false;
       pending = Atomic.make 0; last_activity = Atomic.make (now ());
-      acceptor = None; worker_threads = [] }
+      prom_lsock; acceptor = None; worker_threads = []; ticker = None;
+      prom_thread = None }
   in
   t.worker_threads <-
     List.init cfg.workers (fun _ -> Thread.create worker_loop t);
   t.acceptor <- Some (Thread.create acceptor_loop t);
+  t.ticker <- Some (Thread.create ticker_loop t);
+  t.prom_thread <-
+    Option.map
+      (fun ls -> Thread.create (fun () -> prom_http_loop t ls) ())
+      prom_lsock;
   t
 
 let wait t =
@@ -377,6 +563,25 @@ let wait t =
   while Atomic.get t.pending > 0 && now () < deadline do
     Thread.delay 0.01
   done;
+  (* exporters key off the same stop flag; join them before the final
+     prom snapshot so nothing races the write below *)
+  Option.iter Thread.join t.ticker;
+  Option.iter Thread.join t.prom_thread;
+  Option.iter
+    (fun ls -> try Unix.close ls with Unix.Unix_error _ -> ())
+    t.prom_lsock;
+  (match t.cfg.prom with
+  | Some (Prom_file path) -> (
+      try write_prom_file t path with Sys_error _ -> ())
+  | _ -> ());
+  (* flush and CRC-close the access log; late stragglers see [None] *)
+  Mutex.lock t.alog_m;
+  (match t.alog with
+  | None -> ()
+  | Some log ->
+      t.alog <- None;
+      Access_log.close log);
+  Mutex.unlock t.alog_m;
   (* workers are done: no more appends — sync and close the store *)
   Option.iter Ovo_store.Result_store.close t.store;
   (match t.cfg.listen with

@@ -16,6 +16,20 @@
     through the workers, their replies are flushed, and a final stats
     report (plus the trace file, if recording) is written. *)
 
+type prom_sink =
+  | Prom_file of string
+      (** rewrite the exposition to this path (tmp + rename, so readers
+          never see a torn file) every second and once at shutdown *)
+  | Prom_addr of Protocol.addr
+      (** serve the exposition over one-shot HTTP responses on this
+          address — enough for a Prometheus scrape loop or [curl] *)
+
+val prom_sink_of_string : string -> (prom_sink, [ `Msg of string ]) result
+(** A spec containing ['/'] is a file path; a parseable [host:port] is
+    a scrape address; a bare word is a file in the current directory. *)
+
+val prom_sink_to_string : prom_sink -> string
+
 type config = {
   listen : Protocol.addr;
   workers : int;  (** worker pool size; [<= 0] means 1 *)
@@ -51,11 +65,28 @@ type config = {
           states, and deadline-cancelled replies carry the best-so-far
           [(lower, incumbent)] bound pair in their message.  Default
           off. *)
+  access_log : string option;
+      (** CRC-framed structured access log ({!Access_log}): one entry
+          per solve request with digest, outcome, queue wait, solve
+          duration, cache hit and bound window.  Reopening recovers a
+          torn tail exactly like the result store.  [None] (default)
+          logs nothing. *)
+  prom : prom_sink option;
+      (** Prometheus exposition sink, refreshed by the 1 s ticker
+          (file) or served per scrape (address).  [None] (default)
+          exports nothing — the [metrics] op still answers. *)
+  telemetry : bool;
+      (** per-request instrument updates (latency histograms, windows,
+          engine gauges).  Default on; [false] exists so the benchmark
+          can measure the instrumented/uninstrumented overhead ratio.
+          Outcome counters and the [stats] endpoint stay on
+          regardless. *)
 }
 
 val default_config : listen:Protocol.addr -> config
 (** 2 workers, queue 64, cache 256, max arity 16, no idle timeout, no
-    trace, no store, no memory budget, no pruning. *)
+    trace, no store, no memory budget, no pruning, no access log, no
+    Prometheus sink, telemetry on. *)
 
 type t
 
@@ -66,6 +97,14 @@ val start : config -> t
 
 val stats_json : t -> Ovo_obs.Json.t
 (** Live snapshot — what the [stats] endpoint returns. *)
+
+val metrics_json : t -> Ovo_obs.Json.t
+(** Aggregated telemetry — what the [metrics] endpoint returns
+    ({!Stats.metrics_json} after refreshing the live gauges). *)
+
+val prom_text : t -> string
+(** The Prometheus exposition — what [--prom] exports and what the
+    [metrics] op answers in [prometheus] format. *)
 
 val shutdown : t -> unit
 (** Initiate graceful shutdown (idempotent, non-blocking); {!wait}

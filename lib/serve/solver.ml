@@ -54,12 +54,24 @@ let fresh_spill_dir () =
     (Printf.sprintf "ovo-serve-spill-%d-%d" (Unix.getpid ())
        (Atomic.fetch_and_add spill_seq 1))
 
-let solve ?(trace = Trace.null) ?mem_budget ?(prune = false) ~cache ~cancel
-    ~engine ~kind tt =
+let solve ?(trace = Trace.null) ?mem_budget ?(prune = false) ?stats ~cache
+    ~cancel ~engine ~kind tt =
   (* the pruning context outlives [Cancel.protect]: a deadline-expired
      pruned solve still reports its best (lower, incumbent) pair — the
      any-time payoff of seeding before the sweep *)
   let bound_ref = ref None in
+  let note_pruned () =
+    match (stats, !bound_ref) with
+    | Some st, Some b -> Stats.add_pruned st (Ovo_core.Bound.states_pruned b)
+    | _ -> ()
+  in
+  let on_layer =
+    Option.map
+      (fun st (p : Ovo_core.Subset_dp.progress) ->
+        Stats.note_layer st ~layer:p.Ovo_core.Subset_dp.p_layer
+          ~states:(Array.length p.Ovo_core.Subset_dp.p_entries))
+      stats
+  in
   match
     Cancel.protect cancel (fun () ->
         Cancel.check cancel;
@@ -74,6 +86,9 @@ let solve ?(trace = Trace.null) ?mem_budget ?(prune = false) ~cache ~cancel
             "serve.cache_probe"
             (fun () -> Cache.find cache ~digest ~kind ~canon)
         in
+        Option.iter
+          (fun st -> Stats.note_probe st ~hit:(probe <> None))
+          stats;
         match probe with
         | Some entry -> reply_of_entry ~digest ~perm ~cached:true entry
         | None ->
@@ -92,7 +107,9 @@ let solve ?(trace = Trace.null) ?mem_budget ?(prune = false) ~cache ~cancel
             let r =
               Trace.with_span trace ~cat:"serve" "serve.solve" (fun () ->
                   match mem_budget with
-                  | None -> Fs.run ~trace ~kind ~engine ~cancel ?prune:pr canon
+                  | None ->
+                      Fs.run ~trace ~kind ~engine ~cancel ?prune:pr ?on_layer
+                        canon
                   | Some budget_bytes ->
                       let sp = Ovo_store.Spill.create (fresh_spill_dir ()) in
                       Fun.protect
@@ -102,9 +119,19 @@ let solve ?(trace = Trace.null) ?mem_budget ?(prune = false) ~cache ~cancel
                             Ovo_core.Membudget.create ~budget_bytes
                               ~sink:(Ovo_store.Spill.sink sp) ()
                           in
-                          Fs.run ~trace ~kind ~engine ~cancel ~membudget
-                            ?prune:pr canon))
+                          Fun.protect
+                            ~finally:(fun () ->
+                              Option.iter
+                                (fun st ->
+                                  Stats.add_spill_bytes st
+                                    (Ovo_core.Membudget.bytes_spilled
+                                       membudget))
+                                stats)
+                            (fun () ->
+                              Fs.run ~trace ~kind ~engine ~cancel ~membudget
+                                ?prune:pr ?on_layer canon)))
             in
+            note_pruned ();
             let entry =
               { Cache.canon; mincost = r.mincost; size = r.size;
                 canon_order = r.order; widths = r.widths }
@@ -114,4 +141,5 @@ let solve ?(trace = Trace.null) ?mem_budget ?(prune = false) ~cache ~cancel
   with
   | Ok s -> Ok s
   | Error `Cancelled ->
+      note_pruned ();
       Error (`Cancelled (Option.map Ovo_core.Bound.anytime !bound_ref))

@@ -30,6 +30,7 @@ val solve :
   ?trace:Ovo_obs.Trace.t ->
   ?mem_budget:int ->
   ?prune:bool ->
+  ?stats:Stats.t ->
   cache:Cache.t ->
   cancel:Ovo_core.Cancel.t ->
   engine:Ovo_core.Engine.t ->
@@ -55,4 +56,10 @@ val solve :
     this solve ({!Ovo_core.Membudget}): a budgeted miss spills completed
     layers to a fresh scratch directory under the system temp dir
     (removed when the solve finishes, even on failure) and produces a
-    result bit-identical to an unbounded one. *)
+    result bit-identical to an unbounded one.
+
+    [stats] wires the solve into the server's telemetry: the cache
+    probe feeds the hit-rate window, every completed DP layer updates
+    the engine progress gauges ([ovo_dp_layer], [ovo_dp_layer_states]),
+    and pruned-state / spilled-byte totals accumulate when pruning or a
+    memory budget is active — including on the cancelled path. *)

@@ -1,0 +1,110 @@
+The telemetry surface end to end: a daemon with an access log and a
+Prometheus file sink, the metrics op in both formats, the `ovo top`
+dashboard, a graceful shutdown that CRC-closes the access log, and a
+SIGKILL'd daemon whose log reopens cleanly (torn tail truncated).
+
+  $ SOCK=/tmp/ovo-metrics-cram-$$.sock
+  $ ovo serve --listen "$SOCK" --idle-timeout 60 \
+  >   --access-log access.rlog --prom prom.txt > serve.log 2>&1 &
+  $ for i in $(seq 50); do
+  >   ovo submit --connect "$SOCK" --ping > /dev/null 2>&1 && break
+  >   sleep 0.2
+  > done
+
+One cache-cold solve and one hit give the counters known values:
+
+  $ ovo submit --connect "$SOCK" --family hwb-6 | grep cached
+  cached            : false
+  $ ovo submit --connect "$SOCK" --family hwb-6 | grep cached
+  cached            : true
+
+The metrics op returns the aggregated-telemetry object (schema in
+doc/service.md) — outcome tallies, queue/worker gauges, windows and
+latency distributions:
+
+  $ M=$(ovo submit --connect "$SOCK" --metrics)
+  $ echo "$M" | grep -o '"outcomes":{[^}]*}'
+  "outcomes":{"ok":2,"cached":1,"cancelled":0,"rejected":0,"errors":0}
+  $ echo "$M" | grep -o '"queue":{"depth":[0-9]*,"cap":64}'
+  "queue":{"depth":0,"cap":64}
+  $ echo "$M" | grep -o '"total":2'
+  "total":2
+  $ for key in uptime_s rps_1s rps_10s rps_60s cache_hit_rate_60s \
+  >            solve queue_wait request engine gc; do
+  >   echo "$M" | grep -q "\"$key\"" || echo "missing $key"
+  > done
+
+The same op in Prometheus text format 0.0.4 — one TYPE per family,
+per-endpoint counters, histogram buckets with a +Inf bound:
+
+  $ ovo submit --connect "$SOCK" --prom > prom.out
+  $ grep -c '^# TYPE ovo_requests_total counter$' prom.out
+  1
+  $ grep '^ovo_requests_total{endpoint="solve"}' prom.out
+  ovo_requests_total{endpoint="solve"} 2
+  $ grep -c '^ovo_solve_duration_ms_bucket{le="+Inf"} 2$' prom.out
+  1
+  $ grep '^ovo_solve_duration_ms_count ' prom.out
+  ovo_solve_duration_ms_count 2
+
+`ovo top --once` prints a single scriptable frame of the same numbers:
+
+  $ ovo top --once --connect "$SOCK" | grep '^outcomes'
+  outcomes ok 2  cached 1  cancelled 0  rejected 0  errors 0
+  $ ovo top --once --connect "$SOCK" | grep -c '^queue'
+  1
+
+Graceful shutdown drains, writes the final Prometheus exposition and
+CRC-closes the access log:
+
+  $ ovo submit --connect "$SOCK" --shutdown
+  bye
+  $ for i in $(seq 50); do test -e "$SOCK" || break; sleep 0.2; done
+  $ grep '^ovo_requests_total{endpoint="solve"} 2$' prom.txt
+  ovo_requests_total{endpoint="solve"} 2
+  $ grep 'existing entr' serve.log
+  [1]
+
+Both solve requests are in the access log — outcome, digest, cache
+flag and the tight bound window of an exact answer:
+
+  $ ovo access-log access.rlog | awk '{print $2, $3, $4, $5, $8}'
+  #0 ok 6:4fa2c3ee100b867a cached=false bounds=[21,21]
+  #1 cached 6:4fa2c3ee100b867a cached=true bounds=[21,21]
+
+A second daemon reopens the same log (2 existing entries), serves one
+more request, and dies hard — SIGKILL, no drain, no close:
+
+  $ SOCK2=/tmp/ovo-metrics-cram2-$$.sock
+  $ ovo serve --listen "$SOCK2" --idle-timeout 60 \
+  >   --access-log access.rlog > serve2.log 2>&1 &
+  $ PID=$!
+  $ for i in $(seq 50); do
+  >   ovo submit --connect "$SOCK2" --ping > /dev/null 2>&1 && break
+  >   sleep 0.2
+  > done
+  $ ovo submit --connect "$SOCK2" --family hwb-6 > /dev/null
+  $ kill -9 $PID
+  $ wait $PID 2> /dev/null || true
+  $ rm -f "$SOCK2"
+  $ grep -o 'access log access.rlog: 2 existing' serve2.log
+  access log access.rlog: 2 existing
+
+Every entry appended before the kill survives — appends hit the file
+per record, so SIGKILL costs at most a torn tail, never a synced
+prefix:
+
+  $ ovo access-log access.rlog | awk '{print $2, $3, $5}'
+  #0 ok cached=false
+  #1 cached cached=true
+  #0 ok cached=false
+
+Simulate a torn tail (a crash mid-append): the damaged record is
+discarded and reported, everything before it reads back intact:
+
+  $ truncate -s -3 access.rlog
+  $ ovo access-log access.rlog 2> err.log | awk '{print $2, $3}'
+  #0 ok
+  #1 cached
+  $ sed 's/[0-9]* trailing/N trailing/' err.log
+  [ovo] N trailing bytes discarded (torn tail)

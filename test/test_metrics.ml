@@ -1,0 +1,465 @@
+(* The telemetry layer: log-bucketed histograms (quantile error bounds
+   against exact nearest-rank, merge algebra), rolling windows on an
+   injected clock, the typed registry, Prometheus exposition
+   well-formedness, the registry-backed server Stats (including the
+   regression for the old ring's drifting running sum), the metrics
+   protocol codecs, and access-log recovery after a torn tail. *)
+
+module Histo = Ovo_metrics.Histo
+module Window = Ovo_metrics.Window
+module R = Ovo_metrics.Registry
+module Prom = Ovo_metrics.Prom
+module Stats = Ovo_serve.Stats
+module Access_log = Ovo_serve.Access_log
+module P = Ovo_serve.Protocol
+module Json = Ovo_obs.Json
+
+let check_float name eps expected got =
+  if Float.abs (expected -. got) > eps then
+    Alcotest.failf "%s: expected %g within %g, got %g" name expected eps got
+
+(* exact nearest-rank quantile over the raw samples *)
+let exact_quantile samples q =
+  let a = Array.of_list samples in
+  Array.sort compare a;
+  let n = Array.length a in
+  let rank = max 1 (min n (int_of_float (Float.ceil (q *. float_of_int n)))) in
+  a.(rank - 1)
+
+let histo_tests =
+  [
+    Helpers.case "bucket index brackets its bounds" (fun () ->
+        (* exact boundaries are float-fuzzy by one ulp; interior points
+           must land exactly, and the index must be monotone *)
+        for i = 1 to Histo.num_core do
+          let mid = Histo.min_bound *. Float.exp2 ((float_of_int i -. 0.5) /. 8.) in
+          Helpers.check_int "midpoint lands in its bucket" i (Histo.index mid)
+        done;
+        for i = 1 to Histo.num_core - 1 do
+          Helpers.check_bool "monotone" true
+            (Histo.index (Histo.bucket_upper i)
+            <= Histo.index (Histo.bucket_upper (i + 1)))
+        done;
+        Helpers.check_int "zero underflows" 0 (Histo.index 0.);
+        Helpers.check_int "negative underflows" 0 (Histo.index (-3.));
+        Helpers.check_int "nan underflows" 0 (Histo.index Float.nan);
+        Helpers.check_int "huge overflows" (Histo.num_core + 1)
+          (Histo.index 1e30));
+    Helpers.case "count, sum and mean are exact" (fun () ->
+        let h = Histo.create () in
+        let values = [ 0.5; 1.; 2.; 4.; 1000.; 0.001 ] in
+        List.iter (Histo.record h) values;
+        let s = Histo.snapshot h in
+        Helpers.check_int "count" (List.length values) s.Histo.count;
+        check_float "sum" 1e-9 (List.fold_left ( +. ) 0. values) s.Histo.sum;
+        check_float "mean" 1e-9
+          (List.fold_left ( +. ) 0. values /. 6.)
+          (Option.get (Histo.mean s)));
+    Helpers.case "quantile of empty is None" (fun () ->
+        Helpers.check_bool "none" true
+          (Histo.quantile (Histo.snapshot (Histo.create ())) 0.5 = None);
+        Helpers.check_bool "empty constant" true
+          (Histo.quantile Histo.empty 0.99 = None));
+    Helpers.case "single sample: every quantile returns it" (fun () ->
+        let h = Histo.create () in
+        Histo.record h 7.3;
+        let s = Histo.snapshot h in
+        List.iter
+          (fun q -> check_float "q" 1e-9 7.3 (Option.get (Histo.quantile s q)))
+          [ 0.; 0.5; 0.99; 1. ]);
+    Helpers.case "merge of empty is identity" (fun () ->
+        let h = Histo.create () in
+        List.iter (Histo.record h) [ 1.; 2.; 3. ];
+        let s = Histo.snapshot h in
+        let m = Histo.merge s Histo.empty in
+        Helpers.check_int "count" s.Histo.count m.Histo.count;
+        check_float "sum" 1e-9 s.Histo.sum m.Histo.sum;
+        check_float "p50" 1e-9
+          (Option.get (Histo.quantile s 0.5))
+          (Option.get (Histo.quantile m 0.5)));
+  ]
+
+let histo_props =
+  let arb_samples =
+    QCheck.(
+      list_of_size Gen.(int_range 1 200)
+        (map
+           (fun x -> Float.abs x +. 0.01)
+           (float_range 0. 10000.)))
+  in
+  [
+    QCheck.Test.make ~name:"quantile within max_rel_error of exact" ~count:200
+      QCheck.(pair arb_samples (float_range 0.01 0.99))
+      (fun (samples, q) ->
+        let h = Histo.create () in
+        List.iter (Histo.record h) samples;
+        let est = Option.get (Histo.quantile (Histo.snapshot h) q) in
+        let exact = exact_quantile samples q in
+        (* the estimate must sit within one bucket's relative width of
+           some sample-achievable value; against exact nearest-rank the
+           bound is max_rel_error on either side *)
+        Float.abs (est -. exact) <= Histo.max_rel_error *. exact +. 1e-9);
+    QCheck.Test.make ~name:"merge is associative and commutative" ~count:100
+      QCheck.(triple arb_samples arb_samples arb_samples)
+      (fun (xs, ys, zs) ->
+        let snap vs =
+          let h = Histo.create () in
+          List.iter (Histo.record h) vs;
+          Histo.snapshot h
+        in
+        let a = snap xs and b = snap ys and c = snap zs in
+        let l = Histo.merge (Histo.merge a b) c in
+        let r = Histo.merge a (Histo.merge b c) in
+        let ba = Histo.merge b a in
+        let ab = Histo.merge a b in
+        l.Histo.counts = r.Histo.counts
+        && l.Histo.count = r.Histo.count
+        && Float.abs (l.Histo.sum -. r.Histo.sum) < 1e-6
+        && ab.Histo.counts = ba.Histo.counts
+        && ab.Histo.vmin = ba.Histo.vmin
+        && ab.Histo.vmax = ba.Histo.vmax);
+    QCheck.Test.make ~name:"merge equals recording the concatenation"
+      ~count:100
+      QCheck.(pair arb_samples arb_samples)
+      (fun (xs, ys) ->
+        let snap vs =
+          let h = Histo.create () in
+          List.iter (Histo.record h) vs;
+          Histo.snapshot h
+        in
+        let merged = Histo.merge (snap xs) (snap ys) in
+        let whole = snap (xs @ ys) in
+        merged.Histo.counts = whole.Histo.counts
+        && merged.Histo.count = whole.Histo.count
+        && merged.Histo.vmin = whole.Histo.vmin
+        && merged.Histo.vmax = whole.Histo.vmax);
+  ]
+
+let window_tests =
+  [
+    Helpers.case "totals cover only the window, expiry is lazy" (fun () ->
+        let t = ref 0. in
+        let w = Window.create ~clock:(fun () -> !t) ~horizon:60 () in
+        Window.add w 10.;
+        t := 1.;
+        Window.add w 20.;
+        Helpers.check_bool "both in 10s" true
+          (Window.totals w ~window:10 = (2, 30.));
+        Helpers.check_bool "1s sees only current second" true
+          (Window.totals w ~window:1 = (1, 20.));
+        (* jump past the horizon: everything expires *)
+        t := 120.;
+        Helpers.check_bool "expired" true
+          (Window.totals w ~window:60 = (0, 0.));
+        Window.add w 5.;
+        Helpers.check_bool "fresh slot counts" true
+          (Window.totals w ~window:60 = (1, 5.)));
+    Helpers.case "ring lap resets stale slots" (fun () ->
+        let t = ref 0. in
+        let w = Window.create ~clock:(fun () -> !t) ~horizon:3 () in
+        Window.add w 1.;
+        (* land in the same ring slot one lap later: the old value must
+           not leak into the new second's totals *)
+        t := 4.;
+        Window.add w 2.;
+        Helpers.check_bool "only the new value" true
+          (Window.totals w ~window:3 = (1, 2.)));
+    Helpers.case "rate and mean_value" (fun () ->
+        let t = ref 0. in
+        let w = Window.create ~clock:(fun () -> !t) () in
+        Helpers.check_bool "empty mean" true
+          (Window.mean_value w ~window:60 = None);
+        Window.add w 1.;
+        Window.add w 0.;
+        Window.add w 1.;
+        check_float "rate over 10s" 1e-9 0.3 (Window.rate w ~window:10);
+        check_float "hit rate" 1e-9 (2. /. 3.)
+          (Option.get (Window.mean_value w ~window:60)));
+    Helpers.case "window bounds are validated" (fun () ->
+        let w = Window.create ~horizon:10 () in
+        Helpers.check_bool "zero rejected" true
+          (match Window.totals w ~window:0 with
+          | exception Invalid_argument _ -> true
+          | _ -> false);
+        Helpers.check_bool "past horizon rejected" true
+          (match Window.totals w ~window:11 with
+          | exception Invalid_argument _ -> true
+          | _ -> false));
+  ]
+
+let registry_tests =
+  [
+    Helpers.case "same (name, labels) returns the same instrument" (fun () ->
+        let reg = R.create () in
+        let a = R.counter reg "ovo_x_total" in
+        let b = R.counter reg "ovo_x_total" in
+        R.inc a 2;
+        R.inc b 3;
+        Helpers.check_int "shared" 5 (R.counter_value a);
+        let l1 = R.counter reg ~labels:[ ("k", "v") ] "ovo_x_total" in
+        R.inc l1 7;
+        Helpers.check_int "labelled is distinct" 5 (R.counter_value a);
+        Helpers.check_int "labelled counts apart" 7 (R.counter_value l1));
+    Helpers.case "re-registering with a different kind raises" (fun () ->
+        let reg = R.create () in
+        ignore (R.counter reg "ovo_x_total");
+        Helpers.check_bool "kind clash" true
+          (match R.gauge reg "ovo_x_total" with
+          | exception Invalid_argument _ -> true
+          | _ -> false));
+    Helpers.case "negative increment raises" (fun () ->
+        let reg = R.create () in
+        let c = R.counter reg "ovo_x_total" in
+        Helpers.check_bool "negative" true
+          (match R.inc c (-1) with
+          | exception Invalid_argument _ -> true
+          | _ -> false));
+    Helpers.case "samples walk in registration order" (fun () ->
+        let reg = R.create () in
+        ignore (R.counter reg ~labels:[ ("e", "b") ] "ovo_b_total");
+        ignore (R.gauge reg "ovo_a");
+        ignore (R.counter reg ~labels:[ ("e", "a") ] "ovo_b_total");
+        let names = List.map (fun s -> s.R.s_name) (R.samples reg) in
+        (* names grouped in first-seen order, label sets in registration
+           order within the name *)
+        Helpers.check_bool "order" true
+          (names = [ "ovo_b_total"; "ovo_b_total"; "ovo_a" ]);
+        let labels =
+          List.filter_map
+            (fun s ->
+              if s.R.s_name = "ovo_b_total" then Some s.R.s_labels else None)
+            (R.samples reg)
+        in
+        Helpers.check_bool "label order" true
+          (labels = [ [ ("e", "b") ]; [ ("e", "a") ] ]));
+  ]
+
+let prom_tests =
+  [
+    Helpers.case "label escaping" (fun () ->
+        Helpers.check_bool "backslash" true
+          (Prom.escape_label {|a\b|} = {|a\\b|});
+        Helpers.check_bool "quote" true
+          (Prom.escape_label {|a"b|} = {|a\"b|});
+        Helpers.check_bool "newline" true
+          (Prom.escape_label "a\nb" = {|a\nb|}));
+    Helpers.case "exposition shape: TYPE once, cumulative buckets, +Inf"
+      (fun () ->
+        let reg = R.create () in
+        let c = R.counter reg ~help:"requests" ~labels:[ ("e", "solve") ]
+            "ovo_requests_total"
+        in
+        ignore (R.counter reg ~labels:[ ("e", "ping") ] "ovo_requests_total");
+        R.inc c 3;
+        let h = R.histogram reg ~help:"latency" "ovo_latency_ms" in
+        List.iter (R.observe h) [ 0.5; 1.; 2.; 1000. ];
+        let text = Prom.render reg in
+        let lines = String.split_on_char '\n' text in
+        let count_pfx p =
+          List.length
+            (List.filter
+               (fun l ->
+                 String.length l >= String.length p
+                 && String.sub l 0 (String.length p) = p)
+               lines)
+        in
+        Helpers.check_int "one TYPE per name" 1
+          (count_pfx "# TYPE ovo_requests_total ");
+        Helpers.check_int "histogram TYPE" 1
+          (count_pfx "# TYPE ovo_latency_ms ");
+        Helpers.check_bool "both label series" true
+          (count_pfx "ovo_requests_total{e=\"solve\"} 3" = 1
+          && count_pfx "ovo_requests_total{e=\"ping\"} 0" = 1);
+        Helpers.check_bool "+Inf bucket present" true
+          (List.exists
+             (fun l ->
+               String.length l > 0
+               && count_pfx "ovo_latency_ms_bucket{le=\"+Inf\"} 4" = 1)
+             lines);
+        Helpers.check_bool "count line" true
+          (count_pfx "ovo_latency_ms_count 4" = 1);
+        (* cumulative: bucket counts never decrease down the ladder *)
+        let bucket_counts =
+          List.filter_map
+            (fun l ->
+              let p = "ovo_latency_ms_bucket{le=" in
+              if
+                String.length l > String.length p
+                && String.sub l 0 (String.length p) = p
+              then
+                match String.rindex_opt l ' ' with
+                | Some i ->
+                    int_of_string_opt
+                      (String.sub l (i + 1) (String.length l - i - 1))
+                | None -> None
+              else None)
+            lines
+        in
+        Helpers.check_bool "cumulative" true
+          (let rec mono = function
+             | a :: (b :: _ as tl) -> a <= b && mono tl
+             | _ -> true
+           in
+           mono bucket_counts);
+        Helpers.check_bool "ends with newline" true
+          (String.length text > 0 && text.[String.length text - 1] = '\n'));
+  ]
+
+(* regression for the old ring implementation: its subtract-on-evict
+   running sum drifted after the ring wrapped; the histogram sum is
+   add-only, so the mean stays exact at any volume *)
+let stats_tests =
+  [
+    Helpers.case "mean stays exact far past the old ring size" (fun () ->
+        let s = Stats.create () in
+        (* 3 * 4096 samples of 2.5 — the old ring held 4096 and summed
+           with subtract-on-evict float updates *)
+        for _ = 1 to 3 * 4096 do
+          Stats.record s ~endpoint:"solve" ~ms:2.5
+        done;
+        Helpers.check_bool "exact mean" true
+          (Stats.avg_ms_opt s ~endpoint:"solve" = Some 2.5));
+    Helpers.case "solve_ms_p50 gates the retry estimate" (fun () ->
+        let s = Stats.create () in
+        Helpers.check_bool "cold" true (Stats.solve_ms_p50 s = None);
+        List.iter (Stats.record_solve_ms s) [ 10.; 20.; 30. ];
+        match Stats.solve_ms_p50 s with
+        | None -> Alcotest.fail "expected a median"
+        | Some p50 ->
+            Helpers.check_bool "near 20" true
+              (Float.abs (p50 -. 20.) <= Histo.max_rel_error *. 20. +. 1e-9));
+    Helpers.case "metrics_json shape" (fun () ->
+        let s = Stats.create () in
+        Stats.record s ~endpoint:"solve" ~ms:3.;
+        Stats.record_outcome s `Ok;
+        Stats.note_layer s ~layer:4 ~states:17;
+        Stats.add_pruned s 9;
+        Stats.set_live s ~queue_depth:1 ~queue_cap:8 ~workers:2
+          ~cache_entries:3 ~cache_hits:4 ~cache_misses:5 ~cache_evictions:0;
+        let j = Stats.metrics_json s in
+        let i path = Option.bind (Json.find_path path j) Json.to_int_opt in
+        Helpers.check_bool "queue" true (i [ "queue"; "depth" ] = Some 1);
+        Helpers.check_bool "workers" true (i [ "workers"; "total" ] = Some 2);
+        Helpers.check_bool "outcomes" true (i [ "outcomes"; "ok" ] = Some 1);
+        Helpers.check_bool "engine layer" true (i [ "engine"; "layer" ] = Some 4);
+        Helpers.check_bool "pruned" true
+          (i [ "engine"; "states_pruned_total" ] = Some 9);
+        Helpers.check_bool "requests window" true
+          (i [ "windows"; "requests_60s" ] = Some 1);
+        Helpers.check_bool "solve dist present" true
+          (Json.find_path [ "latency_ms"; "solve"; "count" ] j <> None));
+    Helpers.case "prom exposition carries the pre-registered families"
+      (fun () ->
+        let s = Stats.create () in
+        Stats.record s ~endpoint:"solve" ~ms:3.;
+        let text = Stats.prom s in
+        List.iter
+          (fun needle ->
+            let found =
+              let nl = String.length needle and tl = String.length text in
+              let rec scan i =
+                i + nl <= tl && (String.sub text i nl = needle || scan (i + 1))
+              in
+              scan 0
+            in
+            Helpers.check_bool needle true found)
+          [ "# TYPE ovo_requests_total counter";
+            "ovo_requests_total{endpoint=\"solve\"} 1";
+            "# TYPE ovo_request_duration_ms histogram";
+            "ovo_uptime_seconds";
+            "ovo_dp_layer";
+            "ovo_process_resident_bytes" ]);
+  ]
+
+let protocol_tests =
+  [
+    Helpers.case "metrics request codec roundtrips" (fun () ->
+        List.iter
+          (fun fmt ->
+            let req = { P.id = 7; op = P.Metrics fmt } in
+            match P.request_of_line (P.request_to_line req) with
+            | Ok r -> Helpers.check_bool "roundtrip" true (r = req)
+            | Error (`Msg m) -> Alcotest.fail m)
+          [ P.Mjson; P.Mprom ];
+        (* format defaults to json on the wire *)
+        match P.request_of_line {|{"id":1,"op":"metrics"}|} with
+        | Ok { P.op = P.Metrics P.Mjson; _ } -> ()
+        | _ -> Alcotest.fail "default format");
+    Helpers.case "metrics replies roundtrip and stay distinguishable"
+      (fun () ->
+        let m =
+          { P.r_id = 1;
+            body = P.Ok_metrics (Json.Obj [ ("uptime_s", Json.Float 1.5) ]) }
+        in
+        let p = { P.r_id = 2; body = P.Ok_prom "# TYPE a counter\na 1\n" } in
+        let s = { P.r_id = 3; body = P.Ok_stats (Json.Obj []) } in
+        List.iter
+          (fun reply ->
+            match P.reply_of_line (P.reply_to_line reply) with
+            | Ok r -> Helpers.check_bool "roundtrip" true (r = reply)
+            | Error (`Msg msg) -> Alcotest.fail msg)
+          [ m; p; s ]);
+  ]
+
+let access_log_tests =
+  [
+    Helpers.case "entry json roundtrips" (fun () ->
+        let e =
+          { Access_log.at = 123.5; req_id = 42; endpoint = "solve";
+            outcome = "ok"; digest = "abc"; cached = false; queue_ms = 0.2;
+            solve_ms = 3.5; lower = 5; upper = 5; detail = "" }
+        in
+        match Access_log.entry_of_json (Access_log.entry_to_json e) with
+        | Ok e' -> Helpers.check_bool "roundtrip" true (e = e')
+        | Error (`Msg m) -> Alcotest.fail m);
+    Helpers.case "torn tail is truncated, intact prefix survives" (fun () ->
+        let path = Filename.temp_file "ovo-alog" ".log" in
+        Sys.remove path;
+        let entry i =
+          { Access_log.at = float_of_int i; req_id = i; endpoint = "solve";
+            outcome = "ok"; digest = Printf.sprintf "d%d" i; cached = false;
+            queue_ms = 0.; solve_ms = 1.; lower = -1; upper = -1; detail = "" }
+        in
+        let log, existing = Access_log.open_append path in
+        Helpers.check_int "fresh" 0 existing;
+        Access_log.append log (entry 0);
+        Access_log.append log (entry 1);
+        Access_log.close log;
+        (* simulate kill -9 mid-append: chop bytes off the tail *)
+        let size = (Unix.stat path).Unix.st_size in
+        let fd = Unix.openfile path [ Unix.O_WRONLY ] 0o644 in
+        Unix.ftruncate fd (size - 3);
+        Unix.close fd;
+        (match Access_log.read path with
+        | Ok (entries, recovery) ->
+            Helpers.check_int "one entry survives" 1 (List.length entries);
+            Helpers.check_bool "the first one" true
+              ((List.hd entries).Access_log.req_id = 0);
+            Helpers.check_bool "tail discarded" true
+              (recovery.Ovo_store.Rlog.rec_discarded_bytes > 0)
+        | Error m -> Alcotest.fail m);
+        (* reopening truncates and appends cleanly after the prefix *)
+        let log, existing = Access_log.open_append path in
+        Helpers.check_int "recovered count" 1 existing;
+        Access_log.append log (entry 2);
+        Access_log.close log;
+        (match Access_log.read path with
+        | Ok (entries, _) ->
+            Helpers.check_bool "prefix + new entry" true
+              (List.map (fun e -> e.Access_log.req_id) entries = [ 0; 2 ])
+        | Error m -> Alcotest.fail m);
+        Sys.remove path);
+  ]
+
+let () =
+  Alcotest.run "metrics"
+    [
+      ("histo", histo_tests);
+      ("histo-props", Helpers.qtests histo_props);
+      ("window", window_tests);
+      ("registry", registry_tests);
+      ("prom", prom_tests);
+      ("stats", stats_tests);
+      ("protocol", protocol_tests);
+      ("access-log", access_log_tests);
+    ]
