@@ -1,0 +1,36 @@
+(** Shard liveness registry plus the background health checker.
+
+    Liveness has two feeders: the checker thread, which pings every
+    shard each [interval] with a bounded connect, and the data path,
+    which calls {!mark_down} the moment a proxied request hits a
+    transport error (and {!mark_up} when one succeeds) — so routing
+    reacts to a dead shard in the time of one failed request, not one
+    probe interval, and a recovered shard is readmitted by the next
+    successful probe.
+
+    Shards start optimistically up: the first failed request or probe
+    corrects that faster than a pessimistic start would let traffic
+    flow at all. *)
+
+type t
+
+val start :
+  ?interval:float ->
+  ?timeout:float ->
+  ?on_change:(string -> bool -> unit) ->
+  (string * Ovo_serve.Protocol.addr) list ->
+  t
+(** Spawn the checker over [(name, addr)] shards.  [interval] (default
+    2 s) between probe sweeps; [timeout] (default 1 s) bounds each
+    probe's connect.  [on_change name up] fires on every up/down
+    transition (the router feeds its health gauges with it). *)
+
+val is_up : t -> string -> bool
+val mark_down : t -> string -> unit
+val mark_up : t -> string -> unit
+
+val snapshot : t -> (string * bool * float) list
+(** [(name, up, seconds in that state)] per shard, in shard order. *)
+
+val stop : t -> unit
+(** Stop and join the checker thread. *)

@@ -13,6 +13,7 @@ type entry = {
   lower : int;
   upper : int;
   detail : string;
+  shard : string;  (* "" when not running as a fleet shard *)
 }
 
 let rtype_entry = 1
@@ -21,17 +22,20 @@ type t = Rlog.t
 
 let entry_to_json e =
   Json.Obj
-    [ ("at", Json.Float e.at);
-      ("req_id", Json.Int e.req_id);
-      ("endpoint", Json.String e.endpoint);
-      ("outcome", Json.String e.outcome);
-      ("digest", Json.String e.digest);
-      ("cached", Json.Bool e.cached);
-      ("queue_ms", Json.Float e.queue_ms);
-      ("solve_ms", Json.Float e.solve_ms);
-      ("lower", Json.Int e.lower);
-      ("upper", Json.Int e.upper);
-      ("detail", Json.String e.detail) ]
+    ([ ("at", Json.Float e.at);
+       ("req_id", Json.Int e.req_id);
+       ("endpoint", Json.String e.endpoint);
+       ("outcome", Json.String e.outcome);
+       ("digest", Json.String e.digest);
+       ("cached", Json.Bool e.cached);
+       ("queue_ms", Json.Float e.queue_ms);
+       ("solve_ms", Json.Float e.solve_ms);
+       ("lower", Json.Int e.lower);
+       ("upper", Json.Int e.upper);
+       ("detail", Json.String e.detail) ]
+    (* only shards emit the field, so logs written by a plain daemon stay
+       byte-identical to the pre-fleet format *)
+    @ (if e.shard = "" then [] else [ ("shard", Json.String e.shard) ]))
 
 let ( let* ) = Result.bind
 let err fmt = Printf.ksprintf (fun m -> Stdlib.Error (`Msg m)) fmt
@@ -53,9 +57,15 @@ let entry_of_json j =
   let* lower = field "lower" Json.to_int_opt j in
   let* upper = field "upper" Json.to_int_opt j in
   let* detail = field "detail" Json.to_string_opt j in
+  (* optional: entries written before the fleet era have no shard *)
+  let shard =
+    Option.value
+      (Option.bind (Json.member "shard" j) Json.to_string_opt)
+      ~default:""
+  in
   Ok
     { at; req_id; endpoint; outcome; digest; cached; queue_ms; solve_ms;
-      lower; upper; detail }
+      lower; upper; detail; shard }
 
 let decode_record (r : Rlog.record) =
   if r.Rlog.rtype <> rtype_entry then None

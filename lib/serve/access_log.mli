@@ -23,6 +23,12 @@ type entry = {
   lower : int;  (** best lower bound at completion; [-1] = unknown *)
   upper : int;  (** best upper bound at completion; [-1] = unknown *)
   detail : string;  (** error/cancel message; [""] otherwise *)
+  shard : string;
+      (** shard identity ([ovo serve --shard-id]) when the daemon runs
+          as a fleet member behind the router; [""] otherwise.  The
+          field is omitted from the wire encoding when empty, so logs
+          written before the fleet era — and by plain daemons — decode
+          unchanged. *)
 }
 
 val rtype_entry : int

@@ -1,0 +1,26 @@
+module P = Protocol
+
+let sockaddr_of = function
+  | P.Unix_sock path -> (Unix.PF_UNIX, Unix.ADDR_UNIX path)
+  | P.Tcp (host, port) ->
+      let ip =
+        try Unix.inet_addr_of_string host
+        with Failure _ -> (Unix.gethostbyname host).h_addr_list.(0)
+      in
+      (Unix.PF_INET, Unix.ADDR_INET (ip, port))
+
+let bind_listen addr =
+  (match addr with
+  | P.Unix_sock path ->
+      (* a previous unclean exit leaves the socket file around; a live
+         daemon on the same path will still fail the bind below *)
+      (try Unix.unlink path with Unix.Unix_error _ -> ())
+  | P.Tcp _ -> ());
+  let domain, sockaddr = sockaddr_of addr in
+  let sock = Unix.socket domain Unix.SOCK_STREAM 0 in
+  (match addr with
+  | P.Tcp _ -> Unix.setsockopt sock Unix.SO_REUSEADDR true
+  | P.Unix_sock _ -> ());
+  Unix.bind sock sockaddr;
+  Unix.listen sock 64;
+  sock

@@ -1,0 +1,12 @@
+(** Socket plumbing shared by every listener and dialer in the serving
+    stack ({!Server}, {!Client}, {!Prom_export}, the router). *)
+
+val sockaddr_of : Protocol.addr -> Unix.socket_domain * Unix.sockaddr
+(** Resolve an {!Protocol.addr} (hostname lookup included) to what
+    [Unix.connect] / [Unix.bind] want. *)
+
+val bind_listen : Protocol.addr -> Unix.file_descr
+(** Bind and listen (backlog 64).  A stale Unix-socket file from a
+    previous unclean exit is removed first; TCP sockets get
+    [SO_REUSEADDR].  Raises [Unix.Unix_error] if the address cannot be
+    bound. *)

@@ -40,6 +40,7 @@ type metrics_format = Mjson | Mprom
 
 type op =
   | Solve of solve_params
+  | Solve_many of solve_params list
   | Stats
   | Metrics of metrics_format
   | Ping
@@ -57,13 +58,20 @@ type solve_reply = {
   solve_ms : float;
 }
 
-type error_code = Bad_request | Queue_full | Too_large | Shutting_down | Internal
+type error_code =
+  | Bad_request
+  | Queue_full
+  | Too_large
+  | Shutting_down
+  | Shard_down
+  | Internal
 
 let error_code_to_string = function
   | Bad_request -> "bad_request"
   | Queue_full -> "queue_full"
   | Too_large -> "too_large"
   | Shutting_down -> "shutting_down"
+  | Shard_down -> "shard_down"
   | Internal -> "internal"
 
 let error_code_of_string = function
@@ -71,6 +79,7 @@ let error_code_of_string = function
   | "queue_full" -> Some Queue_full
   | "too_large" -> Some Too_large
   | "shutting_down" -> Some Shutting_down
+  | "shard_down" -> Some Shard_down
   | "internal" -> Some Internal
   | _ -> None
 
@@ -88,7 +97,9 @@ type response =
       retry_after_ms : float option;
     }
 
-type reply = { r_id : int; body : response }
+type reply = { r_id : int; item : int option; body : response }
+
+let reply ?item r_id body = { r_id; item; body }
 
 (* ---------- encoding ---------- *)
 
@@ -101,17 +112,24 @@ let kind_of_string = function
 
 let int_array_json a = Json.List (Array.to_list a |> List.map (fun i -> Json.Int i))
 
+let solve_fields (p : solve_params) =
+  [ ("table", Json.String p.table);
+    ("kind", Json.String (kind_to_string p.kind));
+    ("engine", Json.String (Engine.to_string p.engine)) ]
+  @ (match p.deadline_ms with
+    | None -> []
+    | Some ms -> [ ("deadline_ms", Json.Float ms) ])
+
 let request_to_line { id; op } =
   let fields =
     match op with
     | Solve p ->
-        [ ("id", Json.Int id); ("op", Json.String "solve");
-          ("table", Json.String p.table);
-          ("kind", Json.String (kind_to_string p.kind));
-          ("engine", Json.String (Engine.to_string p.engine)) ]
-        @ (match p.deadline_ms with
-          | None -> []
-          | Some ms -> [ ("deadline_ms", Json.Float ms) ])
+        [ ("id", Json.Int id); ("op", Json.String "solve") ] @ solve_fields p
+    | Solve_many items ->
+        [ ("id", Json.Int id); ("op", Json.String "solve_many");
+          ( "items",
+            Json.List
+              (List.map (fun p -> Json.Obj (solve_fields p)) items) ) ]
     | Stats -> [ ("id", Json.Int id); ("op", Json.String "stats") ]
     | Metrics fmt ->
         [ ("id", Json.Int id); ("op", Json.String "metrics");
@@ -123,7 +141,10 @@ let request_to_line { id; op } =
   in
   Json.to_string (Json.Obj fields)
 
-let reply_to_line { r_id; body } =
+let reply_to_line { r_id; item; body } =
+  let item_field =
+    match item with None -> [] | Some k -> [ ("item", Json.Int k) ]
+  in
   let fields =
     match body with
     | Ok_solve r ->
@@ -156,7 +177,7 @@ let reply_to_line { r_id; body } =
           | None -> []
           | Some ms -> [ ("retry_after_ms", Json.Float ms) ])
   in
-  Json.to_string (Json.Obj fields)
+  Json.to_string (Json.Obj (fields @ item_field))
 
 (* ---------- decoding ---------- *)
 
@@ -212,6 +233,30 @@ let int_array_field name j =
       in
       go [] l
 
+let solve_params_of_json j =
+  let* table = string_field "table" j in
+  let* kind =
+    match Json.member "kind" j with
+    | None -> Ok Compact.Bdd
+    | Some v -> (
+        match Option.bind (Json.to_string_opt v) kind_of_string with
+        | Some k -> Ok k
+        | None -> err "field \"kind\": expected \"bdd\" or \"zdd\"")
+  in
+  let* engine =
+    match Json.member "engine" j with
+    | None -> Ok Engine.Seq
+    | Some v -> (
+        match Json.to_string_opt v with
+        | None -> err "field \"engine\": expected a string"
+        | Some s -> (
+            match Engine.of_string s with
+            | Ok e -> Ok e
+            | Stdlib.Error (`Msg m) -> err "field \"engine\": %s" m))
+  in
+  let* deadline_ms = opt_float_field "deadline_ms" j in
+  Ok { table; kind; engine; deadline_ms }
+
 let request_of_line line =
   let* j = parse_obj line in
   let* id = int_field "id" j in
@@ -230,40 +275,42 @@ let request_of_line line =
           | _ ->
               err "field \"format\": expected \"json\" or \"prometheus\""))
   | "solve" ->
-      let* table = string_field "table" j in
-      let* kind =
-        match Json.member "kind" j with
-        | None -> Ok Compact.Bdd
-        | Some v -> (
-            match Option.bind (Json.to_string_opt v) kind_of_string with
-            | Some k -> Ok k
-            | None -> err "field \"kind\": expected \"bdd\" or \"zdd\"")
-      in
-      let* engine =
-        match Json.member "engine" j with
-        | None -> Ok Engine.Seq
-        | Some v -> (
-            match Json.to_string_opt v with
-            | None -> err "field \"engine\": expected a string"
-            | Some s -> (
-                match Engine.of_string s with
-                | Ok e -> Ok e
-                | Stdlib.Error (`Msg m) -> err "field \"engine\": %s" m))
-      in
-      let* deadline_ms = opt_float_field "deadline_ms" j in
-      Ok { id; op = Solve { table; kind; engine; deadline_ms } }
+      let* p = solve_params_of_json j in
+      Ok { id; op = Solve p }
+  | "solve_many" -> (
+      let* v = req_field "items" j in
+      match Json.to_list_opt v with
+      | None -> err "field \"items\": expected a list"
+      | Some l ->
+          let rec go k acc = function
+            | [] -> Ok { id; op = Solve_many (List.rev acc) }
+            | (Json.Obj _ as item) :: tl -> (
+                match solve_params_of_json item with
+                | Ok p -> go (k + 1) (p :: acc) tl
+                | Stdlib.Error (`Msg m) -> err "item %d: %s" k m)
+            | _ -> err "item %d: expected an object" k
+          in
+          go 0 [] l)
   | other -> err "unknown op %S" other
 
 let reply_of_line line =
   let* j = parse_obj line in
   let* r_id = int_field "id" j in
+  let* item =
+    match Json.member "item" j with
+    | None -> Ok None
+    | Some v -> (
+        match Json.to_int_opt v with
+        | Some k -> Ok (Some k)
+        | None -> err "field \"item\": expected an integer")
+  in
   let* status = string_field "status" j in
   match status with
-  | "pong" -> Ok { r_id; body = Pong }
-  | "bye" -> Ok { r_id; body = Bye }
+  | "pong" -> Ok { r_id; item; body = Pong }
+  | "bye" -> Ok { r_id; item; body = Bye }
   | "cancelled" ->
       let* message = string_field "message" j in
-      Ok { r_id; body = Cancelled message }
+      Ok { r_id; item; body = Cancelled message }
   | "error" ->
       let* code_s = string_field "code" j in
       let* message = string_field "message" j in
@@ -271,16 +318,16 @@ let reply_of_line line =
       let code =
         Option.value (error_code_of_string code_s) ~default:Internal
       in
-      Ok { r_id; body = Error { code; message; retry_after_ms } }
+      Ok { r_id; item; body = Error { code; message; retry_after_ms } }
   | "ok" -> (
       match
         (Json.member "stats" j, Json.member "metrics" j, Json.member "prom" j)
       with
-      | Some s, _, _ -> Ok { r_id; body = Ok_stats s }
-      | None, Some m, _ -> Ok { r_id; body = Ok_metrics m }
+      | Some s, _, _ -> Ok { r_id; item; body = Ok_stats s }
+      | None, Some m, _ -> Ok { r_id; item; body = Ok_metrics m }
       | None, None, Some p -> (
           match Json.to_string_opt p with
-          | Some text -> Ok { r_id; body = Ok_prom text }
+          | Some text -> Ok { r_id; item; body = Ok_prom text }
           | None -> err "field \"prom\": expected a string")
       | None, None, None ->
           let* digest = string_field "digest" j in
@@ -303,7 +350,7 @@ let reply_of_line line =
             Ok (Option.value v ~default:0.)
           in
           Ok
-            { r_id;
+            { r_id; item;
               body =
                 Ok_solve
                   { digest; mincost; size; order; widths; cached; queue_ms;

@@ -33,6 +33,11 @@ type metrics_format =
 
 type op =
   | Solve of solve_params
+  | Solve_many of solve_params list
+      (** batch solve: the server streams one reply per item over this
+          connection, in item order, each tagged with its 0-based
+          ["item"] index.  Every item keeps its own deadline and goes
+          through the cache exactly like a lone [Solve]. *)
   | Stats  (** server report: uptime, queue, cache, latency percentiles *)
   | Metrics of metrics_format
       (** aggregated telemetry: windows, latency distributions, engine
@@ -60,6 +65,8 @@ type error_code =
   | Queue_full  (** backpressure — retry after [retry_after_ms] *)
   | Too_large  (** arity above the server's [max_arity] *)
   | Shutting_down  (** server is draining; no new jobs *)
+  | Shard_down
+      (** (router only) every replica owning this key is unreachable *)
   | Internal
 
 val error_code_to_string : error_code -> string
@@ -79,7 +86,16 @@ type response =
       retry_after_ms : float option;  (** only with [Queue_full] *)
     }
 
-type reply = { r_id : int; body : response }
+type reply = {
+  r_id : int;
+  item : int option;
+      (** set on each streamed [Solve_many] reply: the 0-based index of
+          the batch item this reply answers; [None] everywhere else *)
+  body : response;
+}
+
+val reply : ?item:int -> int -> response -> reply
+(** [reply ?item r_id body] — construction shorthand. *)
 
 (** {1 Codecs}
 

@@ -4,22 +4,12 @@ module Trace = Ovo_obs.Trace
 module Json = Ovo_obs.Json
 module P = Protocol
 
-type prom_sink = Prom_file of string | Prom_addr of P.addr
+type prom_sink = Prom_export.sink =
+  | Prom_file of string
+  | Prom_addr of P.addr
 
-(* A spec with a '/' is a file path; a parseable host:port is a TCP
-   scrape endpoint; a bare word (no slash, no port) is a file in the
-   current directory. *)
-let prom_sink_of_string s =
-  if String.contains s '/' then Ok (Prom_file s)
-  else
-    match P.addr_of_string s with
-    | Ok (P.Tcp _ as a) -> Ok (Prom_addr a)
-    | Ok (P.Unix_sock _) -> Ok (Prom_file s)
-    | Error _ as e -> e
-
-let prom_sink_to_string = function
-  | Prom_file f -> f
-  | Prom_addr a -> P.addr_to_string a
+let prom_sink_of_string = Prom_export.sink_of_string
+let prom_sink_to_string = Prom_export.sink_to_string
 
 type config = {
   listen : P.addr;
@@ -36,13 +26,14 @@ type config = {
   access_log : string option;
   prom : prom_sink option;
   telemetry : bool;
+  shard_id : string option;
 }
 
 let default_config ~listen =
   { listen; workers = 2; queue_cap = 64; cache_cap = 256; max_arity = 16;
     idle_timeout = None; trace_file = None; store_dir = None;
     store_fsync = Ovo_store.Rlog.Never; mem_budget = None; prune = false;
-    access_log = None; prom = None; telemetry = true }
+    access_log = None; prom = None; telemetry = true; shard_id = None }
 
 type job = {
   j_id : int;  (* server-assigned sequence number, for the access log *)
@@ -69,11 +60,9 @@ type t = {
   stop : bool Atomic.t;
   pending : int Atomic.t;  (* jobs admitted whose reply is not yet written *)
   last_activity : float Atomic.t;
-  prom_lsock : Unix.file_descr option;
   mutable acceptor : Thread.t option;
   mutable worker_threads : Thread.t list;
-  mutable ticker : Thread.t option;
-  mutable prom_thread : Thread.t option;
+  mutable prom_export : Prom_export.t option;
 }
 
 let now = Trace.monotonic
@@ -110,33 +99,38 @@ let log_access t entry =
       | None -> ()  (* not configured, or already closed during drain *)
       | Some log -> Access_log.append log entry)
 
-let access_entry ?(digest = "") ?(cached = false) ?(queue_ms = 0.)
+let access_entry t ?(digest = "") ?(cached = false) ?(queue_ms = 0.)
     ?(solve_ms = 0.) ?(lower = -1) ?(upper = -1) ?(detail = "") ~req_id
     ~outcome () =
   { Access_log.at = Unix.gettimeofday (); req_id; endpoint = "solve";
-    outcome; digest; cached; queue_ms; solve_ms; lower; upper; detail }
+    outcome; digest; cached; queue_ms; solve_ms; lower; upper; detail;
+    shard = Option.value t.cfg.shard_id ~default:"" }
 
-(* Returns the response body plus whether the job was admitted to the
-   queue ([t.pending] was raised and must drop once the reply is out). *)
-let handle_solve t (p : P.solve_params) =
+(* Admission result of one solve: [Done] replies immediately (reject,
+   parse error, shutdown); [Queued] means the job is in the queue with
+   [t.pending] raised — the caller must read the ivar and then drop
+   [pending] once the reply is out.  Splitting admission from the
+   (blocking) ivar read lets [Solve_many] admit a whole batch to the
+   worker pool before waiting on any item. *)
+type admission = Done of P.response | Queued of job
+
+let admit_solve t (p : P.solve_params) =
   let req_id = Atomic.fetch_and_add t.req_seq 1 in
   if Atomic.get t.stop then
-    ( P.Error
-        { code = P.Shutting_down; message = "server is draining";
-          retry_after_ms = None },
-      false )
+    Done
+      (P.Error
+         { code = P.Shutting_down; message = "server is draining";
+           retry_after_ms = None })
   else
     match Solver.parse_table ~max_arity:t.cfg.max_arity p.table with
     | Error (`Bad m) ->
         Stats.record_outcome t.stats `Error;
-        log_access t (access_entry ~req_id ~outcome:"error" ~detail:m ());
-        ( P.Error { code = P.Bad_request; message = m; retry_after_ms = None },
-          false )
+        log_access t (access_entry t ~req_id ~outcome:"error" ~detail:m ());
+        Done (P.Error { code = P.Bad_request; message = m; retry_after_ms = None })
     | Error (`Too_large m) ->
         Stats.record_outcome t.stats `Error;
-        log_access t (access_entry ~req_id ~outcome:"error" ~detail:m ());
-        ( P.Error { code = P.Too_large; message = m; retry_after_ms = None },
-          false )
+        log_access t (access_entry t ~req_id ~outcome:"error" ~detail:m ());
+        Done (P.Error { code = P.Too_large; message = m; retry_after_ms = None })
     | Ok tt -> (
         (* the deadline clock starts at admission: queue wait counts *)
         let cancel =
@@ -150,33 +144,33 @@ let handle_solve t (p : P.solve_params) =
         in
         match Bqueue.try_push t.queue job with
         | exception Bqueue.Closed ->
-            ( P.Error
-                { code = P.Shutting_down; message = "server is draining";
-                  retry_after_ms = None },
-              false )
+            Done
+              (P.Error
+                 { code = P.Shutting_down; message = "server is draining";
+                   retry_after_ms = None })
         | `Full ->
             Stats.record_outcome t.stats `Rejected;
             log_access t
-              (access_entry ~req_id ~outcome:"rejected" ~detail:"queue_full"
-                 ());
+              (access_entry t ~req_id ~outcome:"rejected"
+                 ~detail:"queue_full" ());
             let retry, basis = retry_after_ms t in
-            ( P.Error
-                { code = P.Queue_full;
-                  message =
-                    Printf.sprintf "queue is at capacity (%d jobs)%s"
-                      (Bqueue.capacity t.queue)
-                      (match basis with
-                      | `Observed -> ""
-                      | `Default ->
-                          "; retry_after_ms is a fixed default (no solve \
-                           latency observed yet)");
-                  retry_after_ms = Some retry },
-              false )
+            Done
+              (P.Error
+                 { code = P.Queue_full;
+                   message =
+                     Printf.sprintf "queue is at capacity (%d jobs)%s"
+                       (Bqueue.capacity t.queue)
+                       (match basis with
+                       | `Observed -> ""
+                       | `Default ->
+                           "; retry_after_ms is a fixed default (no solve \
+                            latency observed yet)");
+                   retry_after_ms = Some retry })
         | `Pushed ->
             (* [pending] stays raised until the reply has been written —
                the shutdown drain in [wait] keys off it *)
             Atomic.incr t.pending;
-            (Ivar.read job.reply, true))
+            Queued job)
 
 let stats_json t =
   let store =
@@ -215,25 +209,47 @@ let shutdown t = Atomic.set t.stop true
 let handle_request t oc ({ id; op } : P.request) =
   Atomic.set t.last_activity (now ());
   let started = now () in
-  let endpoint, body, admitted =
+  let endpoint =
     match op with
-    | P.Ping -> ("ping", P.Pong, false)
-    | P.Stats -> ("stats", P.Ok_stats (stats_json t), false)
-    | P.Metrics P.Mjson -> ("metrics", P.Ok_metrics (metrics_json t), false)
-    | P.Metrics P.Mprom -> ("metrics", P.Ok_prom (prom_text t), false)
-    | P.Shutdown -> ("shutdown", P.Bye, false)
-    | P.Solve p ->
-        let body, admitted = handle_solve t p in
-        ("solve", body, admitted)
+    | P.Ping -> "ping"
+    | P.Stats -> "stats"
+    | P.Metrics _ -> "metrics"
+    | P.Shutdown -> "shutdown"
+    | P.Solve _ -> "solve"
+    | P.Solve_many _ -> "solve_many"
   in
-  Fun.protect
-    ~finally:(fun () -> if admitted then Atomic.decr t.pending)
-    (fun () ->
-      Trace.with_span t.trace ~cat:"serve"
-        ~args:(fun () ->
-          [ ("id", Json.Int id); ("endpoint", Json.String endpoint) ])
-        "serve.reply"
-        (fun () -> write_reply oc { P.r_id = id; body }));
+  let write ?item body =
+    Trace.with_span t.trace ~cat:"serve"
+      ~args:(fun () ->
+        [ ("id", Json.Int id); ("endpoint", Json.String endpoint) ])
+      "serve.reply"
+      (fun () -> write_reply oc (P.reply ?item id body))
+  in
+  let finish ?item = function
+    | Done body -> write ?item body
+    | Queued job ->
+        Fun.protect
+          ~finally:(fun () -> Atomic.decr t.pending)
+          (fun () -> write ?item (Ivar.read job.reply))
+  in
+  (match op with
+  | P.Ping -> write P.Pong
+  | P.Stats -> write (P.Ok_stats (stats_json t))
+  | P.Metrics P.Mjson -> write (P.Ok_metrics (metrics_json t))
+  | P.Metrics P.Mprom -> write (P.Ok_prom (prom_text t))
+  | P.Shutdown -> write P.Bye
+  | P.Solve p -> finish (admit_solve t p)
+  | P.Solve_many [] ->
+      write
+        (P.Error
+           { code = P.Bad_request; message = "solve_many: empty items";
+             retry_after_ms = None })
+  | P.Solve_many items ->
+      (* admit the whole batch before blocking on any item so it runs
+         across the worker pool instead of serialising; replies then
+         stream back in item order regardless of completion order *)
+      let admissions = List.map (admit_solve t) items in
+      List.iteri (fun k a -> finish ~item:k a) admissions);
   Stats.record t.stats ~endpoint ~ms:((now () -. started) *. 1000.);
   (* reply to a shutdown request before acting on it *)
   if op = P.Shutdown then shutdown t
@@ -258,11 +274,10 @@ let conn_loop t fd =
               | Error (`Msg m) ->
                   Stats.record_outcome t.stats `Error;
                   write_reply oc
-                    { P.r_id = 0;
-                      body =
-                        P.Error
+                    (P.reply 0
+                       (P.Error
                           { code = P.Bad_request; message = m;
-                            retry_after_ms = None } })
+                            retry_after_ms = None })))
             end;
             loop ()
       in
@@ -297,7 +312,7 @@ let worker_loop t =
                   { digest = s.digest; mincost = s.mincost; size = s.size;
                     order = s.order; widths = s.widths; cached = s.cached;
                     queue_ms; solve_ms },
-                access_entry ~req_id:job.j_id
+                access_entry t ~req_id:job.j_id
                   ~outcome:(if s.cached then "cached" else "ok")
                   ~digest:s.digest ~cached:s.cached ~queue_ms ~solve_ms
                   ~lower:s.mincost ~upper:s.mincost () )
@@ -321,7 +336,7 @@ let worker_loop t =
                 | Some (l, u) -> (l, (if u = max_int then -1 else u))
               in
               ( P.Cancelled message,
-                access_entry ~req_id:job.j_id ~outcome:"cancelled" ~queue_ms
+                access_entry t ~req_id:job.j_id ~outcome:"cancelled" ~queue_ms
                   ~solve_ms ~lower ~upper ~detail:message () )
           | exception e ->
               let solve_ms = (now () -. solve_start) *. 1000. in
@@ -329,7 +344,7 @@ let worker_loop t =
               let message = Printexc.to_string e in
               ( P.Error
                   { code = P.Internal; message; retry_after_ms = None },
-                access_entry ~req_id:job.j_id ~outcome:"error" ~queue_ms
+                access_entry t ~req_id:job.j_id ~outcome:"error" ~queue_ms
                   ~solve_ms ~detail:message () )
         in
         Stats.worker_idle t.stats;
@@ -340,29 +355,6 @@ let worker_loop t =
   loop ()
 
 (* ---------- listener ---------- *)
-
-let bind_listen addr =
-  let domain, sockaddr =
-    match addr with
-    | P.Unix_sock path ->
-        (* a previous unclean exit leaves the socket file around; a live
-           daemon on the same path will still fail the bind below *)
-        (try Unix.unlink path with Unix.Unix_error _ -> ());
-        (Unix.PF_UNIX, Unix.ADDR_UNIX path)
-    | P.Tcp (host, port) ->
-        let ip =
-          try Unix.inet_addr_of_string host
-          with Failure _ -> (Unix.gethostbyname host).h_addr_list.(0)
-        in
-        (Unix.PF_INET, Unix.ADDR_INET (ip, port))
-  in
-  let sock = Unix.socket domain Unix.SOCK_STREAM 0 in
-  (match addr with
-  | P.Tcp _ -> Unix.setsockopt sock Unix.SO_REUSEADDR true
-  | P.Unix_sock _ -> ());
-  Unix.bind sock sockaddr;
-  Unix.listen sock 64;
-  sock
 
 let acceptor_loop t =
   let rec loop () =
@@ -388,73 +380,6 @@ let acceptor_loop t =
   in
   loop ()
 
-(* ---------- telemetry exporters ---------- *)
-
-(* tmp + rename so a scraper reading the file never sees a torn write *)
-let write_prom_file t path =
-  let tmp = path ^ ".tmp" in
-  let oc = open_out tmp in
-  output_string oc (prom_text t);
-  close_out oc;
-  Sys.rename tmp path
-
-(* 1 s heartbeat: GC/resident gauges stay fresh even with no scraper
-   attached, and a file sink gets rewritten atomically every beat. *)
-let ticker_loop t =
-  let rec nap k =
-    if k > 0 && not (Atomic.get t.stop) then begin
-      Thread.delay 0.1;
-      nap (k - 1)
-    end
-  in
-  let rec loop () =
-    if Atomic.get t.stop then ()
-    else begin
-      (match t.cfg.prom with
-      | Some (Prom_file path) -> (
-          try write_prom_file t path with Sys_error _ -> ())
-      | _ -> refresh_live t);
-      nap 10;
-      loop ()
-    end
-  in
-  loop ()
-
-(* Minimal one-shot HTTP/1.0 responder for a Prometheus scrape: read
-   whatever request head arrives, answer with the exposition, close.
-   Not a general HTTP server — just enough for a scrape loop or curl. *)
-let prom_http_loop t lsock =
-  let serve_one fd =
-    let finally () = try Unix.close fd with Unix.Unix_error _ -> () in
-    Fun.protect ~finally (fun () ->
-        (try ignore (Unix.read fd (Bytes.create 4096) 0 4096)
-         with Unix.Unix_error _ -> ());
-        let body = prom_text t in
-        let resp =
-          Printf.sprintf
-            "HTTP/1.0 200 OK\r\n\
-             Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n\
-             Content-Length: %d\r\n\
-             Connection: close\r\n\r\n%s"
-            (String.length body) body
-        in
-        try ignore (Unix.write_substring fd resp 0 (String.length resp))
-        with Unix.Unix_error _ -> ())
-  in
-  let rec loop () =
-    if Atomic.get t.stop then ()
-    else
-      match Unix.select [ lsock ] [] [] 0.25 with
-      | [], _, _ -> loop ()
-      | _ :: _, _, _ ->
-          (match Unix.accept lsock with
-          | exception Unix.Unix_error _ -> ()
-          | fd, _ -> ignore (Thread.create serve_one fd));
-          loop ()
-      | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
-  in
-  loop ()
-
 (* ---------- lifecycle ---------- *)
 
 let start cfg =
@@ -462,7 +387,7 @@ let start cfg =
   (* a client vanishing mid-reply must surface as EPIPE, not kill us *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
    with Sys_error _ | Invalid_argument _ -> ());
-  let lsock = bind_listen cfg.listen in
+  let lsock = Net.bind_listen cfg.listen in
   let trace =
     if cfg.trace_file = None then Trace.null else Trace.make ()
   in
@@ -521,28 +446,23 @@ let start cfg =
         log)
       cfg.access_log
   in
-  let prom_lsock =
-    match cfg.prom with
-    | Some (Prom_addr addr) -> Some (bind_listen addr)
-    | Some (Prom_file _) | None -> None
-  in
   let t =
     { cfg; lsock; queue = Bqueue.create ~cap:(max 1 cfg.queue_cap);
       cache; store; store_m;
       stats = Stats.create (); trace; alog; alog_m = Mutex.create ();
       req_seq = Atomic.make 0; stop = Atomic.make false;
       pending = Atomic.make 0; last_activity = Atomic.make (now ());
-      prom_lsock; acceptor = None; worker_threads = []; ticker = None;
-      prom_thread = None }
+      acceptor = None; worker_threads = []; prom_export = None }
   in
   t.worker_threads <-
     List.init cfg.workers (fun _ -> Thread.create worker_loop t);
   t.acceptor <- Some (Thread.create acceptor_loop t);
-  t.ticker <- Some (Thread.create ticker_loop t);
-  t.prom_thread <-
-    Option.map
-      (fun ls -> Thread.create (fun () -> prom_http_loop t ls) ())
-      prom_lsock;
+  t.prom_export <-
+    Some
+      (Prom_export.start ~sink:cfg.prom
+         ~render:(fun () -> prom_text t)
+         ~refresh:(fun () -> refresh_live t)
+         ());
   t
 
 let wait t =
@@ -563,17 +483,10 @@ let wait t =
   while Atomic.get t.pending > 0 && now () < deadline do
     Thread.delay 0.01
   done;
-  (* exporters key off the same stop flag; join them before the final
-     prom snapshot so nothing races the write below *)
-  Option.iter Thread.join t.ticker;
-  Option.iter Thread.join t.prom_thread;
-  Option.iter
-    (fun ls -> try Unix.close ls with Unix.Unix_error _ -> ())
-    t.prom_lsock;
-  (match t.cfg.prom with
-  | Some (Prom_file path) -> (
-      try write_prom_file t path with Sys_error _ -> ())
-  | _ -> ());
+  (* join the exporter threads, then write the final prom snapshot —
+     {!Prom_export.stop_and_flush} owns that ordering, so after this
+     line the exposition file can never be rewritten again *)
+  Option.iter Prom_export.stop_and_flush t.prom_export;
   (* flush and CRC-close the access log; late stragglers see [None] *)
   Mutex.lock t.alog_m;
   (match t.alog with

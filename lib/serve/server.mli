@@ -16,7 +16,7 @@
     through the workers, their replies are flushed, and a final stats
     report (plus the trace file, if recording) is written. *)
 
-type prom_sink =
+type prom_sink = Prom_export.sink =
   | Prom_file of string
       (** rewrite the exposition to this path (tmp + rename, so readers
           never see a torn file) every second and once at shutdown *)
@@ -81,12 +81,17 @@ type config = {
           can measure the instrumented/uninstrumented overhead ratio.
           Outcome counters and the [stats] endpoint stay on
           regardless. *)
+  shard_id : string option;
+      (** fleet identity ([ovo serve --shard-id]): stamped on every
+          access-log entry so fleet-wide logs can be merged and
+          attributed.  [None] (the default) leaves entries in the
+          pre-fleet wire format. *)
 }
 
 val default_config : listen:Protocol.addr -> config
 (** 2 workers, queue 64, cache 256, max arity 16, no idle timeout, no
     trace, no store, no memory budget, no pruning, no access log, no
-    Prometheus sink, telemetry on. *)
+    Prometheus sink, telemetry on, no shard id. *)
 
 type t
 

@@ -45,7 +45,8 @@ type t = {
 
 (* Pre-registered so the exposition's name and label-set order never
    depends on which request arrived first. *)
-let known_endpoints = [ "ping"; "solve"; "stats"; "metrics"; "shutdown" ]
+let known_endpoints =
+  [ "ping"; "solve"; "solve_many"; "stats"; "metrics"; "shutdown" ]
 let outcome_labels = [ "ok"; "cached"; "cancelled"; "rejected"; "errors" ]
 
 let make_endpoint reg name =

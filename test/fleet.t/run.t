@@ -1,0 +1,63 @@
+A local fleet end to end: two shards plus a router come up under
+`ovo fleet up`, a client solves through the router (with connect
+retries, exercising the new submit flags), repeats hit the shard
+cache through consistent routing, and `ovo fleet down` stops every
+recorded process and removes the state file.
+
+Sockets are fleet-directory-relative, so sun_path stays short even in
+the cram sandbox.  Pids are nondeterministic and filtered out.
+
+  $ ovo fleet up 2 --router --dir fleet | sed -E 's/pid [0-9]+ */pid PID /'
+  shard-0   pid PID fleet/shard-0.sock
+  shard-1   pid PID fleet/shard-1.sock
+  router    pid PID fleet/router.sock
+  state     fleet/fleet.json
+
+The state file records every process:
+
+  $ grep -o '"pid"' fleet/fleet.json | wc -l
+  3
+
+A solve through the router is answered by whichever shard owns the
+function's canonical digest — the reply is indistinguishable from a
+single daemon's:
+
+  $ ovo submit --connect fleet/router.sock --retries 3 --family hwb-6
+  digest            : 6:4fa2c3ee100b867a
+  minimum size      : 23 nodes (21 non-terminal)
+  order (root first): [5 0 4 1 3 2]
+  level widths      : [1 2 4 6 6 2]
+  cached            : false
+
+The repeat routes to the same shard, so its cache answers:
+
+  $ ovo submit --connect fleet/router.sock --retries 3 --family hwb-6
+  digest            : 6:4fa2c3ee100b867a
+  minimum size      : 23 nodes (21 non-terminal)
+  order (root first): [5 0 4 1 3 2]
+  level widths      : [1 2 4 6 6 2]
+  cached            : true
+
+The router's stats report identifies its role and lists both shards
+as up:
+
+  $ ovo submit --connect fleet/router.sock --stats | grep -o '"role":"router"'
+  "role":"router"
+  $ ovo submit --connect fleet/router.sock --stats | grep -o '"up":true' | wc -l
+  2
+
+fleet status sees three live processes:
+
+  $ ovo fleet status --dir fleet | sed -E 's/pid [0-9]+ */pid PID /'
+  router    pid PID up           unix:fleet/router.sock
+  shard-0   pid PID up           unix:fleet/shard-0.sock
+  shard-1   pid PID up           unix:fleet/shard-1.sock
+
+Teardown stops the router and both shards and removes the state file:
+
+  $ ovo fleet down --dir fleet | sed -E 's/pid [0-9]+ */pid PID /'
+  router    pid PID stopped
+  shard-0   pid PID stopped
+  shard-1   pid PID stopped
+  $ test ! -e fleet/fleet.json
+  $ test ! -e fleet/router.sock

@@ -388,11 +388,10 @@ let protocol_tests =
     Helpers.case "metrics replies roundtrip and stay distinguishable"
       (fun () ->
         let m =
-          { P.r_id = 1;
-            body = P.Ok_metrics (Json.Obj [ ("uptime_s", Json.Float 1.5) ]) }
+          P.reply 1 (P.Ok_metrics (Json.Obj [ ("uptime_s", Json.Float 1.5) ]))
         in
-        let p = { P.r_id = 2; body = P.Ok_prom "# TYPE a counter\na 1\n" } in
-        let s = { P.r_id = 3; body = P.Ok_stats (Json.Obj []) } in
+        let p = P.reply 2 (P.Ok_prom "# TYPE a counter\na 1\n") in
+        let s = P.reply 3 (P.Ok_stats (Json.Obj [])) in
         List.iter
           (fun reply ->
             match P.reply_of_line (P.reply_to_line reply) with
@@ -407,18 +406,47 @@ let access_log_tests =
         let e =
           { Access_log.at = 123.5; req_id = 42; endpoint = "solve";
             outcome = "ok"; digest = "abc"; cached = false; queue_ms = 0.2;
-            solve_ms = 3.5; lower = 5; upper = 5; detail = "" }
+            solve_ms = 3.5; lower = 5; upper = 5; detail = ""; shard = "" }
         in
         match Access_log.entry_of_json (Access_log.entry_to_json e) with
         | Ok e' -> Helpers.check_bool "roundtrip" true (e = e')
         | Error (`Msg m) -> Alcotest.fail m);
+    Helpers.case "shard field roundtrips and is omitted when empty" (fun () ->
+        let e shard =
+          { Access_log.at = 9.; req_id = 7; endpoint = "solve";
+            outcome = "ok"; digest = "d"; cached = true; queue_ms = 0.1;
+            solve_ms = 2.; lower = 3; upper = 3; detail = ""; shard }
+        in
+        (match Access_log.entry_of_json (Access_log.entry_to_json (e "shard-1")) with
+        | Ok e' -> Helpers.check_bool "shard kept" true (e'.Access_log.shard = "shard-1")
+        | Error (`Msg m) -> Alcotest.fail m);
+        (* a plain daemon's entries stay byte-identical to the pre-fleet
+           format: no shard key at all *)
+        Helpers.check_bool "no shard key when empty" false
+          (match Ovo_obs.Json.member "shard" (Access_log.entry_to_json (e "")) with
+          | Some _ -> true
+          | None -> false));
+    Helpers.case "pre-fleet entries (no shard field) still decode" (fun () ->
+        let old =
+          {|{"at":1.5,"req_id":3,"endpoint":"solve","outcome":"ok","digest":"xy","cached":false,"queue_ms":0.5,"solve_ms":7.25,"lower":4,"upper":4,"detail":""}|}
+        in
+        match Ovo_obs.Json.parse old with
+        | Error m -> Alcotest.fail m
+        | Ok j -> (
+            match Access_log.entry_of_json j with
+            | Ok e ->
+                Helpers.check_bool "defaults to no shard" true
+                  (e.Access_log.shard = "");
+                Helpers.check_int "req_id" 3 e.Access_log.req_id
+            | Error (`Msg m) -> Alcotest.fail m));
     Helpers.case "torn tail is truncated, intact prefix survives" (fun () ->
         let path = Filename.temp_file "ovo-alog" ".log" in
         Sys.remove path;
         let entry i =
           { Access_log.at = float_of_int i; req_id = i; endpoint = "solve";
             outcome = "ok"; digest = Printf.sprintf "d%d" i; cached = false;
-            queue_ms = 0.; solve_ms = 1.; lower = -1; upper = -1; detail = "" }
+            queue_ms = 0.; solve_ms = 1.; lower = -1; upper = -1; detail = "";
+            shard = "" }
         in
         let log, existing = Access_log.open_append path in
         Helpers.check_int "fresh" 0 existing;

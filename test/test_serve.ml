@@ -150,7 +150,7 @@ let protocol_tests =
     Helpers.case "replies round-trip" (fun () ->
         List.iter
           (fun body ->
-            let rep = { P.r_id = 9; body } in
+            let rep = P.reply 9 body in
             Helpers.check_bool "equal" true (roundtrip_reply rep = rep))
           [ P.Ok_solve
               { P.digest = "3:0123456789abcdef"; mincost = 3; size = 5;
@@ -351,6 +351,11 @@ let expect_ok = function
   | Ok (r : P.reply) -> r.P.body
   | Error (`Msg m) -> Alcotest.fail m
 
+(* like {!expect_ok} but keeps the whole reply (item tag, echoed id) *)
+let expect_ok' = function
+  | Ok (r : P.reply) -> r
+  | Error (`Msg m) -> Alcotest.fail m
+
 let e2e_tests =
   [
     Helpers.case "daemon: solve, cache hit, cancel, stats, shutdown"
@@ -412,6 +417,115 @@ let e2e_tests =
               = P.Bye));
         (* after graceful shutdown the socket file is gone *)
         Helpers.check_bool "socket unlinked" false (Sys.file_exists sock));
+    Helpers.case "daemon: solve_many streams tagged replies in item order"
+      (fun () ->
+        let sock = temp_sock () in
+        let cfg =
+          { (Server.default_config ~listen:(P.Unix_sock sock)) with
+            Server.workers = 2; queue_cap = 16; cache_cap = 16 }
+        in
+        let server = Server.start cfg in
+        let waiter = Thread.create (fun () -> Server.wait server) () in
+        Fun.protect
+          ~finally:(fun () ->
+            Server.shutdown server;
+            Thread.join waiter)
+          (fun () ->
+            Client.with_conn (P.Unix_sock sock) @@ fun c ->
+            let item ?deadline_ms table =
+              { P.table; kind = Ovo_core.Compact.Bdd;
+                engine = Ovo_core.Engine.Seq; deadline_ms }
+            in
+            (* same table twice in one batch: the second occurrence must
+               come back a cache hit; a 0 ms deadline item cancels without
+               harming its neighbours *)
+            Client.send c
+              { P.id = 11;
+                op =
+                  P.Solve_many
+                    [ item "0110100110010110";
+                      item ~deadline_ms:0. "1111000011110000";
+                      item "0110";
+                      item "0110100110010110" ] };
+            let replies = List.init 4 (fun _ -> expect_ok' (Client.recv c)) in
+            List.iteri
+              (fun k (r : P.reply) ->
+                Helpers.check_bool "id echoed" true (r.P.r_id = 11);
+                Helpers.check_bool "item in order" true (r.P.item = Some k))
+              replies;
+            (match List.map (fun r -> r.P.body) replies with
+            | [ P.Ok_solve a; P.Cancelled _; P.Ok_solve _; P.Ok_solve d ] ->
+                Helpers.check_bool "first cold" false a.P.cached;
+                Helpers.check_bool "repeat warm" true d.P.cached;
+                Helpers.check_bool "repeat identical" true
+                  (a.P.digest = d.P.digest && a.P.mincost = d.P.mincost
+                 && a.P.order = d.P.order)
+            | _ -> Alcotest.fail "expected ok/cancelled/ok/ok");
+            (* an empty batch is rejected without touching the queue *)
+            (match
+               (expect_ok' (Client.roundtrip c { P.id = 12; op = P.Solve_many [] }))
+                 .P.body
+             with
+            | P.Error { code = P.Bad_request; _ } -> ()
+            | _ -> Alcotest.fail "expected bad_request");
+            (* the connection is still usable for singles afterwards *)
+            match
+              (expect_ok' (Client.roundtrip c { P.id = 13; op = P.Ping })).P.body
+            with
+            | P.Pong -> ()
+            | _ -> Alcotest.fail "expected pong"));
+    Helpers.case "daemon: prom file is final once wait returns" (fun () ->
+        (* regression: the exporter ticker used to race shutdown — wait
+           could return while a stale ticker write was still in flight,
+           clobbering the final scrape.  stop_and_flush now joins the
+           ticker before the last write, so after wait the file must be
+           complete and must never change again. *)
+        let sock = temp_sock () in
+        let prom_path = Filename.temp_file "ovo-prom" ".prom" in
+        let cfg =
+          { (Server.default_config ~listen:(P.Unix_sock sock)) with
+            Server.workers = 1;
+            prom = Some (Server.Prom_file prom_path) }
+        in
+        let server = Server.start cfg in
+        let waiter = Thread.create (fun () -> Server.wait server) () in
+        (Client.with_conn (P.Unix_sock sock) @@ fun c ->
+         ignore
+           (expect_ok'
+              (Client.roundtrip c
+                 { P.id = 1;
+                   op =
+                     P.Solve
+                       { P.table = "0110100110010110";
+                         kind = Ovo_core.Compact.Bdd;
+                         engine = Ovo_core.Engine.Seq; deadline_ms = None } })));
+        Server.shutdown server;
+        Thread.join waiter;
+        let read_all path =
+          let ic = open_in_bin path in
+          let n = in_channel_length ic in
+          let s = really_input_string ic n in
+          close_in ic;
+          s
+        in
+        let final = read_all prom_path in
+        Helpers.check_bool "final write landed" true
+          (String.length final > 0
+          && (let needle = "ovo_requests_total" in
+              let rec find i =
+                i + String.length needle <= String.length final
+                && (String.sub final i (String.length needle) = needle
+                   || find (i + 1))
+              in
+              find 0));
+        (* nothing may touch the file after wait: no live ticker, no
+           leftover tmp from a torn rename *)
+        Thread.delay 1.2;
+        Helpers.check_bool "quiescent after wait" true
+          (read_all prom_path = final);
+        Helpers.check_bool "no tmp left behind" false
+          (Sys.file_exists (prom_path ^ ".tmp"));
+        Sys.remove prom_path);
     Helpers.case "daemon: store persists results across a restart"
       (fun () ->
         let dir = Filename.temp_file "ovo-serve-store" "" in
