@@ -1111,6 +1111,83 @@ let prune_bench () =
   Printf.printf "written: BENCH_prune.json\n"
 
 (* ------------------------------------------------------------------ *)
+(* [learn]: the ovo.learn subsystem end to end.  A small ground-truth
+   corpus (all catalogue families at n <= 8 plus seeded randoms) is
+   generated twice and the two NDJSON serialisations must be
+   byte-identical — the dataset factory is deterministic by spec.  The
+   gap harness then prices every default orderer against the corpus's
+   exact optima; CI gates scorer_mean_gap <= random_mean_gap (the
+   learned scorer must beat the random baseline it exists to replace).
+   Finally the scorer-only pruning seed is charged against hwb-10: it
+   must prune states while leaving the DP's answer bit-identical.
+   Results go to BENCH_learn.json; the corpus and the default model are
+   left as learn-dataset.ndjson / learn-model.json for the artifact
+   upload. *)
+let learn_bench () =
+  section "learn";
+  let module B = Ovo_core.Bound in
+  let module D = Ovo_learn.Dataset in
+  let module G = Ovo_learn.Gap in
+  let spec = { D.default_spec with D.n_max = 8; random = 4 } in
+  let rows = D.generate spec in
+  let ndjson = D.to_ndjson rows in
+  let deterministic = ndjson = D.to_ndjson (D.generate spec) in
+  Printf.printf "dataset: %d rows, deterministic=%b\n" (List.length rows)
+    deterministic;
+  let stats = G.evaluate (G.default_orderers ()) rows in
+  G.report Format.std_formatter stats;
+  Format.pp_print_flush Format.std_formatter ();
+  let mean_gap name =
+    match List.find_opt (fun s -> s.G.s_name = name) stats with
+    | Some s -> s.G.s_mean_gap
+    | None -> nan
+  in
+  let n = 10 in
+  let tt = F.hidden_weighted_bit n in
+  let plain = Fs.run tt in
+  let b = Ovo_learn.Scorer.bound tt in
+  let pruned = Fs.run ~prune:b tt in
+  let identical =
+    pruned.Fs.mincost = plain.Fs.mincost
+    && pruned.Fs.size = plain.Fs.size
+    && pruned.Fs.order = plain.Fs.order
+    && pruned.Fs.widths = plain.Fs.widths
+  in
+  Printf.printf
+    "scored seed on hwb-%d: %d states pruned, identical=%b, \
+     lower/incumbent %d/%d\n"
+    n (B.states_pruned b) identical (B.best_lower b) (B.incumbent b);
+  let oc = open_out "learn-dataset.ndjson" in
+  output_string oc ndjson;
+  close_out oc;
+  Ovo_learn.Scorer.Weights.save "learn-model.json"
+    Ovo_learn.Scorer.Weights.default;
+  let doc =
+    Ovo_obs.Json.Obj
+      [
+        ("dataset_rows", Ovo_obs.Json.Int (List.length rows));
+        ("dataset_deterministic", Ovo_obs.Json.Bool deterministic);
+        ("scorer_mean_gap", Ovo_obs.Json.Float (mean_gap "scored"));
+        ("random_mean_gap", Ovo_obs.Json.Float (mean_gap "random"));
+        ("orderers", Ovo_obs.Json.List (List.map G.stat_to_json stats));
+        ( "scored_seed",
+          Ovo_obs.Json.Obj
+            [
+              ("hwb_n", Ovo_obs.Json.Int n);
+              ("states_pruned", Ovo_obs.Json.Int (B.states_pruned b));
+              ("identical", Ovo_obs.Json.Bool identical);
+              ("bound", B.to_json_value b);
+            ] );
+      ]
+  in
+  let oc = open_out "BENCH_learn.json" in
+  output_string oc (Ovo_obs.Json.to_string doc);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf
+    "written: BENCH_learn.json, learn-dataset.ndjson, learn-model.json\n"
+
+(* ------------------------------------------------------------------ *)
 
 (* Telemetry: what the instruments cost and how honest the quantile
    estimates are.  The histogram's log-bucket ladder promises quantiles
@@ -1325,6 +1402,7 @@ let () =
   store_bench ();
   mem_bench ();
   prune_bench ();
+  learn_bench ();
   metrics_bench ();
   wallclock ();
   Printf.printf "\nAll sections completed.\n"

@@ -387,8 +387,28 @@ let algo_arg =
            (Theorem 13 composition of depth N, simulated), $(b,brute), \
            $(b,simple) (Sec 3.1 single split, simulated), $(b,astar) (exact, \
            pruned), $(b,sifting), $(b,window), $(b,exact-block), \
-           $(b,annealing), $(b,genetic), $(b,influence), $(b,portfolio), \
+           $(b,annealing), $(b,genetic), $(b,influence), $(b,scored) \
+           (learned weighted scoring, see $(b,--model)), $(b,portfolio), \
            $(b,random).")
+
+let model_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "model" ] ~docv:"FILE"
+        ~doc:
+          "Scorer weight model (JSON, doc/learning.md) for $(b,--algo \
+           scored), the portfolio's scored member and the $(b,--prune) \
+           incumbent.  Default: the built-in weights.")
+
+(* every learn-aware command funnels model loading through here so a
+   bad file is one uniform CLI error, not an exception trace *)
+let load_weights = function
+  | None -> Ovo_learn.Scorer.Weights.default
+  | Some path -> (
+      match Ovo_learn.Scorer.Weights.load path with
+      | Ok w -> w
+      | Error m -> failwith ("--model: " ^ m))
 
 let seed_arg =
   Arg.(value & opt int 0x0BDD & info [ "seed" ] ~docv:"SEED" ~doc:"RNG seed.")
@@ -401,8 +421,9 @@ let prune_arg =
           ( true,
             info [ "prune" ]
               ~doc:
-                "Run the exact DP as a branch-and-bound: seed an incumbent \
-                 from sifting, skip every subset whose admissible lower \
+                "Run the exact DP as a branch-and-bound: seed a free \
+                 incumbent from the learned scorer, tighten it with \
+                 sifting, skip every subset whose admissible lower \
                  bound proves it cannot beat the incumbent.  Same optimum, \
                  same ordering, fewer states; --stats gains a prune block.  \
                  Works with --algo fs, qdc, tower:N and simple (and with \
@@ -413,7 +434,7 @@ let prune_arg =
 let optimize_cmd =
   let run table expr pla pla_output blif signal family kind algo dot save
       weights seed engine domains stats trace_file profile progress checkpoint
-      resume crash_after fsync mem_budget spill_dir prune =
+      resume crash_after fsync mem_budget spill_dir prune model =
     let engine = resolve_engine engine domains in
     with_obs ~trace_file ~profile ~progress @@ fun trace ->
     match load_function ~table ~expr ~pla ~pla_output ~blif ~signal ~family with
@@ -490,8 +511,10 @@ let optimize_cmd =
                        ~sink:(Ovo_store.Spill.sink sp) ()),
                   fun () -> Ovo_store.Spill.remove sp )
           in
+          let swts = load_weights model in
           let bound =
-            if prune then Some (Ovo_ordering.Seed.bound ~trace ~kind tt)
+            if prune then
+              Some (Ovo_learn.Scorer.seeded_bound ~trace ~weights:swts ~kind tt)
             else None
           in
           Fun.protect ~finally:spill_cleanup @@ fun () ->
@@ -600,6 +623,10 @@ let optimize_cmd =
           | [ "influence" ] ->
               let r = Ovo_ordering.Influence.run ~kind tt in
               with_eval "influence static heuristic" r.Ovo_ordering.Influence.order
+          | [ "scored" ] ->
+              let r = Ovo_learn.Scorer.run ~trace ~weights:swts ~kind tt in
+              with_eval "scored (learned static heuristic)"
+                r.Ovo_learn.Scorer.order
           | [ "simple" ] ->
               let ctx =
                 Ovo_quantum.Opt_obdd.make_ctx ~engine ~trace ?membudget
@@ -621,7 +648,12 @@ let optimize_cmd =
                 r.Ovo_ordering.Annealing.order
           | [ "portfolio" ] ->
               let rng = Random.State.make [| seed |] in
-              let r = Ovo_ordering.Portfolio.run ~trace ~kind ~rng tt in
+              let r =
+                Ovo_ordering.Portfolio.run ~trace ~kind ~rng
+                  ~extra:
+                    [ Ovo_learn.Scorer.portfolio_member ~weights:swts ~kind () ]
+                  tt
+              in
               List.iter
                 (fun e ->
                   Format.printf "  %-12s %d@."
@@ -647,7 +679,7 @@ let optimize_cmd =
        $ save_arg $ weights_arg $ seed_arg $ engine_arg $ domains_arg
        $ stats_arg $ trace_arg $ profile_arg $ progress_arg $ checkpoint_arg
        $ resume_arg $ crash_after_arg $ fsync_arg $ mem_budget_arg
-       $ spill_dir_arg $ prune_arg))
+       $ spill_dir_arg $ prune_arg $ model_arg))
   in
   Cmd.v
     (Cmd.info "optimize"
@@ -908,8 +940,8 @@ let listen_arg =
 
 let serve_cmd =
   let run listen workers queue_cap cache_cap max_arity idle_timeout trace_file
-      store no_store fsync mem_budget prune access_log prom no_telemetry
-      shard_id =
+      store no_store fsync mem_budget prune orderer access_log prom
+      no_telemetry shard_id =
     let store_dir = if no_store then None else store in
     match
       match prom with
@@ -922,7 +954,7 @@ let serve_cmd =
         Ovo_serve.Server.run
           { Ovo_serve.Server.listen; workers; queue_cap; cache_cap; max_arity;
             idle_timeout; trace_file; store_dir; store_fsync = fsync;
-            mem_budget; prune; access_log; prom;
+            mem_budget; prune; orderer; access_log; prom;
             telemetry = not no_telemetry; shard_id };
         `Ok ()
   in
@@ -979,6 +1011,16 @@ let serve_cmd =
          & info [ "prune" ]
              ~doc:"Run every cache-miss solve as a sifting-seeded exact                    branch-and-bound: identical answers, fewer DP states,                    and deadline-cancelled replies carry the best-so-far                    bound pair.")
   in
+  let orderer =
+    let orderer_conv = Arg.enum [ ("exact", `Exact); ("scored", `Scored) ] in
+    Arg.(value & opt orderer_conv `Exact
+         & info [ "orderer" ] ~docv:"WHO"
+             ~doc:"What answers a cache miss: $(b,exact) (default) runs \
+                   the DP; $(b,scored) replies with the learned scorer's \
+                   static ordering in heuristic time — a valid ordering \
+                   and its achievable cost, not a proven optimum, and \
+                   never cached.")
+  in
   let access_log =
     Arg.(value & opt (some string) None
          & info [ "access-log" ] ~docv:"FILE"
@@ -1019,8 +1061,8 @@ let serve_cmd =
       ret
         (const run $ listen_arg $ workers $ queue_cap $ cache_cap $ max_arity
        $ idle_timeout $ trace_arg $ store $ no_store $ fsync_arg
-       $ mem_budget $ serve_prune $ access_log $ prom $ no_telemetry
-       $ shard_id))
+       $ mem_budget $ serve_prune $ orderer $ access_log $ prom
+       $ no_telemetry $ shard_id))
 
 let submit_cmd =
   let module P = Ovo_serve.Protocol in
@@ -2178,6 +2220,185 @@ let families_cmd =
     (Cmd.info "families" ~doc:"List the built-in benchmark function families")
     Term.(const run $ max_arity $ exact)
 
+(* ------------------------------------------------------------------ *)
+(* learn: dataset / eval-orderers / eval-order (doc/learning.md)       *)
+
+let dataset_families_arg =
+  Arg.(
+    value
+    & opt (some (list string)) None
+    & info [ "families" ] ~docv:"NAME,NAME,.."
+        ~doc:
+          "Restrict the corpus to these catalogue families (default: all; \
+           list them with $(b,ovo families)).")
+
+let dataset_cmd =
+  let run families n_max random seed kind model out store trace_file profile
+      progress =
+    with_obs ~trace_file ~profile ~progress @@ fun trace ->
+    try
+      let open Ovo_learn.Dataset in
+      let weights = load_weights model in
+      let spec = { families; n_max; random; seed; kind } in
+      let on_row (r : row) =
+        Format.printf "  %-16s n=%d opt=%-4d scored=%-4d sifting=%d@."
+          r.name r.n r.costs.c_opt r.costs.c_scored r.costs.c_sifting
+      in
+      let rows = generate ~trace ~weights ?store ~on_row spec in
+      let oc = open_out out in
+      output_string oc (to_ndjson rows);
+      close_out oc;
+      Format.printf "wrote %d rows: %s@." (List.length rows) out;
+      `Ok ()
+    with Failure m | Invalid_argument m | Sys_error m -> `Error (false, m)
+  in
+  let n_max =
+    Arg.(value & opt int 12
+         & info [ "n-max" ] ~docv:"N"
+             ~doc:"Instantiation cap for scalable families (and the arity \
+                   cap for $(b,--random) functions).")
+  in
+  let random =
+    Arg.(value & opt int 0
+         & info [ "random" ] ~docv:"N"
+             ~doc:"Append $(i,N) seeded random functions to the corpus.")
+  in
+  let seed =
+    Arg.(value & opt int 1987
+         & info [ "seed" ] ~docv:"SEED"
+             ~doc:"Corpus seed: every random choice (random functions, \
+                   sampled permutations) derives from it, so the same spec \
+                   always writes the byte-identical file.")
+  in
+  let out =
+    Arg.(value & opt string "dataset.ndjson"
+         & info [ "out" ] ~docv:"FILE"
+             ~doc:"Output corpus, one JSON row per line (doc/learning.md).")
+  in
+  let store =
+    Arg.(value & opt (some string) None
+         & info [ "store" ] ~docv:"DIR"
+             ~doc:"Resumable generation: completed rows are appended to a \
+                   CRC-framed log keyed by the spec, so an interrupted run \
+                   redoes only the in-flight row; the final corpus is \
+                   byte-identical either way.")
+  in
+  Cmd.v
+    (Cmd.info "dataset"
+       ~doc:
+         "Generate a ground-truth ordering corpus: exact optima from the \
+          DP paired with structural features and heuristic baseline costs")
+    Term.(
+      ret
+        (const run $ dataset_families_arg $ n_max $ random $ seed $ kind_arg
+       $ model_arg $ out $ store $ trace_arg $ profile_arg $ progress_arg))
+
+let eval_orderers_cmd =
+  let run dataset model seed kind json trace_file profile progress =
+    with_obs ~trace_file ~profile ~progress @@ fun trace ->
+    try
+      let ic = open_in dataset in
+      let text = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      match Ovo_learn.Dataset.of_ndjson text with
+      | Error m -> `Error (false, dataset ^ ": " ^ m)
+      | Ok rows ->
+          let weights = load_weights model in
+          let stats =
+            Ovo_learn.Gap.evaluate ~trace ~kind
+              (Ovo_learn.Gap.default_orderers ~weights ~kind ~seed ())
+              rows
+          in
+          if json then
+            List.iter
+              (fun s ->
+                print_endline
+                  (Ovo_obs.Json.to_string (Ovo_learn.Gap.stat_to_json s)))
+              stats
+          else Ovo_learn.Gap.report Format.std_formatter stats;
+          `Ok ()
+    with Failure m | Invalid_argument m | Sys_error m -> `Error (false, m)
+  in
+  let dataset =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "dataset" ] ~docv:"FILE"
+          ~doc:"A corpus written by $(b,ovo dataset).")
+  in
+  let seed =
+    Arg.(value & opt int 0x0BDD
+         & info [ "seed" ] ~docv:"SEED"
+             ~doc:"Seed of the random-permutation baseline.")
+  in
+  let json =
+    Arg.(value & flag
+         & info [ "json" ] ~doc:"One JSON object per orderer (NDJSON).")
+  in
+  Cmd.v
+    (Cmd.info "eval-orderers"
+       ~doc:
+         "Score ordering heuristics against the exact optima of a dataset: \
+          mean/max/p50/p90 optimality gap and regret per orderer")
+    Term.(
+      ret
+        (const run $ dataset $ model_arg $ seed $ kind_arg $ json
+       $ trace_arg $ profile_arg $ progress_arg))
+
+let eval_order_cmd =
+  let run table expr pla pla_output blif signal family kind order =
+    match load_function ~table ~expr ~pla ~pla_output ~blif ~signal ~family with
+    | Error m -> `Error (false, m)
+    | Ok tt -> (
+        try
+          let n = Ovo_boolfun.Truthtable.arity tt in
+          let rf = Array.of_list order in
+          if Array.length rf <> n then
+            failwith
+              (Printf.sprintf
+                 "--order has %d entries but the function has %d variables"
+                 (Array.length rf) n);
+          let seen = Array.make n false in
+          Array.iter
+            (fun v ->
+              if v < 0 || v >= n then
+                failwith
+                  (Printf.sprintf "--order entry %d is outside 0..%d" v (n - 1));
+              if seen.(v) then
+                failwith (Printf.sprintf "--order repeats variable %d" v);
+              seen.(v) <- true)
+            rf;
+          let pi = Ovo_core.Eval_order.read_first rf in
+          let given = Ovo_core.Eval_order.mincost ~kind tt pi in
+          let r =
+            Ovo_core.Fs.run ~kind
+              ~prune:(Ovo_learn.Scorer.seeded_bound ~kind tt)
+              tt
+          in
+          let opt = r.Ovo_core.Fs.mincost in
+          Format.printf "given cost    : %d@." given;
+          Format.printf "optimal cost  : %d@." opt;
+          Format.printf "optimal order : %a@." pp_order
+            (Ovo_core.Fs.read_first_order r);
+          Format.printf "gap           : %.4f@."
+            (if opt = 0 then 1.0 else float_of_int given /. float_of_int opt);
+          Format.printf "regret        : %d@." (given - opt);
+          `Ok ()
+        with Failure m | Invalid_argument m -> `Error (false, m))
+  in
+  let term =
+    Term.(
+      ret
+        (const run $ table_arg $ expr_arg $ pla_arg $ pla_output_arg
+       $ blif_arg $ signal_arg $ family_arg $ kind_arg $ order_arg))
+  in
+  Cmd.v
+    (Cmd.info "eval-order"
+       ~doc:
+         "Price a user-supplied ordering against the exact optimum: cost, \
+          optimality gap and regret in nodes")
+    term
+
 let () =
   (* debug logging is enabled with OVO_VERBOSE=1 so every subcommand
      honours it without threading a flag through each term *)
@@ -2208,6 +2429,9 @@ let () =
             spectrum_cmd;
             show_cmd;
             families_cmd;
+            dataset_cmd;
+            eval_orderers_cmd;
+            eval_order_cmd;
             serve_cmd;
             submit_cmd;
             router_cmd;

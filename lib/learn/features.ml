@@ -1,0 +1,255 @@
+module T = Ovo_boolfun.Truthtable
+module E = Ovo_boolfun.Expr
+module Json = Ovo_obs.Json
+
+type t = {
+  n : int;
+  influence : float array;
+  polarity : float array;
+  spectral : float array;
+  occurrence : float array;
+  cosens : float array array;
+  adjacency : float array array;
+  proximity : float array array;
+}
+
+(* Every semantic entry below is a count over all 2^n assignments
+   divided by a power of two (or an exact mean of such), so extracting
+   from a relabelled table performs the very same float operations in a
+   different order of variables — equivariance holds with exact float
+   equality, which the qcheck property relies on. *)
+
+let of_truthtable tt =
+  let n = T.arity tt in
+  let size = 1 lsl n in
+  let fsize = float_of_int size in
+  let influence =
+    Array.init n (fun j ->
+        let flips = ref 0 in
+        for code = 0 to size - 1 do
+          if T.eval tt code <> T.eval tt (code lxor (1 lsl j)) then incr flips
+        done;
+        float_of_int !flips /. fsize)
+  in
+  let polarity =
+    Array.init n (fun j ->
+        let f0, f1 = T.cofactors tt j in
+        float_of_int (T.count_ones f1 - T.count_ones f0)
+        /. float_of_int (size / 2))
+  in
+  let cosens = Array.make_matrix n n 0. in
+  let walsh = Array.make_matrix n n 0. in
+  for j = 0 to n - 1 do
+    for k = j + 1 to n - 1 do
+      let both = ref 0 and agree = ref 0 in
+      for code = 0 to size - 1 do
+        let v = T.eval tt code in
+        let fj = v <> T.eval tt (code lxor (1 lsl j)) in
+        let fk = v <> T.eval tt (code lxor (1 lsl k)) in
+        if fj && fk then incr both;
+        (* (-1)^(f + x_j + x_k) summed over all codes *)
+        let chi =
+          (if v then 1 else 0)
+          lxor ((code lsr j) land 1)
+          lxor ((code lsr k) land 1)
+        in
+        if chi = 0 then incr agree
+      done;
+      let c = float_of_int !both /. fsize in
+      cosens.(j).(k) <- c;
+      cosens.(k).(j) <- c;
+      let w = Float.abs (float_of_int ((2 * !agree) - size) /. fsize) in
+      walsh.(j).(k) <- w;
+      walsh.(k).(j) <- w
+    done
+  done;
+  let spectral =
+    Array.init n (fun j ->
+        if n <= 1 then 0.
+        else
+          Array.fold_left ( +. ) 0. walsh.(j) /. float_of_int (n - 1))
+  in
+  let occurrence =
+    Array.init n (fun j -> if T.depends_on tt j then 1. else 0.)
+  in
+  {
+    n;
+    influence;
+    polarity;
+    spectral;
+    occurrence;
+    cosens;
+    adjacency = Array.make_matrix n n 0.;
+    proximity = Array.make_matrix n n 0.;
+  }
+
+(* Distinct variables of a subformula, as a sorted list — subtrees are
+   small enough that set-as-list is the simple honest structure. *)
+let rec expr_vars = function
+  | E.Const _ -> []
+  | E.Var j -> [ j ]
+  | E.Not e -> expr_vars e
+  | E.And (a, b) | E.Or (a, b) | E.Xor (a, b) ->
+      List.sort_uniq compare (expr_vars a @ expr_vars b)
+
+let of_expr ?arity e =
+  let tt = E.to_truthtable ?arity e in
+  let base = of_truthtable tt in
+  let n = base.n in
+  let occ = Array.make n 0. in
+  let adjacency = Array.make_matrix n n 0. in
+  let proximity = Array.make_matrix n n 0. in
+  let meet m here a b =
+    List.iter
+      (fun u ->
+        List.iter
+          (fun v ->
+            if u <> v && u < n && v < n then begin
+              m.(u).(v) <- max m.(u).(v) here;
+              m.(v).(u) <- max m.(v).(u) here
+            end)
+          b)
+      a
+  in
+  let rec walk = function
+    | E.Const _ -> ()
+    | E.Var j -> if j < n then occ.(j) <- occ.(j) +. 1.
+    | E.Not e -> walk e
+    | E.And (a, b) as node ->
+        let va = expr_vars a and vb = expr_vars b in
+        let here = 1. /. float_of_int (E.size node) in
+        List.iter
+          (fun u ->
+            List.iter
+              (fun v ->
+                if u <> v && u < n && v < n then begin
+                  adjacency.(u).(v) <- adjacency.(u).(v) +. 1.;
+                  adjacency.(v).(u) <- adjacency.(v).(u) +. 1.
+                end)
+              vb)
+          va;
+        meet proximity here va vb;
+        walk a;
+        walk b
+    | E.Or (a, b) | E.Xor (a, b) ->
+        let node_size = 1 + E.size a + E.size b in
+        let here = 1. /. float_of_int node_size in
+        meet proximity here (expr_vars a) (expr_vars b);
+        walk a;
+        walk b
+  in
+  walk e;
+  let total = Array.fold_left ( +. ) 0. occ in
+  if total > 0. then Array.iteri (fun j c -> occ.(j) <- c /. total) occ;
+  let amax = Array.fold_left (fun m row -> Array.fold_left max m row) 0. adjacency in
+  if amax > 0. then
+    Array.iter (fun row -> Array.iteri (fun k v -> row.(k) <- v /. amax) row)
+      adjacency;
+  { base with occurrence = occ; adjacency; proximity }
+
+let of_blif b name =
+  let tt = Ovo_boolfun.Blif.output_table b name in
+  let base = of_truthtable tt in
+  let n = base.n in
+  let proximity =
+    Array.init n (fun i ->
+        Array.init n (fun j ->
+            if i = j then 0. else 1. /. float_of_int (1 + abs (i - j))))
+  in
+  { base with proximity }
+
+let permute f perm =
+  let n = f.n in
+  let vec a = Array.init n (fun j -> a.(perm.(j))) in
+  let mat m = Array.init n (fun j -> Array.init n (fun k -> m.(perm.(j)).(perm.(k)))) in
+  {
+    n;
+    influence = vec f.influence;
+    polarity = vec f.polarity;
+    spectral = vec f.spectral;
+    occurrence = vec f.occurrence;
+    cosens = mat f.cosens;
+    adjacency = mat f.adjacency;
+    proximity = mat f.proximity;
+  }
+
+let equal a b =
+  a.n = b.n
+  && a.influence = b.influence
+  && a.polarity = b.polarity
+  && a.spectral = b.spectral
+  && a.occurrence = b.occurrence
+  && a.cosens = b.cosens
+  && a.adjacency = b.adjacency
+  && a.proximity = b.proximity
+
+let json_vec a = Json.List (Array.to_list (Array.map (fun x -> Json.Float x) a))
+
+let json_mat m = Json.List (Array.to_list (Array.map json_vec m))
+
+let to_json f =
+  Json.Obj
+    [
+      ("n", Json.Int f.n);
+      ("influence", json_vec f.influence);
+      ("polarity", json_vec f.polarity);
+      ("spectral", json_vec f.spectral);
+      ("occurrence", json_vec f.occurrence);
+      ("cosens", json_mat f.cosens);
+      ("adjacency", json_mat f.adjacency);
+      ("proximity", json_mat f.proximity);
+    ]
+
+let vec_of_json ~len j =
+  match j with
+  | Json.List xs when List.length xs = len -> (
+      let a = Array.make len 0. in
+      try
+        List.iteri
+          (fun i x ->
+            match Json.to_float_opt x with
+            | Some v -> a.(i) <- v
+            | None -> raise Exit)
+          xs;
+        Ok a
+      with Exit -> Error "feature vector entry is not a number")
+  | _ -> Error "feature vector has the wrong shape"
+
+let mat_of_json ~len j =
+  match j with
+  | Json.List rows when List.length rows = len -> (
+      let m = Array.make_matrix len len 0. in
+      try
+        List.iteri
+          (fun i row ->
+            match vec_of_json ~len row with
+            | Ok a -> m.(i) <- a
+            | Error _ -> raise Exit)
+          rows;
+        Ok m
+      with Exit -> Error "feature matrix row is malformed")
+  | _ -> Error "feature matrix has the wrong shape"
+
+let ( let* ) = Result.bind
+
+let of_json j =
+  match Json.member "n" j with
+  | Some (Json.Int n) when n >= 0 ->
+      let field name = Option.to_result ~none:("missing feature field " ^ name) (Json.member name j) in
+      let* influence = Result.bind (field "influence") (vec_of_json ~len:n) in
+      let* polarity = Result.bind (field "polarity") (vec_of_json ~len:n) in
+      let* spectral = Result.bind (field "spectral") (vec_of_json ~len:n) in
+      let* occurrence = Result.bind (field "occurrence") (vec_of_json ~len:n) in
+      let* cosens = Result.bind (field "cosens") (mat_of_json ~len:n) in
+      let* adjacency = Result.bind (field "adjacency") (mat_of_json ~len:n) in
+      let* proximity = Result.bind (field "proximity") (mat_of_json ~len:n) in
+      Ok { n; influence; polarity; spectral; occurrence; cosens; adjacency; proximity }
+  | _ -> Error "features: missing or malformed n"
+
+let pp ppf f =
+  Format.fprintf ppf "@[<v>features n=%d@," f.n;
+  for j = 0 to f.n - 1 do
+    Format.fprintf ppf "  x%-3d inf=%.3f pol=%+.3f spec=%.3f occ=%.3f@," j
+      f.influence.(j) f.polarity.(j) f.spectral.(j) f.occurrence.(j)
+  done;
+  Format.fprintf ppf "@]"

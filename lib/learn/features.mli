@@ -1,0 +1,86 @@
+(** Structural features for scored variable ordering.
+
+    The learned-ordering literature (Grumberg–Livne–Markovitch; Kimura–
+    Fujita–Wille) scores variables by cheap structural signals — literal
+    frequency, adjacency in conjunctions, topological proximity — and
+    orders by score instead of probing diagram sizes.  This module
+    extracts those signals from the three front-ends the repository
+    accepts: raw truth tables (semantic features only), expressions
+    (semantic plus syntactic structure) and BLIF netlists (semantic plus
+    input-pin topology).
+
+    Every semantic feature is {e permutation-equivariant by
+    construction}: extracting from a relabelled function yields the
+    relabelled feature vectors ({!permute} states the law, and
+    [test/test_learn.ml] qchecks it with exact float equality — each
+    entry is a count over all [2^n] assignments, so relabelling permutes
+    the very same sums).  Syntactic features are equivariant under
+    relabelling of the {e source} (an expression with renamed
+    variables); for raw tables they fall back to semantic proxies or
+    zeros, as documented per field. *)
+
+type t = {
+  n : int;  (** arity *)
+  influence : float array;
+      (** flip probability [Pr(f(x) <> f(x xor e_j))] — the
+          Boolean-Fourier weight of variable [j] *)
+  polarity : float array;
+      (** signed cofactor imbalance
+          [(|f_{j=1}| - |f_{j=0}|) / 2^(n-1)] — the first-order Walsh
+          coefficient, up to sign convention *)
+  spectral : float array;
+      (** second-order spectral moment: mean over [k <> j] of the
+          absolute pairwise Walsh coefficient [|W_{jk}|] *)
+  occurrence : float array;
+      (** literal/occurrence frequency in the source formula
+          (normalised to sum 1); for raw tables, the support indicator
+          (1 when the function depends on the variable) *)
+  cosens : float array array;
+      (** pairwise co-sensitivity
+          [Pr(flipping j flips f and flipping k flips f)] — the
+          semantic analogue of a conjunction-adjacency matrix; symmetric,
+          zero diagonal *)
+  adjacency : float array array;
+      (** conjunction adjacency: how often [j] and [k] meet across the
+          two operands of an [And] (normalised to max 1); zeros for raw
+          tables, declaration handled by {!of_blif} *)
+  proximity : float array array;
+      (** topological proximity: [1 / (smallest common subtree size)]
+          over all places where [j] and [k] meet in the formula; for
+          BLIF, [1 / (1 + pin distance)] in input declaration order;
+          zeros for raw tables *)
+}
+
+val of_truthtable : Ovo_boolfun.Truthtable.t -> t
+(** Semantic features only ([occurrence] = support indicator,
+    [adjacency] and [proximity] zero).  [O(n^2 2^n)]. *)
+
+val of_expr : ?arity:int -> Ovo_boolfun.Expr.t -> t
+(** Semantic features of the tabulated expression plus literal
+    frequency, conjunction adjacency and subtree proximity from the
+    syntax tree.  [arity] as in {!Ovo_boolfun.Expr.to_truthtable}. *)
+
+val of_blif : Ovo_boolfun.Blif.t -> string -> t
+(** Features of one primary output (by name, as in
+    {!Ovo_boolfun.Blif.output_table}): semantic features of the
+    elaborated table plus pin-distance proximity over the declared
+    inputs.  Raises [Not_found] for unknown names.  Pin distance
+    depends on declaration order, so {!of_blif} is the one constructor
+    outside the equivariance law. *)
+
+val permute : t -> int array -> t
+(** The equivariance law: if [g = Truthtable.permute_vars f perm] then
+    [of_truthtable g = permute (of_truthtable f) perm] — entry [j] of
+    the result is entry [perm.(j)] of the input (pairwise entries
+    [(j, k)] map from [(perm.(j), perm.(k))]). *)
+
+val equal : t -> t -> bool
+(** Exact (float-wise) equality. *)
+
+val to_json : t -> Ovo_obs.Json.t
+
+val of_json : Ovo_obs.Json.t -> (t, string) result
+(** Inverse of {!to_json} (accepts integer-valued floats printed as
+    JSON integers). *)
+
+val pp : Format.formatter -> t -> unit

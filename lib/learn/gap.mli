@@ -1,0 +1,58 @@
+(** Exact optimality-gap evaluation of ordering heuristics.
+
+    Because every {!Dataset} row carries the provably optimal cost, an
+    orderer's quality needs no proxy: its {e gap} on a function is
+    [cost / optimal] (1.0 means optimal) and its {e regret} is
+    [cost - optimal] in nodes.  {!evaluate} prices each orderer on
+    every row and aggregates the gap distribution — mean and max
+    exactly, p50/p90 through {!Ovo_metrics.Histo} (log-bucketed, within
+    ~4.4% — the same instrument the daemon's latency telemetry uses, so
+    the numbers merge with fleet telemetry for free).
+
+    Surfaced as [ovo eval-orderers] and the [[learn]] bench section;
+    CI gates [scorer_mean_gap <= random_mean_gap] on the catalogue. *)
+
+type orderer = {
+  o_name : string;
+  o_order : Ovo_boolfun.Truthtable.t -> int array;
+      (** repository convention: [order.(0)] read last *)
+}
+
+val default_orderers :
+  ?weights:Scorer.Weights.t ->
+  ?kind:Ovo_core.Compact.kind ->
+  ?seed:int ->
+  unit ->
+  orderer list
+(** [scored], [influence], [sifting], [window], and [random] — the
+    random baseline draws its permutation deterministically from [seed]
+    and the function's content hash, so reports are reproducible and
+    row-order independent. *)
+
+type stat = {
+  s_name : string;
+  s_rows : int;
+  s_optimal : int;  (** rows hit exactly (gap = 1) *)
+  s_mean_gap : float;  (** exact arithmetic mean *)
+  s_max_gap : float;
+  s_p50_gap : float;  (** histogram estimate *)
+  s_p90_gap : float;  (** histogram estimate *)
+  s_mean_regret : float;  (** mean extra nodes over optimal *)
+  s_max_regret : int;
+}
+
+val evaluate :
+  ?trace:Ovo_obs.Trace.t ->
+  ?kind:Ovo_core.Compact.kind ->
+  orderer list ->
+  Dataset.row list ->
+  stat list
+(** One stat per orderer, in input order (span [learn.gap.<name>]
+    each).  Raises [Invalid_argument] when an orderer returns something
+    that is not a permutation — the harness is also the test bed for
+    buggy orderers. *)
+
+val stat_to_json : stat -> Ovo_obs.Json.t
+
+val report : Format.formatter -> stat list -> unit
+(** Aligned text table, one orderer per line. *)

@@ -2,7 +2,8 @@ type entry = { method_name : string; mincost : int; order : int array }
 
 type result = { best : entry; entries : entry list }
 
-let run ?(trace = Ovo_obs.Trace.null) ?(kind = Ovo_core.Compact.Bdd) ?rng tt =
+let run ?(trace = Ovo_obs.Trace.null) ?(kind = Ovo_core.Compact.Bdd) ?rng
+    ?(extra = []) tt =
   let rng = match rng with Some r -> r | None -> Random.State.make [| 0x0BDD |] in
   (* each member gets its own span so the profile shows where portfolio
      time goes; sifting and window additionally thread the tracer down
@@ -25,7 +26,11 @@ let run ?(trace = Ovo_obs.Trace.null) ?(kind = Ovo_core.Compact.Bdd) ?rng tt =
         e)
   in
   let members =
-    [
+    (* injected members run first: they are the cheap static ones
+       (layers above register the learn scorer here without ordering
+       ever depending on it) *)
+    List.map (fun (name, f) -> member name (fun () -> f tt)) extra
+    @ [
       member "influence" (fun () ->
           let r = Influence.run ~kind tt in
           { method_name = "influence"; mincost = r.Influence.mincost; order = r.Influence.order });

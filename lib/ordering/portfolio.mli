@@ -19,8 +19,14 @@ val run :
   ?trace:Ovo_obs.Trace.t ->
   ?kind:Ovo_core.Compact.kind ->
   ?rng:Random.State.t ->
+  ?extra:(string * (Ovo_boolfun.Truthtable.t -> entry)) list ->
   Ovo_boolfun.Truthtable.t ->
   result
 (** Members: influence (static), sifting, window permutation, simulated
     annealing, genetic, random search, and the exact-block hybrid.  The
-    RNG defaults to a fixed seed for reproducibility. *)
+    RNG defaults to a fixed seed for reproducibility.
+
+    [extra] prepends injected members (name, solver), each wrapped in
+    the same [portfolio.<name>] span — how layers above register the
+    [ovo.learn] scorer without this library depending on it (the same
+    inversion {!Seed} uses toward the core). *)

@@ -9,8 +9,8 @@ let sifting_upper_mtable ?trace ?kind ?max_passes mt =
 let sifting_upper ?trace ?kind ?max_passes tt =
   sifting_upper_mtable ?trace ?kind ?max_passes (Mtable.of_truthtable tt)
 
-let portfolio_upper ?trace ?kind ?rng tt =
-  let r = Portfolio.run ?trace ?kind ?rng tt in
+let portfolio_upper ?trace ?kind ?rng ?extra tt =
+  let r = Portfolio.run ?trace ?kind ?rng ?extra tt in
   {
     B.ub_source = "portfolio:" ^ r.Portfolio.best.Portfolio.method_name;
     ub_value = r.Portfolio.best.Portfolio.mincost;

@@ -28,10 +28,12 @@ val portfolio_upper :
   ?trace:Ovo_obs.Trace.t ->
   ?kind:Ovo_core.Compact.kind ->
   ?rng:Random.State.t ->
+  ?extra:(string * (Ovo_boolfun.Truthtable.t -> Portfolio.entry)) list ->
   Ovo_boolfun.Truthtable.t ->
   Ovo_core.Bound.upper
 (** The best cost across the whole heuristic portfolio — tighter than
-    {!sifting_upper} but costlier to compute. *)
+    {!sifting_upper} but costlier to compute.  [extra] is passed through
+    to {!Portfolio.run}. *)
 
 val bound :
   ?trace:Ovo_obs.Trace.t ->

@@ -23,6 +23,7 @@ type config = {
   store_fsync : Ovo_store.Rlog.fsync;
   mem_budget : int option;
   prune : bool;
+  orderer : [ `Exact | `Scored ];
   access_log : string option;
   prom : prom_sink option;
   telemetry : bool;
@@ -33,7 +34,8 @@ let default_config ~listen =
   { listen; workers = 2; queue_cap = 64; cache_cap = 256; max_arity = 16;
     idle_timeout = None; trace_file = None; store_dir = None;
     store_fsync = Ovo_store.Rlog.Never; mem_budget = None; prune = false;
-    access_log = None; prom = None; telemetry = true; shard_id = None }
+    orderer = `Exact; access_log = None; prom = None; telemetry = true;
+    shard_id = None }
 
 type job = {
   j_id : int;  (* server-assigned sequence number, for the access log *)
@@ -302,7 +304,8 @@ let worker_loop t =
           match
             Solver.solve ~trace:t.trace ?stats ~cache:t.cache
               ~cancel:job.cancel ~engine:job.j_engine ~kind:job.j_kind
-              ?mem_budget:t.cfg.mem_budget ~prune:t.cfg.prune job.tt
+              ?mem_budget:t.cfg.mem_budget ~prune:t.cfg.prune
+              ~orderer:t.cfg.orderer job.tt
           with
           | Ok s ->
               let solve_ms = (now () -. solve_start) *. 1000. in

@@ -65,6 +65,13 @@ type config = {
           states, and deadline-cancelled replies carry the best-so-far
           [(lower, incumbent)] bound pair in their message.  Default
           off. *)
+  orderer : [ `Exact | `Scored ];
+      (** [`Exact] (the default) runs the exact DP on every cache miss.
+          [`Scored] answers misses with the [ovo.learn] scored static
+          ordering instead: a valid ordering and its achievable cost in
+          heuristic time, but not a proven optimum — so scored answers
+          are never inserted into the cache or the durable store, and
+          exact cached results still win on a probe hit. *)
   access_log : string option;
       (** CRC-framed structured access log ({!Access_log}): one entry
           per solve request with digest, outcome, queue wait, solve
@@ -90,8 +97,8 @@ type config = {
 
 val default_config : listen:Protocol.addr -> config
 (** 2 workers, queue 64, cache 256, max arity 16, no idle timeout, no
-    trace, no store, no memory budget, no pruning, no access log, no
-    Prometheus sink, telemetry on, no shard id. *)
+    trace, no store, no memory budget, no pruning, exact orderer, no
+    access log, no Prometheus sink, telemetry on, no shard id. *)
 
 type t
 

@@ -54,8 +54,8 @@ let fresh_spill_dir () =
     (Printf.sprintf "ovo-serve-spill-%d-%d" (Unix.getpid ())
        (Atomic.fetch_and_add spill_seq 1))
 
-let solve ?(trace = Trace.null) ?mem_budget ?(prune = false) ?stats ~cache
-    ~cancel ~engine ~kind tt =
+let solve ?(trace = Trace.null) ?mem_budget ?(prune = false)
+    ?(orderer = `Exact) ?stats ~cache ~cancel ~engine ~kind tt =
   (* the pruning context outlives [Cancel.protect]: a deadline-expired
      pruned solve still reports its best (lower, incumbent) pair — the
      any-time payoff of seeding before the sweep *)
@@ -91,14 +91,30 @@ let solve ?(trace = Trace.null) ?mem_budget ?(prune = false) ?stats ~cache
           stats;
         match probe with
         | Some entry -> reply_of_entry ~digest ~perm ~cached:true entry
+        | None when orderer = `Scored ->
+            (* deadline-tight fast path: answer with the scored static
+               ordering — a valid ordering and an achievable cost, not a
+               proven optimum, so it must never enter the exact cache *)
+            Cancel.check cancel;
+            let entry =
+              Trace.with_span trace ~cat:"serve" "serve.scored" (fun () ->
+                  let order = Ovo_learn.Scorer.order canon in
+                  { Cache.canon;
+                    mincost = Ovo_core.Eval_order.mincost ~kind canon order;
+                    size = Ovo_core.Eval_order.size ~kind canon order;
+                    canon_order = order;
+                    widths = Ovo_core.Eval_order.widths ~kind canon order })
+            in
+            reply_of_entry ~digest ~perm ~cached:false entry
         | None ->
             Cancel.check cancel;
             let pr =
               if not prune then None
               else begin
+                (* scored incumbent first (free), sifting refines it *)
                 let b =
                   Trace.with_span trace ~cat:"serve" "serve.seed" (fun () ->
-                      Ovo_ordering.Seed.bound ~trace ~kind canon)
+                      Ovo_learn.Scorer.seeded_bound ~trace ~kind canon)
                 in
                 bound_ref := Some b;
                 Some b

@@ -30,6 +30,7 @@ val solve :
   ?trace:Ovo_obs.Trace.t ->
   ?mem_budget:int ->
   ?prune:bool ->
+  ?orderer:[ `Exact | `Scored ] ->
   ?stats:Stats.t ->
   cache:Cache.t ->
   cancel:Ovo_core.Cancel.t ->
@@ -44,13 +45,21 @@ val solve :
     [serve.cache_probe] and (on a miss) [serve.seed] / [serve.solve],
     category ["serve"].
 
-    [prune] (default off) seeds each cache-miss solve with a sifting
-    upper bound ({!Ovo_ordering.Seed.bound}) and runs the DP as an exact
-    branch-and-bound.  The answer is bit-identical; additionally a
+    [prune] (default off) seeds each cache-miss solve with a scored
+    incumbent refined by sifting ({!Ovo_learn.Scorer.seeded_bound}) and
+    runs the DP as an exact branch-and-bound.  The answer is
+    bit-identical; additionally a
     cancelled pruned solve carries its any-time [(best_lower,
     incumbent)] pair in the [`Cancelled] payload — the tightest
     enclosure of the optimum proven before the deadline ([None] when
     pruning was off or the solve died before seeding).
+
+    [orderer] (default [`Exact]) selects what answers a cache miss:
+    [`Scored] skips the DP entirely and replies with the
+    {!Ovo_learn.Scorer} static ordering (span [serve.scored]) — a valid
+    ordering and its achievable cost, {e not} a proven optimum, so the
+    reply is never added to the cache and a later [`Exact] solve of the
+    same function is unaffected.  Cache hits still answer exactly.
 
     [mem_budget] caps the resident bytes of the DP's packed layers for
     this solve ({!Ovo_core.Membudget}): a budgeted miss spills completed

@@ -148,7 +148,7 @@ stats block (seeded incumbent, states pruned, per-layer trajectory):
   order (paper pi)  : [3 2 1 0]
   level widths      : [1 1 1 1]
   modeled cost      : 9.200e+01 table cells
-  {"table_cells":92,"cost_probes":24,"compactions":0,"node_creations":14,"states_materialised":14,"node_table_copies":14,"prune":{"bound_source":"support-count","states_pruned":4,"incumbent":4,"seed_source":"sifting","seed_value":4,"layers":[{"k":1,"kept":4,"pruned":0,"lower":4,"incumbent":4},{"k":2,"kept":2,"pruned":4,"lower":4,"incumbent":4},{"k":3,"kept":4,"pruned":0,"lower":4,"incumbent":4},{"k":4,"kept":1,"pruned":0,"lower":4,"incumbent":4}]}}
+  {"table_cells":92,"cost_probes":24,"compactions":0,"node_creations":14,"states_materialised":14,"node_table_copies":14,"prune":{"bound_source":"support-count","states_pruned":4,"incumbent":4,"seed_source":"scored","seed_value":4,"layers":[{"k":1,"kept":4,"pruned":0,"lower":4,"incumbent":4},{"k":2,"kept":2,"pruned":4,"lower":4,"incumbent":4},{"k":3,"kept":4,"pruned":0,"lower":4,"incumbent":4},{"k":4,"kept":1,"pruned":0,"lower":4,"incumbent":4}]}}
 
 The parallel engine prunes the same states (the incumbent only moves at
 layer boundaries, so Seq and Par agree bit for bit):
@@ -161,7 +161,7 @@ layer boundaries, so Seq and Par agree bit for bit):
   level widths      : [1 1 1 1]
   modeled cost      : 9.200e+01 table cells
   cells=92 probes=24 compactions=0 nodes=14 states=14 copies=14
-  prune: bound=support-count pruned=4 incumbent=4 seed=sifting:4
+  prune: bound=support-count pruned=4 incumbent=4 seed=scored:4
 
 Pruning cannot mix with checkpointing (a pruned sweep's layers are
 incomplete on purpose, so a checkpoint of them could not be resumed):
@@ -169,3 +169,22 @@ incomplete on purpose, so a checkpoint of them could not be resumed):
   $ ovo optimize --family achilles-2 --prune --checkpoint ck.bin
   ovo: --prune is incompatible with --checkpoint/--resume
   [124]
+
+The portfolio's member list, best first (ties keep registration order:
+the learned scorer and the static heuristics run before the search
+ones; `scored` is injected from ovo.learn, see doc/learning.md):
+
+  $ ovo optimize --family achilles-3 --algo portfolio
+    scored       6
+    influence    6
+    sifting      6
+    window       6
+    annealing    6
+    genetic      6
+    random       6
+    exact-block  6
+  algorithm        : portfolio (won by scored)
+  minimum size     : 8 nodes (6 non-terminal)
+  order (root first): [0 1 2 3 4 5]
+  order (paper pi)  : [5 4 3 2 1 0]
+  level widths      : [1 1 1 1 1 1]

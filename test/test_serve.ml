@@ -309,6 +309,40 @@ let order_achieves_mincost tt (s : Solver.solved) =
   let pi = Ovo_core.Eval_order.read_first s.Solver.order in
   Ovo_core.Eval_order.mincost tt pi = s.Solver.mincost
 
+(* The `Scored orderer must answer in heuristic time with an achievable
+   (possibly sub-optimal) ordering, and its replies must never leak into
+   the exact result cache. *)
+let scored_tests =
+  [
+    Helpers.case "scored misses never pollute the exact cache" (fun () ->
+        let cache = Cache.create ~cap:8 () in
+        let tt = T.of_string (String.concat "" [ "0110100110010110";
+                                                 "1001011001101001" ]) in
+        let solve_scored () =
+          match
+            Solver.solve ~orderer:`Scored ~cache ~cancel:Cancel.never
+              ~engine:Ovo_core.Engine.Seq ~kind:Ovo_core.Compact.Bdd tt
+          with
+          | Ok s -> s
+          | Error (`Cancelled _) -> Alcotest.fail "unexpected cancellation"
+        in
+        let scored = solve_scored () in
+        Helpers.check_bool "scored is not cached" false scored.Solver.cached;
+        Helpers.check_bool "scored cost is achievable" true
+          (order_achieves_mincost tt scored);
+        (* the scored reply must not have entered the cache: the next
+           exact solve is still a miss, and is at least as good *)
+        let exact = solve_fresh cache tt in
+        Helpers.check_bool "exact is still a miss" false exact.Solver.cached;
+        Helpers.check_bool "exact <= scored" true
+          (exact.Solver.mincost <= scored.Solver.mincost);
+        (* once the exact result is cached, the scored path serves it *)
+        let hit = solve_scored () in
+        Helpers.check_bool "cache hit answers exactly" true hit.Solver.cached;
+        Helpers.check_int "hit is the optimum" exact.Solver.mincost
+          hit.Solver.mincost);
+  ]
+
 let props =
   [
     QCheck.Test.make ~name:"cache hit result == fresh solve result"
@@ -600,6 +634,7 @@ let () =
       ("cancel", cancel_tests);
       ("protocol", protocol_tests);
       ("cache", cache_tests);
+      ("scored", scored_tests);
       ("stats", stats_tests);
       ("props", Helpers.qtests props);
       ("e2e", e2e_tests);
