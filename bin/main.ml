@@ -330,6 +330,29 @@ let spill_dir_arg =
         ~doc:
           "Directory for $(b,--mem-budget) spill segments (default: a fresh            $(b,ovo-spill-<pid>) under the system temp directory).  Segments            are deleted when the run finishes.")
 
+let spill_mmap_arg =
+  Arg.(
+    value
+    & flag
+    & info [ "spill-mmap" ]
+        ~doc:
+          "Write $(b,--mem-budget) spill segments in the mappable raw \
+           format and reload them via $(b,mmap)(2): reloaded extents stay \
+           off the OCaml heap and the kernel pages them in (and back out) \
+           on demand.  Corruption detection (CRC-32) is unchanged.")
+
+let spill_extent_arg =
+  Arg.(
+    value
+    & opt (some mem_budget_conv) None
+    & info [ "spill-extent" ] ~docv:"BYTES"
+        ~doc:
+          "($(b,--mem-budget) only)  Dense payload bytes per spill extent \
+           (default 1M).  Layers are split into fixed-size extents and \
+           spilled/reloaded at that granularity, so even a single layer \
+           larger than the whole budget stays out of core.  Accepts \
+           $(b,k)/$(b,M)/$(b,G) suffixes.")
+
 let dot_arg =
   Arg.(
     value
@@ -434,7 +457,8 @@ let prune_arg =
 let optimize_cmd =
   let run table expr pla pla_output blif signal family kind algo dot save
       weights seed engine domains stats trace_file profile progress checkpoint
-      resume crash_after fsync mem_budget spill_dir prune model =
+      resume crash_after fsync mem_budget spill_dir spill_mmap spill_extent
+      prune model =
     let engine = resolve_engine engine domains in
     with_obs ~trace_file ~profile ~progress @@ fun trace ->
     match load_function ~table ~expr ~pla ~pla_output ~blif ~signal ~family with
@@ -489,13 +513,28 @@ let optimize_cmd =
             failwith "--mem-budget needs --algo fs, qdc, tower:N or simple";
           if spill_dir <> None && mem_budget = None then
             failwith "--spill-dir needs --mem-budget";
+          if spill_mmap && mem_budget = None then
+            failwith "--spill-mmap needs --mem-budget";
+          if spill_extent <> None && mem_budget = None then
+            failwith "--spill-extent needs --mem-budget";
           if prune && not exact_algo then
             failwith "--prune needs --algo fs, qdc, tower:N or simple";
           if prune && (checkpoint <> None || resume <> None) then
             failwith "--prune is incompatible with --checkpoint/--resume";
+          (* unified mode: the checkpoint doubles as the spill store, so
+             a budget+checkpoint run writes each layer once and needs no
+             spill directory *)
+          let unified =
+            mem_budget <> None && (checkpoint <> None || resume <> None)
+          in
+          if unified && (spill_dir <> None || spill_mmap) then
+            failwith
+              "--checkpoint/--resume already serve as the spill store; \
+               drop --spill-dir/--spill-mmap";
           let membudget, spill_cleanup =
             match mem_budget with
             | None -> (None, fun () -> ())
+            | Some _ when unified -> (None, fun () -> ())
             | Some budget_bytes ->
                 let dir =
                   match spill_dir with
@@ -505,9 +544,10 @@ let optimize_cmd =
                         (Filename.get_temp_dir_name ())
                         (Printf.sprintf "ovo-spill-%d" (Unix.getpid ()))
                 in
-                let sp = Ovo_store.Spill.create ~fsync dir in
+                let sp = Ovo_store.Spill.create ~fsync ~mmap:spill_mmap dir in
                 ( Some
                     (Ovo_core.Membudget.create ~budget_bytes
+                       ?extent_bytes:spill_extent
                        ~sink:(Ovo_store.Spill.sink sp) ()),
                   fun () -> Ovo_store.Spill.remove sp )
           in
@@ -540,6 +580,18 @@ let optimize_cmd =
                         path (List.length layers);
                     (Some w, layers)
                 | None, None -> (None, [])
+              in
+              let membudget =
+                match (mem_budget, writer) with
+                | Some budget_bytes, Some w when unified ->
+                    (* spill through the checkpoint: evictions are
+                       no-ops (the layer record is already appended) and
+                       reloads slice the records on hand *)
+                    Some
+                      (Ovo_core.Membudget.create ~budget_bytes
+                         ?extent_bytes:spill_extent
+                         ~sink:(Ovo_store.Checkpoint.sink w) ())
+                | _ -> membudget
               in
               let on_layer (p : Ovo_core.Subset_dp.progress) =
                 match writer with
@@ -679,7 +731,8 @@ let optimize_cmd =
        $ save_arg $ weights_arg $ seed_arg $ engine_arg $ domains_arg
        $ stats_arg $ trace_arg $ profile_arg $ progress_arg $ checkpoint_arg
        $ resume_arg $ crash_after_arg $ fsync_arg $ mem_budget_arg
-       $ spill_dir_arg $ prune_arg $ model_arg))
+       $ spill_dir_arg $ spill_mmap_arg $ spill_extent_arg $ prune_arg
+       $ model_arg))
   in
   Cmd.v
     (Cmd.info "optimize"

@@ -23,92 +23,206 @@ type progress = {
 
 let binomial = Layer_pack.binomial
 
-(* The packed cost/choice store of one sweep: layer [k] is a
-   {!Layer_pack.t} (9 bytes per subset) instead of two hashtable
-   bindings, and under a {!Membudget} completed layers are spilled
-   through the injected sink, lowest cardinality first — the forward
-   sweep never re-reads them, and backtracking reloads each spilled
-   layer exactly once.  State-independent, so it lives outside the
-   functor. *)
+(* The packed cost/choice store of one sweep: layer [k] is split into
+   fixed-size {!Layer_pack.Extent}s (9 bytes per subset, ~1 MiB of dense
+   payload per extent) instead of two hashtable bindings, and under a
+   {!Membudget} completed extents are spilled through the injected sink,
+   lowest cardinality first — the forward sweep never re-reads them, and
+   backtracking reloads only the extents its level-synchronous chains
+   touch.  Because eviction happens extent-by-extent as each one is
+   packed, peak resident stays within budget + one extent even when a
+   single layer (the k≈n/2 hump) exceeds the whole budget.
+   State-independent, so it lives outside the functor. *)
 module Layers = struct
-  type slot = Resident of Layer_pack.t | Spilled
+  module Extent = Layer_pack.Extent
+
+  type eslot = Resident of Extent.t | Spilled
+
+  type lrec = {
+    l_total : int;  (* C(m,k): subsets in the layer *)
+    l_elen : int;  (* ranks per extent (the last extent may be shorter) *)
+    l_extents : eslot option array;
+    mutable l_spilled_once : bool;
+  }
 
   type t = {
     j_set : Varset.t;
     base_cost : int;
     mb : Membudget.t;
     trace : Trace.t;
-    slots : slot option array;  (* indexed by cardinality; slot 0 unused *)
+    pascal : int array array;  (* shared rank/unrank table, k up to [upto] *)
+    slots : lrec option array;  (* indexed by cardinality; slot 0 unused *)
+    mutable memo : (int * int * Extent.t) option;
+        (* last transiently reloaded (k, ext, extent): colex-ordered
+           readers touch consecutive ranks, so a 1-slot memo turns
+           per-entry fetches into one reload per extent *)
   }
 
   let create ~trace ~mb ~base_cost ~upto j_set =
-    { j_set; base_cost; mb; trace; slots = Array.make (upto + 1) None }
+    {
+      j_set;
+      base_cost;
+      mb;
+      trace;
+      pascal = Layer_pack.pascal_table ~m:(Varset.cardinal j_set) ~k:upto;
+      slots = Array.make (upto + 1) None;
+      memo = None;
+    }
 
-  let spill t k pack =
+  let rank t ksub = Layer_pack.rank_in ~pascal:t.pascal ~j_set:t.j_set ksub
+
+  let ext_len lr ei = min lr.l_elen (lr.l_total - (ei * lr.l_elen))
+
+  let spill_extent t ~k lr ei x =
     match Membudget.sink t.mb with
     | None -> ()
     | Some sink ->
-        let payload = Layer_pack.encode pack in
-        let bytes = String.length payload in
+        let raw = Extent.size_bytes x in
+        let payload = Extent.encode x in
+        let stored = String.length payload in
+        (* transient-once accounting: the dense extent's charge is
+           released as the packed copy is charged — the two are never on
+           the books together, and since the encoder never grows
+           ([stored <= raw]), eviction monotonically frees memory *)
+        Membudget.shrank t.mb raw;
+        Membudget.grew t.mb stored;
         Trace.with_span t.trace ~cat:"spill"
           ~args:(fun () ->
-            [ ("k", Ovo_obs.Json.Int k); ("bytes", Ovo_obs.Json.Int bytes) ])
+            [
+              ("k", Ovo_obs.Json.Int k);
+              ("ext", Ovo_obs.Json.Int ei);
+              ("raw", Ovo_obs.Json.Int raw);
+              ("bytes", Ovo_obs.Json.Int stored);
+            ])
           "spill.write"
-          (fun () -> sink.Membudget.spill ~k payload);
-        Membudget.note_spill t.mb bytes;
-        (* release what [put] charged — the resident (dense) footprint,
-           which exceeds the payload when a pruned layer packed sparse *)
-        Membudget.shrank t.mb (Layer_pack.size_bytes pack);
+          (fun () -> sink.Membudget.spill ~k ~ext:ei payload);
+        Membudget.shrank t.mb stored;
+        if not lr.l_spilled_once then begin
+          lr.l_spilled_once <- true;
+          Membudget.note_layer_spill t.mb
+        end;
+        Membudget.note_spill t.mb ~raw ~stored;
         Trace.counter t.trace "spill.bytes_spilled"
           (float_of_int (Membudget.bytes_spilled t.mb));
-        t.slots.(k) <- Some Spilled
+        lr.l_extents.(ei) <- Some Spilled
 
   let enforce_budget t =
     let k = ref 1 in
     while Membudget.over_budget t.mb && !k < Array.length t.slots do
       (match t.slots.(!k) with
-      | Some (Resident pack) -> spill t !k pack
-      | Some Spilled | None -> ());
+      | None -> ()
+      | Some lr ->
+          let ei = ref 0 in
+          while Membudget.over_budget t.mb && !ei < Array.length lr.l_extents
+          do
+            (match lr.l_extents.(!ei) with
+            | Some (Resident x) -> spill_extent t ~k:!k lr !ei x
+            | Some Spilled | None -> ());
+            incr ei
+          done);
       incr k
     done
 
-  let put t pack =
-    Membudget.grew t.mb (Layer_pack.size_bytes pack);
-    t.slots.(Layer_pack.k pack) <- Some (Resident pack);
-    enforce_budget t
+  (* Pack one completed layer's triples, extent by extent: each extent
+     is filled, charged and immediately subject to budget enforcement,
+     so the layer as a whole need never be resident at once. *)
+  let put_entries t ~k entries =
+    let total = binomial (Varset.cardinal t.j_set) k in
+    let elen =
+      max 1 (Membudget.extent_bytes t.mb / Layer_pack.entry_bytes)
+    in
+    let n_ext = (total + elen - 1) / elen in
+    let lr =
+      {
+        l_total = total;
+        l_elen = elen;
+        l_extents = Array.make n_ext None;
+        l_spilled_once = false;
+      }
+    in
+    t.slots.(k) <- Some lr;
+    (* bucket the triples by extent index; entries arrive in colex order
+       but ranks are computed anyway, so no order is assumed *)
+    let buckets = Array.make n_ext [] in
+    Array.iter
+      (fun ((ksub, _, _) as e) ->
+        let r = rank t ksub in
+        buckets.(r / elen) <- (r, e) :: buckets.(r / elen))
+      entries;
+    let layer_bytes = ref 0 in
+    for ei = 0 to n_ext - 1 do
+      let lo = ei * elen in
+      let x =
+        Extent.create ~j_set:t.j_set ~k ~total ~lo ~len:(ext_len lr ei)
+      in
+      List.iter
+        (fun (r, (_, cost, choice)) -> Extent.set x ~rank:r ~cost ~choice)
+        buckets.(ei);
+      buckets.(ei) <- [];
+      layer_bytes := !layer_bytes + Extent.size_bytes x;
+      Membudget.grew t.mb (Extent.size_bytes x);
+      lr.l_extents.(ei) <- Some (Resident x);
+      enforce_budget t
+    done;
+    Membudget.note_layer_bytes t.mb !layer_bytes
 
-  (* Fetch a layer for reading.  A spilled layer is decoded transiently
-     and not re-accounted resident: every reader touches a layer once
-     and lets the pack go. *)
-  let fetch t k =
+  (* Fetch one extent for reading.  A spilled extent is decoded
+     transiently and not re-accounted resident: readers touch ranks in
+     colex runs, so the 1-slot memo bounds transient reloads to one
+     live extent at a time. *)
+  let fetch_extent t ~k ~ei =
     match t.slots.(k) with
     | None -> invalid_arg "Subset_dp: layer not computed"
-    | Some (Resident pack) -> pack
-    | Some Spilled -> (
-        match Membudget.sink t.mb with
-        | None -> assert false
-        | Some sink ->
-            Trace.with_span t.trace ~cat:"spill"
-              ~args:(fun () -> [ ("k", Ovo_obs.Json.Int k) ])
-              "spill.reload"
-              (fun () ->
-                let payload = sink.Membudget.reload ~k in
-                let pack = Layer_pack.decode payload in
-                if Layer_pack.k pack <> k || Layer_pack.j_set pack <> t.j_set
-                then
-                  failwith
-                    "Subset_dp: spilled layer does not belong to this run";
-                Membudget.note_reload t.mb (String.length payload);
-                pack))
+    | Some lr -> (
+        match lr.l_extents.(ei) with
+        | None -> invalid_arg "Subset_dp: extent not computed"
+        | Some (Resident x) -> x
+        | Some Spilled -> (
+            match t.memo with
+            | Some (mk, mei, x) when mk = k && mei = ei -> x
+            | _ -> (
+                match Membudget.sink t.mb with
+                | None -> assert false
+                | Some sink ->
+                    Trace.with_span t.trace ~cat:"spill"
+                      ~args:(fun () ->
+                        [
+                          ("k", Ovo_obs.Json.Int k);
+                          ("ext", Ovo_obs.Json.Int ei);
+                        ])
+                      "spill.reload"
+                      (fun () ->
+                        let src = sink.Membudget.reload ~k ~ext:ei in
+                        let lo = ei * lr.l_elen in
+                        let x =
+                          try
+                            Extent.of_src src ~j_set:t.j_set ~k ~total:lr.l_total
+                              ~lo ~len:(ext_len lr ei)
+                          with Invalid_argument m -> failwith m
+                        in
+                        Membudget.note_reload t.mb (Layer_pack.src_length src);
+                        t.memo <- Some (k, ei, x);
+                        x))))
+
+  let extent_of t ~k ksub =
+    match t.slots.(k) with
+    | None -> invalid_arg "Subset_dp: layer not computed"
+    | Some lr ->
+        let r = rank t ksub in
+        (r, fetch_extent t ~k ~ei:(r / lr.l_elen))
 
   let cost t ksub =
     if Varset.is_empty ksub then t.base_cost
-    else Layer_pack.cost (fetch t (Varset.cardinal ksub)) ksub
+    else
+      let r, x = extent_of t ~k:(Varset.cardinal ksub) ksub in
+      Extent.cost x ~rank:r
 
   (* Backtrack the recorded tight choices of every [target] (all of one
-     cardinality [m]) level-synchronously: layers m..1 are each fetched
-     once, so a spilled layer costs one reload however many chains cross
-     it.  Chains come back first-placed-first, ready to replay. *)
+     cardinality [m]) level-synchronously: at each level the chains'
+     ranks are grouped by extent, so a spilled extent costs one reload
+     however many chains cross it — and extents no chain touches are
+     never read at all.  Chains come back first-placed-first, ready to
+     replay. *)
   let chains t targets =
     let m =
       if Array.length targets = 0 then 0 else Varset.cardinal targets.(0)
@@ -116,15 +230,41 @@ module Layers = struct
     let subs = Array.copy targets in
     let acc = Array.make (Array.length targets) [] in
     for k = m downto 1 do
-      let pack = fetch t k in
-      Array.iteri
-        (fun i sub ->
-          let h = Layer_pack.choice pack sub in
-          acc.(i) <- h :: acc.(i);
-          subs.(i) <- Varset.remove h sub)
-        subs
+      match t.slots.(k) with
+      | None -> invalid_arg "Subset_dp: layer not computed"
+      | Some lr ->
+          let cache = Hashtbl.create 4 in
+          Array.iteri
+            (fun i sub ->
+              let r = rank t sub in
+              let ei = r / lr.l_elen in
+              let x =
+                match Hashtbl.find_opt cache ei with
+                | Some x -> x
+                | None ->
+                    let x = fetch_extent t ~k ~ei in
+                    Hashtbl.add cache ei x;
+                    x
+              in
+              let h = Extent.choice x ~rank:r in
+              acc.(i) <- h :: acc.(i);
+              subs.(i) <- Varset.remove h sub)
+            subs
     done;
     acc
+
+  (* Visit every set entry of layer [k], extent by extent in rank
+     order. *)
+  let iter_layer t k f =
+    match t.slots.(k) with
+    | None -> invalid_arg "Subset_dp: layer not computed"
+    | Some lr ->
+        for ei = 0 to Array.length lr.l_extents - 1 do
+          Extent.iter (fetch_extent t ~k ~ei) (fun ~rank ~cost ~choice ->
+              f
+                (Layer_pack.unrank_in ~pascal:t.pascal ~j_set:t.j_set ~k rank)
+                ~cost ~choice)
+        done
 
   (* Unpack everything back into the legacy hashtable form (the public
      {!costs}/[mincosts] API). *)
@@ -132,7 +272,7 @@ module Layers = struct
     let mincosts = Hashtbl.create 64 and choices = Hashtbl.create 64 in
     Hashtbl.replace mincosts Varset.empty t.base_cost;
     for k = 1 to upto do
-      Layer_pack.iter (fetch t k) (fun ksub ~cost ~choice ->
+      iter_layer t k (fun ksub ~cost ~choice ->
           Hashtbl.replace mincosts ksub cost;
           Hashtbl.replace choices ksub choice)
     done;
@@ -261,15 +401,18 @@ module Make (S : COMPACTABLE) = struct
      and dropped eagerly as soon as their successor layer is complete —
      only the packed integer layers outlive a layer.
 
-     Each completed layer is bit-packed into a {!Layer_pack} and handed
-     to {!Layers.put}, which charges [mb] and spills past the budget;
-     packing happens on the calling domain after the parallel join, so
-     the packed bytes — like the results they encode — are identical
-     under Seq and Par.
+     Each completed layer is bit-packed extent by extent into
+     {!Layer_pack.Extent}s by {!Layers.put_entries}, which charges [mb]
+     per extent and spills past the budget; packing happens on the
+     calling domain after the parallel join, so the packed bytes — like
+     the results they encode — are identical under Seq and Par.
 
      [on_layer] fires once per completed cardinality layer with that
-     layer's (subset, cost, tight choice) triples — the checkpoint hook;
-     the same boundaries [cancel] is polled at.  [resume] preloads the
+     layer's (subset, cost, tight choice) triples — the checkpoint
+     hook — {e before} the layer is packed, so a checkpoint-backed spill
+     sink ({!Ovo_store.Checkpoint.sink}) already holds the layer's
+     record when its extents are evicted; the same boundaries [cancel]
+     is polled at.  [resume] preloads the
      packed layers from previously completed progress and rebuilds the
      last layer's states by replaying the recorded choice chains, so
      the sweep continues exactly where the checkpointed run stopped and
@@ -297,9 +440,7 @@ module Make (S : COMPACTABLE) = struct
     in
     let start_k = validate_resume ~upto j_set resume + 1 in
     List.iter
-      (fun p ->
-        Layers.put layers
-          (Layer_pack.of_entries ~j_set ~k:p.p_layer p.p_entries))
+      (fun p -> Layers.put_entries layers ~k:p.p_layer p.p_entries)
       resume;
     let layer = ref (Hashtbl.create 1) in
     if start_k = 1 then Hashtbl.replace !layer Varset.empty base
@@ -321,7 +462,6 @@ module Make (S : COMPACTABLE) = struct
             let tbl = Hashtbl.create 64 in
             let subs = subsets_of j_set ~size:m in
             let chains = Layers.chains layers subs in
-            let mpack = Layers.fetch layers m in
             Array.iteri
               (fun i ksub ->
                 let st =
@@ -329,7 +469,9 @@ module Make (S : COMPACTABLE) = struct
                     (fun st h -> S.materialise ~metrics st h)
                     base chains.(i)
                 in
-                assert (S.mincost st = Layer_pack.cost mpack ksub);
+                (* [subs] is in colex order, so the per-subset cost
+                   probes walk each spilled extent once via the memo *)
+                assert (S.mincost st = Layers.cost layers ksub);
                 Hashtbl.replace tbl ksub st)
               subs;
             layer := tbl)
@@ -425,11 +567,14 @@ module Make (S : COMPACTABLE) = struct
               | None -> ())
             kept;
           let entries = Array.map (fun (ksub, h, c, _) -> (ksub, c, h)) kept in
-          Layers.put layers (Layer_pack.of_entries ~j_set ~k entries);
-          (* eager drop: only the packed layers survive *)
+          (* checkpoint first, pack second: once [on_layer] has made the
+             layer durable, a checkpoint-backed spill sink can treat
+             eviction of its extents as a no-op *)
+          on_layer { p_layer = k; p_entries = entries };
+          Layers.put_entries layers ~k entries;
+          (* eager drop: only the packed extents survive *)
           Hashtbl.reset prev;
-          layer := next;
-          on_layer { p_layer = k; p_entries = entries }
+          layer := next
         done);
     (layers, !layer)
 

@@ -2,11 +2,22 @@ let log_src = Logs.Src.create "ovo.store.checkpoint" ~doc:"DP checkpoints"
 
 module Log = (val Logs.src_log log_src : Logs.LOG)
 module Sdp = Ovo_core.Subset_dp
+module Lp = Ovo_core.Layer_pack
+module Varset = Ovo_core.Varset
 
 type meta = { ck_digest : string; ck_kind : Ovo_core.Compact.kind }
 
 let rtype_meta = 0
-let rtype_layer = 1
+
+(* The PR-9 triple format (u64 ksub / u64 cost / u8 choice per entry).
+   No longer written: a record of this type ends the resume prefix, so
+   an old checkpoint degrades to a fresh start instead of misdecoding. *)
+let rtype_layer_legacy = 1
+
+(* Unified with the spill format: the payload is [Layer_pack.encode] of
+   the whole layer, so a budget+checkpoint run writes each layer once
+   and the checkpoint itself can serve extent reloads ({!sink}). *)
+let rtype_layer = 2
 
 let kind_code = function Ovo_core.Compact.Bdd -> 0 | Ovo_core.Compact.Zdd -> 1
 
@@ -34,43 +45,50 @@ let decode_meta payload =
   Codec.expect_end r;
   { ck_digest; ck_kind }
 
+(* A checkpointed layer is complete (pruned sweeps reject checkpoints),
+   so the union of its k-subsets is the sweep's universe — exactly the
+   j_set the pack header must carry. *)
 let encode_layer (p : Sdp.progress) =
-  let b = Buffer.create (16 + (17 * Array.length p.Sdp.p_entries)) in
-  Codec.u32 b p.Sdp.p_layer;
-  Codec.u32 b (Array.length p.Sdp.p_entries);
-  Array.iter
-    (fun (ksub, cost, choice) ->
-      Codec.u64 b ksub;
-      Codec.u64 b cost;
-      Codec.u8 b choice)
-    p.Sdp.p_entries;
-  Buffer.contents b
+  let j_set =
+    Array.fold_left
+      (fun acc (ksub, _, _) -> Varset.union acc ksub)
+      Varset.empty p.Sdp.p_entries
+  in
+  Lp.encode (Lp.of_entries ~j_set ~k:p.Sdp.p_layer p.Sdp.p_entries)
 
 let decode_layer payload =
-  let r = Codec.reader payload in
-  let p_layer = Codec.r_u32 r in
-  let count = Codec.r_u32 r in
-  (* bound before allocating on a corrupt count *)
-  if count * 17 > String.length payload then raise (Codec.Corrupt "count");
-  let p_entries =
-    Array.init count (fun _ ->
-        let ksub = Codec.r_u64 r in
-        let cost = Codec.r_u64 r in
-        let choice = Codec.r_u8 r in
-        (ksub, cost, choice))
-  in
-  Codec.expect_end r;
-  { Sdp.p_layer; p_entries }
+  let pack = Lp.decode payload in
+  { Sdp.p_layer = Lp.k pack; p_entries = Lp.entries pack }
 
-type t = { rlog : Rlog.t }
+type t = { rlog : Rlog.t; layers : (int, string) Hashtbl.t }
 
 let create ?fsync ~path m =
   let rlog = Rlog.create ?fsync path in
   Rlog.append rlog ~rtype:rtype_meta (encode_meta m);
-  { rlog }
+  { rlog; layers = Hashtbl.create 16 }
 
 let append_layer t p =
-  Rlog.append t.rlog ~rtype:rtype_layer (encode_layer p)
+  let payload = encode_layer p in
+  Rlog.append t.rlog ~rtype:rtype_layer payload;
+  Hashtbl.replace t.layers p.Sdp.p_layer payload
+
+(* The checkpoint as a spill store: the DP's [on_layer] hook fires
+   before the layer is packed, so by the time an extent is evicted its
+   layer's record is already in [t.layers] — spilling is a no-op and a
+   reload hands back the whole-layer record, which
+   [Layer_pack.Extent.of_src] slices down to the requested rank range.
+   A budget+checkpoint run therefore writes each layer to disk once. *)
+let sink t =
+  {
+    Ovo_core.Membudget.spill = (fun ~k:_ ~ext:_ _ -> ());
+    reload =
+      (fun ~k ~ext:_ ->
+        match Hashtbl.find_opt t.layers k with
+        | Some payload -> Lp.S_string payload
+        | None ->
+            failwith
+              (Printf.sprintf "Checkpoint.sink: layer %d not checkpointed" k));
+  }
 
 let close t =
   Rlog.sync t.rlog;
@@ -79,15 +97,21 @@ let close t =
 (* The longest consecutive prefix of layers 1..m that decodes cleanly.
    Append order guarantees consecutiveness in an untampered file; a
    corrupt middle record ends the usable prefix even when later records
-   are intact — resuming past a hole would change the result. *)
+   are intact — resuming past a hole would change the result.  A legacy
+   (PR-9 triple-format) or unknown record type also ends the prefix:
+   old checkpoints restart cleanly rather than misdecode. *)
 let layers_prefix records =
   let rec go expect acc = function
     | [] -> List.rev acc
     | { Rlog.rtype; payload } :: rest when rtype = rtype_layer -> (
         match decode_layer payload with
         | p when p.Sdp.p_layer = expect -> go (expect + 1) (p :: acc) rest
-        | _ | (exception Codec.Corrupt _) -> List.rev acc)
-    | _ :: _ -> List.rev acc
+        | _ | (exception Failure _) -> List.rev acc)
+    | { Rlog.rtype; _ } :: _ ->
+        if rtype = rtype_layer_legacy then
+          Log.warn (fun m ->
+              m "legacy layer record (rtype %d): starting fresh" rtype);
+        List.rev acc
   in
   go 1 [] records
 
@@ -115,11 +139,16 @@ let open_resume ?fsync ~path m =
   | Ok (_, layers) ->
       (* compact back to the valid prefix, atomically, then append past
          it — a resumed run can itself be killed and resumed *)
+      let encoded =
+        List.map (fun p -> (p.Sdp.p_layer, encode_layer p)) layers
+      in
       Rlog.write_atomic ?fsync path
         ((rtype_meta, encode_meta m)
-        :: List.map (fun p -> (rtype_layer, encode_layer p)) layers);
+        :: List.map (fun (_, pl) -> (rtype_layer, pl)) encoded);
       let rlog, records, _ = Rlog.open_append ?fsync path in
       assert (List.length records = 1 + List.length layers);
+      let tbl = Hashtbl.create 16 in
+      List.iter (fun (k, pl) -> Hashtbl.replace tbl k pl) encoded;
       Log.info (fun m ->
           m "%s: resuming past layer %d" path (List.length layers));
-      ({ rlog }, layers)
+      ({ rlog; layers = tbl }, layers)

@@ -2,9 +2,19 @@
 
     A checkpoint file is an {!Rlog} with one [meta] record (what run
     this is: exact-table digest and diagram kind) followed by one
-    [layer] record per completed cardinality layer — exactly the
-    {!Ovo_core.Subset_dp.progress} values the DP's [on_layer] hook
-    emits, at the same boundaries cancellation is polled.
+    [layer] record per completed cardinality layer — the DP's [on_layer]
+    hook fires at the same boundaries cancellation is polled.
+
+    Layer records are {e unified with the spill format}: each payload is
+    {!Ovo_core.Layer_pack.encode} of the whole layer, the same bytes a
+    whole-layer spill would write.  That buys two things: checkpoints
+    inherit the pack encoders (dense/sparse/compressed, smallest wins),
+    and the open checkpoint can itself serve as the DP's spill store
+    ({!sink}) — a budget+checkpoint run writes each layer to disk
+    {e once}, and extent reloads slice the layer records already on
+    hand.  Records in the pre-unification triple format (record type 1)
+    are recognised and end the resume prefix: an old checkpoint degrades
+    to a clean fresh start.
 
     Because layer states are rebuilt by deterministically replaying the
     recorded choice chains, a run killed at any point and resumed from
@@ -30,7 +40,16 @@ val create : ?fsync:Rlog.fsync -> path:string -> meta -> t
 (** Start a fresh checkpoint, truncating any existing file. *)
 
 val append_layer : t -> Ovo_core.Subset_dp.progress -> unit
-(** Persist one completed layer — the [on_layer] hook. *)
+(** Persist one completed layer — the [on_layer] hook.  The layer must
+    be complete (unpruned); its record doubles as the spill payload
+    {!sink} serves. *)
+
+val sink : t -> Ovo_core.Membudget.sink
+(** The checkpoint as spill store: spilling an extent is a no-op (its
+    layer's record is already appended — the DP checkpoints a layer
+    before packing it) and reloading returns the whole-layer record for
+    {!Ovo_core.Layer_pack.Extent.of_src} to slice.  Raises [Failure] on
+    a reload for a layer this writer never appended. *)
 
 val close : t -> unit
 

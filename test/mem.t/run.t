@@ -10,7 +10,7 @@ so completed layers spill to ./spill and reload during backtracking:
   order (paper pi)  : [3 2 1 0]
   level widths      : [1 1 1 1]
   modeled cost      : 1.080e+02 table cells
-  {"table_cells":108,"cost_probes":32,"compactions":0,"node_creations":22,"states_materialised":18,"node_table_copies":18,"mem":{"budget_bytes":64,"peak_resident_bytes":118,"peak_layer_bytes":68,"layers_spilled":3,"bytes_spilled":168,"reloads":3,"bytes_reloaded":168}}
+  {"table_cells":108,"cost_probes":32,"compactions":0,"node_creations":22,"states_materialised":18,"node_table_copies":18,"mem":{"budget_bytes":64,"extent_bytes":1048576,"peak_resident_bytes":84,"peak_layer_bytes":84,"layers_spilled":3,"extents_spilled":3,"bytes_spilled":132,"raw_bytes_spilled":216,"reloads":3,"bytes_reloaded":132}}
 
 The unbounded run agrees on everything except the "mem" block:
 
@@ -32,7 +32,7 @@ The parallel engine is bit-identical under the same budget:
   order (paper pi)  : [3 2 1 0]
   level widths      : [1 1 1 1]
   modeled cost      : 1.080e+02 table cells
-  {"table_cells":108,"cost_probes":32,"compactions":0,"node_creations":22,"states_materialised":18,"node_table_copies":18,"mem":{"budget_bytes":64,"peak_resident_bytes":118,"peak_layer_bytes":68,"layers_spilled":3,"bytes_spilled":168,"reloads":3,"bytes_reloaded":168}}
+  {"table_cells":108,"cost_probes":32,"compactions":0,"node_creations":22,"states_materialised":18,"node_table_copies":18,"mem":{"budget_bytes":64,"extent_bytes":1048576,"peak_resident_bytes":84,"peak_layer_bytes":84,"layers_spilled":3,"extents_spilled":3,"bytes_spilled":132,"raw_bytes_spilled":216,"reloads":3,"bytes_reloaded":132}}
 
 The spill directory is cleaned up afterwards:
 
@@ -60,4 +60,68 @@ Misuse is rejected:
   ovo: option '--mem-budget': bad size "nope" (want BYTES[k|M|G])
   Usage: ovo optimize [OPTION]…
   Try 'ovo optimize --help' or 'ovo --help' for more information.
+  [124]
+
+Extent splitting: with --spill-extent 18 (two entries per extent) even
+the 16-byte budget -- smaller than the 84-byte hump layer -- completes,
+bit-identically, because layers leave RAM piecewise:
+
+  $ ovo optimize --family achilles-2 --mem-budget 16 --spill-extent 18 --stats json
+  algorithm        : FS (exact)
+  minimum size     : 6 nodes (4 non-terminal)
+  order (root first): [0 1 2 3]
+  order (paper pi)  : [3 2 1 0]
+  level widths      : [1 1 1 1]
+  modeled cost      : 1.080e+02 table cells
+  {"table_cells":108,"cost_probes":32,"compactions":0,"node_creations":22,"states_materialised":18,"node_table_copies":18,"mem":{"budget_bytes":16,"extent_bytes":18,"peak_resident_bytes":48,"peak_layer_bytes":144,"layers_spilled":4,"extents_spilled":8,"bytes_spilled":285,"raw_bytes_spilled":375,"reloads":5,"bytes_reloaded":174}}
+
+Memory-mapped segments give the same answer and the same accounting,
+but reloads stay off the OCaml heap:
+
+  $ ovo optimize --family achilles-2 --mem-budget 16 --spill-extent 18 --spill-mmap --stats json
+  algorithm        : FS (exact)
+  minimum size     : 6 nodes (4 non-terminal)
+  order (root first): [0 1 2 3]
+  order (paper pi)  : [3 2 1 0]
+  level widths      : [1 1 1 1]
+  modeled cost      : 1.080e+02 table cells
+  {"table_cells":108,"cost_probes":32,"compactions":0,"node_creations":22,"states_materialised":18,"node_table_copies":18,"mem":{"budget_bytes":16,"extent_bytes":18,"peak_resident_bytes":48,"peak_layer_bytes":144,"layers_spilled":4,"extents_spilled":8,"bytes_spilled":285,"raw_bytes_spilled":375,"reloads":5,"bytes_reloaded":174}}
+
+A budget combined with a checkpoint spills through the checkpoint
+itself -- each layer is written once and no spill directory appears:
+
+  $ ovo optimize --family achilles-2 --mem-budget 16 --spill-extent 18 --checkpoint ./ck --stats json
+  algorithm        : FS (exact)
+  minimum size     : 6 nodes (4 non-terminal)
+  order (root first): [0 1 2 3]
+  order (paper pi)  : [3 2 1 0]
+  level widths      : [1 1 1 1]
+  modeled cost      : 1.080e+02 table cells
+  {"table_cells":108,"cost_probes":32,"compactions":0,"node_creations":22,"states_materialised":18,"node_table_copies":18,"mem":{"budget_bytes":16,"extent_bytes":18,"peak_resident_bytes":48,"peak_layer_bytes":144,"layers_spilled":4,"extents_spilled":8,"bytes_spilled":285,"raw_bytes_spilled":375,"reloads":5,"bytes_reloaded":178}}
+
+  $ ls ck
+  ck
+
+Resuming from that checkpoint under the same budget reuses its layer
+records as the spill store and stays bit-identical:
+
+  $ ovo optimize --family achilles-2 --mem-budget 16 --spill-extent 18 --resume ./ck | head -2
+  [ovo] resuming ./ck: layers 1..4 already done
+  algorithm        : FS (exact)
+  minimum size     : 6 nodes (4 non-terminal)
+
+  $ rm ck
+
+Misuse of the new flags is rejected:
+
+  $ ovo optimize --family achilles-2 --spill-mmap
+  ovo: --spill-mmap needs --mem-budget
+  [124]
+
+  $ ovo optimize --family achilles-2 --spill-extent 1k
+  ovo: --spill-extent needs --mem-budget
+  [124]
+
+  $ ovo optimize --family achilles-2 --mem-budget 64 --checkpoint ./ck --spill-dir ./spill
+  ovo: --checkpoint/--resume already serve as the spill store; drop --spill-dir/--spill-mmap
   [124]

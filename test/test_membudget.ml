@@ -1,8 +1,10 @@
-(* The memory-budgeted out-of-core DP: packed layer encode/decode, byte
-   accounting, spill/reload through Ovo_store.Spill, and the headline
-   guarantee — a budgeted run is bit-identical to the unbounded one
-   under both engines, and a corrupted spill segment is a clean
-   [Failure], never a wrong answer. *)
+(* The memory-budgeted out-of-core DP: packed layer encode/decode, the
+   extent split, byte accounting (transient-once spill charging, closed
+   form), spill/reload through Ovo_store.Spill in both segment formats,
+   and the headline guarantee — a budgeted run is bit-identical to the
+   unbounded one under both engines even when a single layer exceeds the
+   whole budget, and a corrupted spill segment is a clean [Failure],
+   never a wrong answer. *)
 
 module Mb = Ovo_core.Membudget
 module Lp = Ovo_core.Layer_pack
@@ -22,18 +24,22 @@ let read_file path = In_channel.with_open_bin path In_channel.input_all
 let write_file path s =
   Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc s)
 
+let src_str = function
+  | Lp.S_string s -> s
+  | Lp.S_big b -> String.init (Bigarray.Array1.dim b) (Bigarray.Array1.get b)
+
 (* A sink backed by a hashtable — enough to exercise the spill protocol
    without touching the filesystem. *)
 let mem_sink () =
   let store = Hashtbl.create 8 in
   ( store,
     {
-      Mb.spill = (fun ~k payload -> Hashtbl.replace store k payload);
+      Mb.spill = (fun ~k ~ext payload -> Hashtbl.replace store (k, ext) payload);
       reload =
-        (fun ~k ->
-          match Hashtbl.find_opt store k with
-          | Some p -> p
-          | None -> failwith "mem_sink: no such layer");
+        (fun ~k ~ext ->
+          match Hashtbl.find_opt store (k, ext) with
+          | Some p -> Lp.S_string p
+          | None -> failwith "mem_sink: no such extent");
     } )
 
 (* --- Layer_pack ------------------------------------------------------- *)
@@ -83,6 +89,26 @@ let pack_tests =
             Helpers.check_int "cost" (Lp.cost t ksub) (Lp.cost t' ksub);
             Helpers.check_int "choice" (Lp.choice t ksub) (Lp.choice t' ksub));
         Helpers.check_int "size" (Lp.size_bytes t) (Lp.size_bytes t'));
+    Helpers.case "compressed whole layer beats dense and roundtrips"
+      (fun () ->
+        let j_set = vs_of [ 0; 1; 2; 3; 4; 5; 6; 7 ] in
+        let t = Lp.create ~j_set ~k:4 in
+        (* smooth cost ramp: the shape real DP tables have, where
+           delta+varint wins big *)
+        let r = ref 0 in
+        Vs.iter_subsets_of ~size:4 j_set (fun ksub ->
+            Lp.set t ksub ~cost:(1000 + !r) ~choice:(bits ksub land 7);
+            incr r);
+        let packed = Lp.encode_packed t in
+        let dense = Lp.encode_dense t in
+        Helpers.check_bool "packed at most half of dense" true
+          (2 * String.length packed <= String.length dense);
+        Helpers.check_bool "encode picks the smallest" true
+          (String.length (Lp.encode t) <= String.length packed);
+        let t' = Lp.decode packed in
+        Vs.iter_subsets_of ~size:4 j_set (fun ksub ->
+            Helpers.check_int "cost" (Lp.cost t ksub) (Lp.cost t' ksub);
+            Helpers.check_int "choice" (Lp.choice t ksub) (Lp.choice t' ksub)));
     Helpers.case "decode rejects damage" (fun () ->
         let t = Lp.create ~j_set:(vs_of [ 0; 1; 2 ]) ~k:1 in
         Vs.iter_subsets_of ~size:1
@@ -105,6 +131,154 @@ let pack_tests =
         let t = Lp.create ~j_set:(vs_of [ 0; 1 ]) ~k:1 in
         Helpers.check_bool "unset" true
           (match Lp.cost t (vs_of [ 0 ]) with
+          | exception Invalid_argument _ -> true
+          | _ -> false));
+  ]
+
+(* --- extents ----------------------------------------------------------- *)
+
+module X = Lp.Extent
+
+(* A deterministic pseudo-random extent: a rank range of a layer with a
+   random subset of entries set, costs of mixed magnitude. *)
+let random_extent st =
+  let m = 4 + Random.State.int st 5 in
+  let j_set =
+    let rec pick s =
+      if Vs.cardinal s = m then s else pick (Vs.add (Random.State.int st 12) s)
+    in
+    pick Vs.empty
+  in
+  let k = 1 + Random.State.int st m in
+  let total = Lp.binomial m k in
+  let len = 1 + Random.State.int st total in
+  let lo = Random.State.int st (total - len + 1) in
+  let x = X.create ~j_set ~k ~total ~lo ~len in
+  for r = lo to lo + len - 1 do
+    if Random.State.int st 4 > 0 then
+      X.set x ~rank:r
+        ~cost:(Random.State.full_int st (1 lsl (1 + Random.State.int st 40)))
+        ~choice:(Random.State.int st 256)
+  done;
+  x
+
+let same_extent msg a b =
+  Helpers.check_int (msg ^ ": lo") (X.lo a) (X.lo b);
+  Helpers.check_int (msg ^ ": len") (X.len a) (X.len b);
+  Helpers.check_int (msg ^ ": present") (X.present a) (X.present b);
+  for r = X.lo a to X.lo a + X.len a - 1 do
+    Helpers.check_bool (msg ^ ": mem") (X.mem a ~rank:r) (X.mem b ~rank:r);
+    if X.mem a ~rank:r then begin
+      Helpers.check_int (msg ^ ": cost") (X.cost a ~rank:r) (X.cost b ~rank:r);
+      Helpers.check_int (msg ^ ": choice") (X.choice a ~rank:r)
+        (X.choice b ~rank:r)
+    end
+  done
+
+let extent_roundtrip_prop =
+  QCheck.Test.make ~name:"extent packed/raw encodings agree" ~count:150
+    QCheck.(int_range 0 1_000_000)
+    (fun seed ->
+      let st = Helpers.rng seed in
+      let x = random_extent st in
+      let dec payload =
+        X.of_src (Lp.S_string payload) ~j_set:(X.j_set x) ~k:(X.k x)
+          ~total:(X.total x) ~lo:(X.lo x) ~len:(X.len x)
+      in
+      same_extent "packed" x (dec (X.encode_packed x));
+      same_extent "raw" x (dec (X.encode_raw x));
+      String.length (X.encode x)
+      <= min
+           (String.length (X.encode_packed x))
+           (String.length (X.encode_raw x)))
+
+let extent_tests =
+  [
+    Helpers.case "global-rank set/get and bounds" (fun () ->
+        let j_set = vs_of [ 0; 1; 2; 3; 4; 5 ] in
+        let total = Lp.binomial 6 3 in
+        let x = X.create ~j_set ~k:3 ~total ~lo:5 ~len:7 in
+        X.set x ~rank:5 ~cost:42 ~choice:1;
+        X.set x ~rank:11 ~cost:7 ~choice:2;
+        Helpers.check_int "cost lo" 42 (X.cost x ~rank:5);
+        Helpers.check_int "cost hi" 7 (X.cost x ~rank:11);
+        Helpers.check_int "present" 2 (X.present x);
+        Helpers.check_bool "unset mem" false (X.mem x ~rank:6);
+        Helpers.check_bool "out of range" true
+          (match X.set x ~rank:12 ~cost:1 ~choice:0 with
+          | exception Invalid_argument _ -> true
+          | _ -> false);
+        Helpers.check_int "size" (30 + (7 * 9)) (X.size_bytes x));
+    Helpers.case "whole-layer records serve extent reloads" (fun () ->
+        (* the unified checkpoint story: a v1/v2/v3 whole-layer payload
+           contains any extent of that layer *)
+        let j_set = vs_of [ 0; 1; 2; 3; 4; 5; 6 ] in
+        let k = 3 in
+        let t = Lp.create ~j_set ~k in
+        Vs.iter_subsets_of ~size:k j_set (fun ksub ->
+            Lp.set t ksub ~cost:(500 + bits ksub) ~choice:(bits ksub land 3));
+        let total = Lp.binomial 7 3 in
+        List.iter
+          (fun payload ->
+            let x =
+              X.of_src (Lp.S_string payload) ~j_set ~k ~total ~lo:10 ~len:9
+            in
+            Helpers.check_int "len" 9 (X.len x);
+            for r = 10 to 18 do
+              let ksub = Lp.unrank t r in
+              Helpers.check_int "cost" (Lp.cost t ksub) (X.cost x ~rank:r);
+              Helpers.check_int "choice" (Lp.choice t ksub) (X.choice x ~rank:r)
+            done)
+          [ Lp.encode_dense t; Lp.encode_sparse t; Lp.encode_packed t ]);
+    Helpers.case "of_src rejects damage cleanly" (fun () ->
+        let st = Helpers.rng 99 in
+        let x = random_extent st in
+        let j_set = X.j_set x and k = X.k x in
+        let total = X.total x and lo = X.lo x and len = X.len x in
+        let dec payload = X.of_src (Lp.S_string payload) ~j_set ~k ~total ~lo ~len in
+        let fails payload =
+          match dec payload with exception Failure _ -> true | _ -> false
+        in
+        let packed = X.encode_packed x in
+        Helpers.check_bool "truncated stream" true
+          (fails (String.sub packed 0 (String.length packed - 1)));
+        Helpers.check_bool "truncated header" true
+          (fails (String.sub packed 0 10));
+        Helpers.check_bool "trailing garbage" true (fails (packed ^ "!"));
+        (* same cardinality, different universe: the request is well
+           formed but the payload belongs to another layer *)
+        let other = Vs.add 13 (Vs.remove (Vs.min_elt j_set) j_set) in
+        Helpers.check_bool "wrong layer" true
+          (match
+             X.of_src (Lp.S_string packed) ~j_set:other ~k ~total ~lo ~len
+           with
+          | exception Failure _ -> true
+          | _ -> false);
+        (* a payload that does not contain the requested range *)
+        Helpers.check_bool "containment" true
+          (match
+             X.of_src (Lp.S_string packed) ~j_set ~k ~total ~lo
+               ~len:(total - lo)
+           with
+          | exception Failure _ -> len < total - lo
+          | _ -> len = total - lo));
+    Helpers.case "mapped raw extents stay zero-copy and read-only" (fun () ->
+        let j_set = vs_of [ 0; 1; 2; 3; 4 ] in
+        let total = Lp.binomial 5 2 in
+        let x = X.create ~j_set ~k:2 ~total ~lo:0 ~len:total in
+        for r = 0 to total - 1 do
+          X.set x ~rank:r ~cost:(r * r) ~choice:(r land 1)
+        done;
+        let raw = X.encode_raw x in
+        let big =
+          Bigarray.Array1.create Bigarray.char Bigarray.c_layout
+            (String.length raw)
+        in
+        String.iteri (Bigarray.Array1.set big) raw;
+        let x' = X.of_src (Lp.S_big big) ~j_set ~k:2 ~total ~lo:0 ~len:total in
+        same_extent "mapped" x x';
+        Helpers.check_bool "read-only" true
+          (match X.set x' ~rank:0 ~cost:1 ~choice:0 with
           | exception Invalid_argument _ -> true
           | _ -> false));
   ]
@@ -133,16 +307,23 @@ let budget_tests =
         Helpers.check_bool "no sink" true
           (match Mb.create ~budget_bytes:100 () with
           | exception Invalid_argument _ -> true
+          | _ -> false);
+        Helpers.check_bool "zero extent" true
+          (match Mb.create ~extent_bytes:0 () with
+          | exception Invalid_argument _ -> true
           | _ -> false));
     Helpers.case "unbounded accounting still tracks peaks" (fun () ->
         let n = 6 in
         let tt = Tt.random (Helpers.rng 11) n in
         let mb = Mb.unbounded () in
         ignore (Fs.run ~membudget:mb tt);
-        (* the widest layer: C(n, n/2) packed entries plus the header *)
-        let expect = (Lp.binomial n (n / 2) * 9) + 14 in
+        (* the widest layer: C(n, n/2) packed entries plus one extent
+           header (the default extent swallows the whole layer) *)
+        let expect = (Lp.binomial n (n / 2) * 9) + Lp.extent_header_bytes in
         Helpers.check_int "peak layer" expect (Mb.peak_layer_bytes mb);
         Helpers.check_int "no spills" 0 (Mb.layers_spilled mb);
+        Helpers.check_bool "ratio is 1 before any spill" true
+          (Mb.compression_ratio mb = 1.0);
         Helpers.check_bool "resident peak >= layer peak" true
           (Mb.peak_resident_bytes mb >= Mb.peak_layer_bytes mb));
     Helpers.case "budgeted run spills and balances the books" (fun () ->
@@ -155,10 +336,48 @@ let budget_tests =
         let mb = Mb.create ~budget_bytes:budget ~sink () in
         ignore (Fs.run ~membudget:mb tt);
         Helpers.check_bool "spilled" true (Mb.layers_spilled mb > 0);
-        Helpers.check_int "every spilled byte reloaded" (Mb.bytes_spilled mb)
-          (Mb.bytes_reloaded mb);
-        Helpers.check_int "one reload per spilled layer" (Mb.layers_spilled mb)
-          (Mb.reloads mb));
+        Helpers.check_bool "extents counted" true
+          (Mb.extents_spilled mb >= Mb.layers_spilled mb);
+        Helpers.check_bool "compression never inflates" true
+          (Mb.raw_bytes_spilled mb >= Mb.bytes_spilled mb);
+        Helpers.check_bool "ratio >= 1" true (Mb.compression_ratio mb >= 1.0);
+        Helpers.check_bool "reloaded" true (Mb.reloads mb > 0));
+    Helpers.case "transient spill charge is counted once (closed form)"
+      (fun () ->
+        (* budget 1 with whole-layer extents: every layer is packed,
+           charged, and immediately evicted.  If eviction charged the
+           dense extent and its encoded payload together the peak would
+           exceed one extent; charging the transient once pins the peak
+           at exactly the largest extent. *)
+        let n = 6 in
+        let tt = Tt.random (Helpers.rng 16) n in
+        let _, sink = mem_sink () in
+        let mb = Mb.create ~budget_bytes:1 ~sink () in
+        ignore (Fs.run ~membudget:mb tt);
+        let expect = Lp.extent_header_bytes + (Lp.binomial n (n / 2) * 9) in
+        Helpers.check_int "peak resident" expect (Mb.peak_resident_bytes mb));
+    Helpers.case "a layer larger than the whole budget stays out of core"
+      (fun () ->
+        let n = 7 in
+        let tt = Tt.random (Helpers.rng 15) n in
+        let plain = Fs.run tt in
+        let _, sink = mem_sink () in
+        (* 5 entries per extent; the hump layer C(7,3)*9 = 315 B dense
+           exceeds the whole 100 B budget *)
+        let extent_bytes = 45 in
+        let budget = 100 in
+        let mb = Mb.create ~budget_bytes:budget ~extent_bytes ~sink () in
+        let r = Fs.run ~membudget:mb tt in
+        Helpers.check_int "mincost" plain.Fs.mincost r.Fs.mincost;
+        Helpers.check_bool "order" true (r.Fs.order = plain.Fs.order);
+        Helpers.check_bool "widths" true (r.Fs.widths = plain.Fs.widths);
+        Helpers.check_bool "hump exceeds budget" true
+          (Mb.peak_layer_bytes mb > budget);
+        Helpers.check_bool "peak stays within budget + one extent" true
+          (Mb.peak_resident_bytes mb
+          <= budget + Lp.extent_header_bytes + extent_bytes);
+        Helpers.check_bool "extent-granular spilling" true
+          (Mb.extents_spilled mb > Mb.layers_spilled mb));
   ]
 
 (* --- budgeted ≡ unbounded --------------------------------------------- *)
@@ -170,9 +389,10 @@ let identical_prop name engine =
     (Helpers.arb_truthtable ~lo:4 ~hi:7 ())
     (fun tt ->
       let plain = Fs.run ~engine tt in
-      (* a 1-byte budget forces every completed layer through the sink *)
+      (* a 1-byte budget with tiny extents forces every completed layer
+         through the sink piecewise *)
       let _, sink = mem_sink () in
-      let mb = Mb.create ~budget_bytes:1 ~sink () in
+      let mb = Mb.create ~budget_bytes:1 ~extent_bytes:45 ~sink () in
       let tight = Fs.run ~engine ~membudget:mb tt in
       Mb.layers_spilled mb > 0
       && tight.Fs.mincost = plain.Fs.mincost
@@ -182,30 +402,36 @@ let identical_prop name engine =
 
 let props =
   [
+    extent_roundtrip_prop;
     identical_prop "Seq" Ovo_core.Engine.Seq;
     identical_prop "Par" (Ovo_core.Engine.Par { domains = 3 });
   ]
 
 (* --- Spill (on disk) -------------------------------------------------- *)
 
+let seg path k ext = Filename.concat path (Printf.sprintf "layer-%02d-%03d.seg" k ext)
+
 let spill_tests =
   [
     Helpers.case "spill/reload roundtrip" (fun () ->
         let dir = tmpdir () in
         let sp = Spill.create dir in
-        Spill.spill sp ~k:3 "payload three";
-        Spill.spill sp ~k:3 "payload three, rewritten";
-        Spill.spill sp ~k:11 "payload eleven";
-        Helpers.check_bool "k=3" true
-          (Spill.reload sp ~k:3 = "payload three, rewritten");
+        Spill.spill sp ~k:3 ~ext:0 "payload three";
+        Spill.spill sp ~k:3 ~ext:0 "payload three, rewritten";
+        Spill.spill sp ~k:3 ~ext:1 "payload three-one";
+        Spill.spill sp ~k:11 ~ext:0 "payload eleven";
+        Helpers.check_bool "k=3 ext=0" true
+          (src_str (Spill.reload sp ~k:3 ~ext:0) = "payload three, rewritten");
+        Helpers.check_bool "k=3 ext=1" true
+          (src_str (Spill.reload sp ~k:3 ~ext:1) = "payload three-one");
         Helpers.check_bool "k=11" true
-          (Spill.reload sp ~k:11 = "payload eleven");
+          (src_str (Spill.reload sp ~k:11 ~ext:0) = "payload eleven");
         Spill.remove sp;
         Helpers.check_bool "directory reaped" true (not (Sys.file_exists dir)));
     Helpers.case "remove is idempotent and leaves foreign files" (fun () ->
         let dir = tmpdir () in
         let sp = Spill.create dir in
-        Spill.spill sp ~k:1 "x";
+        Spill.spill sp ~k:1 ~ext:0 "x";
         write_file (Filename.concat dir "keep.me") "foreign";
         Spill.remove sp;
         Spill.remove sp;
@@ -215,14 +441,42 @@ let spill_tests =
     Helpers.case "flipped byte fails the reload" (fun () ->
         let dir = tmpdir () in
         let sp = Spill.create dir in
-        Spill.spill sp ~k:4 "some layer bytes that matter";
-        let path = Filename.concat dir "layer-04.seg" in
+        Spill.spill sp ~k:4 ~ext:2 "some extent bytes that matter";
+        let path = seg dir 4 2 in
         let b = Bytes.of_string (read_file path) in
         let mid = Bytes.length b / 2 in
         Bytes.set b mid (Char.chr (Char.code (Bytes.get b mid) lxor 0x40));
         write_file path (Bytes.to_string b);
         Helpers.check_bool "Failure" true
-          (match Spill.reload sp ~k:4 with
+          (match Spill.reload sp ~k:4 ~ext:2 with
+          | exception Failure _ -> true
+          | _ -> false);
+        Spill.remove sp);
+    Helpers.case "mmap segments roundtrip and verify" (fun () ->
+        let dir = tmpdir () in
+        let sp = Spill.create ~mmap:true dir in
+        let payload = String.init 257 (fun i -> Char.chr (i * 7 land 0xff)) in
+        Spill.spill sp ~k:5 ~ext:1 payload;
+        (match Spill.reload sp ~k:5 ~ext:1 with
+        | Lp.S_big b ->
+            Helpers.check_int "mapped length" (String.length payload)
+              (Bigarray.Array1.dim b);
+            Helpers.check_bool "mapped bytes" true (src_str (Lp.S_big b) = payload)
+        | Lp.S_string _ -> Alcotest.fail "mmap reload returned a string");
+        (* flip one payload byte: the CRC must catch it *)
+        let path = seg dir 5 1 in
+        let b = Bytes.of_string (read_file path) in
+        let last = Bytes.length b - 1 in
+        Bytes.set b last (Char.chr (Char.code (Bytes.get b last) lxor 0x01));
+        write_file path (Bytes.to_string b);
+        Helpers.check_bool "corrupt mapped segment" true
+          (match Spill.reload sp ~k:5 ~ext:1 with
+          | exception Failure _ -> true
+          | _ -> false);
+        (* truncation *)
+        write_file path "OVOSEG";
+        Helpers.check_bool "truncated mapped segment" true
+          (match Spill.reload sp ~k:5 ~ext:1 with
           | exception Failure _ -> true
           | _ -> false);
         Spill.remove sp);
@@ -239,16 +493,14 @@ let spill_tests =
           {
             real with
             Mb.reload =
-              (fun ~k ->
-                let path =
-                  Filename.concat dir (Printf.sprintf "layer-%02d.seg" k)
-                in
+              (fun ~k ~ext ->
+                let path = seg dir k ext in
                 let b = Bytes.of_string (read_file path) in
                 let mid = Bytes.length b / 2 in
                 Bytes.set b mid
                   (Char.chr (Char.code (Bytes.get b mid) lxor 0x01));
                 write_file path (Bytes.to_string b);
-                real.Mb.reload ~k);
+                real.Mb.reload ~k ~ext);
           }
         in
         let mb = Mb.create ~budget_bytes:1 ~sink () in
@@ -270,12 +522,27 @@ let spill_tests =
         Helpers.check_bool "order" true (r.Fs.order = plain.Fs.order);
         Helpers.check_bool "widths" true (r.Fs.widths = plain.Fs.widths);
         Helpers.check_bool "spilled" true (Mb.layers_spilled mb > 0));
+    Helpers.case "mmap spill reproduces the in-memory result" (fun () ->
+        let n = 7 in
+        let tt = Tt.random (Helpers.rng 17) n in
+        let plain = Fs.run tt in
+        let dir = tmpdir () in
+        let sp = Spill.create ~mmap:true dir in
+        let mb =
+          Mb.create ~budget_bytes:64 ~extent_bytes:90 ~sink:(Spill.sink sp) ()
+        in
+        let r = Fs.run ~membudget:mb tt in
+        Spill.remove sp;
+        Helpers.check_int "mincost" plain.Fs.mincost r.Fs.mincost;
+        Helpers.check_bool "order" true (r.Fs.order = plain.Fs.order);
+        Helpers.check_bool "spilled extents" true (Mb.extents_spilled mb > 0));
   ]
 
 let () =
   Alcotest.run "membudget"
     [
       ("layer_pack", pack_tests);
+      ("extents", extent_tests);
       ("membudget", budget_tests);
       ("spill", spill_tests);
       ("props", Helpers.qtests props);

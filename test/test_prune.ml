@@ -20,12 +20,13 @@ module O = Ovo_quantum.Opt_obdd
 let mem_sink () =
   let store = Hashtbl.create 8 in
   {
-    Mb.spill = (fun ~k payload -> Hashtbl.replace store k payload);
+    Mb.spill =
+      (fun ~k ~ext payload -> Hashtbl.replace store (k, ext) payload);
     reload =
-      (fun ~k ->
-        match Hashtbl.find_opt store k with
-        | Some p -> p
-        | None -> failwith "mem_sink: no such layer");
+      (fun ~k ~ext ->
+        match Hashtbl.find_opt store (k, ext) with
+        | Some p -> Ovo_core.Layer_pack.S_string p
+        | None -> failwith "mem_sink: no such extent");
   }
 
 (* A trivially admissible lower bound for exercising the context. *)

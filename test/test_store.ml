@@ -99,6 +99,45 @@ let codec_tests =
         let r = Codec.reader (Buffer.contents b) in
         Alcotest.check_raises "count" (Codec.Corrupt "int_array") (fun () ->
             ignore (Codec.r_int_array r)));
+    Helpers.case "varint/svarint roundtrip and sizes" (fun () ->
+        let unsigned = [ 0; 1; 127; 128; 300; 16383; 16384; max_int ] in
+        let signed =
+          [ 0; -1; 1; -64; 64; -100000; 100000; 1 lsl 60; -(1 lsl 60) ]
+        in
+        let b = Buffer.create 64 in
+        List.iter (Codec.varint b) unsigned;
+        List.iter (Codec.svarint b) signed;
+        let r = Codec.reader (Buffer.contents b) in
+        List.iter
+          (fun v -> Helpers.check_int "varint" v (Codec.r_varint r))
+          unsigned;
+        List.iter
+          (fun v -> Helpers.check_int "svarint" v (Codec.r_svarint r))
+          signed;
+        Codec.expect_end r;
+        let size v =
+          let b = Buffer.create 10 in
+          Codec.varint b v;
+          Buffer.length b
+        in
+        Helpers.check_int "one byte below 128" 1 (size 127);
+        Helpers.check_int "two bytes at 128" 2 (size 128);
+        Helpers.check_bool "negative rejected" true
+          (match Codec.varint (Buffer.create 4) (-1) with
+          | exception Invalid_argument _ -> true
+          | _ -> false));
+    Helpers.case "truncated varint raises Corrupt" (fun () ->
+        let r = Codec.reader "\x80\x80" in
+        Helpers.check_bool "truncated" true
+          (match Codec.r_varint r with
+          | exception Codec.Corrupt _ -> true
+          | _ -> false);
+        (* 10 continuation bytes overflow a 63-bit int *)
+        let r = Codec.reader "\xff\xff\xff\xff\xff\xff\xff\xff\xff\x7f" in
+        Helpers.check_bool "overflow" true
+          (match Codec.r_varint r with
+          | exception Codec.Corrupt _ -> true
+          | _ -> false));
   ]
 
 (* --- rlog ------------------------------------------------------------- *)
@@ -437,6 +476,71 @@ let checkpoint_tests =
         let r = Fs.run ~kind ~resume:layers tt in
         Ck.close w;
         Helpers.check_int "mincost" (Fs.run ~kind tt).Fs.mincost r.Fs.mincost);
+    Helpers.case "legacy layer record ends the resume prefix" (fun () ->
+        let path = tmpfile () in
+        let tt = Tt.of_string "0110100110010110" in
+        let kind = Ovo_core.Compact.Bdd in
+        ignore
+          (run_until ~engine:Ovo_core.Engine.Seq ~kind ~path ~stop_after:2 tt);
+        (* a pre-unification writer appends a record of type 1 *)
+        let t, _, _ = Rlog.open_append path in
+        Rlog.append t ~rtype:1 "\x02legacy-triple-format";
+        Rlog.close t;
+        (match Ck.load path with
+        | Ok (_, layers) ->
+            Helpers.check_int "prefix stops before legacy" 2
+              (List.length layers)
+        | Error m -> Alcotest.fail m);
+        (* resume replays the clean prefix and still finishes right *)
+        let meta = Ck.meta_of ~kind tt in
+        let w, layers = Ck.open_resume ~path meta in
+        Helpers.check_int "resumed layers" 2 (List.length layers);
+        let r = Fs.run ~kind ~resume:layers tt in
+        Ck.close w;
+        Helpers.check_int "mincost" (Fs.run ~kind tt).Fs.mincost r.Fs.mincost);
+    Helpers.case "all-legacy checkpoint degrades to a fresh start" (fun () ->
+        let path = tmpfile () in
+        let tt = Tt.of_string "01101001" in
+        let kind = Ovo_core.Compact.Bdd in
+        let meta = Ck.meta_of ~kind tt in
+        let w = Ck.create ~path meta in
+        Ck.close w;
+        let t, _, _ = Rlog.open_append path in
+        Rlog.append t ~rtype:1 "\x01old";
+        Rlog.append t ~rtype:1 "\x02old";
+        Rlog.close t;
+        let w, layers = Ck.open_resume ~path meta in
+        Helpers.check_int "no layers survive" 0 (List.length layers);
+        Ck.close w);
+    Helpers.case "budget+checkpoint writes each layer once" (fun () ->
+        let path = tmpfile () in
+        let tt = Tt.of_string "0110100110010110" in
+        let n = Tt.arity tt in
+        let kind = Ovo_core.Compact.Bdd in
+        let plain = solution_fingerprint (Fs.run ~kind tt) in
+        let meta = Ck.meta_of ~kind tt in
+        let w, layers = Ck.open_resume ~path meta in
+        Helpers.check_int "fresh" 0 (List.length layers);
+        (* 1-byte budget: every layer spills; the checkpoint is the
+           spill store, so reloads slice its layer records *)
+        let mb =
+          Ovo_core.Membudget.create ~budget_bytes:1 ~extent_bytes:18
+            ~sink:(Ck.sink w) ()
+        in
+        let r =
+          Fs.run ~kind ~membudget:mb ~on_layer:(Ck.append_layer w) tt
+        in
+        Ck.close w;
+        Helpers.check_bool "bit-identical" true
+          (solution_fingerprint r = plain);
+        Helpers.check_bool "reloaded from checkpoint" true
+          (Ovo_core.Membudget.reloads mb > 0);
+        (* on disk: exactly one meta record plus one record per layer *)
+        match Rlog.read path with
+        | Ok (records, _) ->
+            Helpers.check_int "records = 1 meta + n layers" (1 + n)
+              (List.length records)
+        | Error m -> Alcotest.fail m);
   ]
 
 let props =
